@@ -1,0 +1,131 @@
+package streamtok
+
+import (
+	"io"
+
+	"streamtok/internal/backtrack"
+	"streamtok/internal/extoracle"
+	"streamtok/internal/reference"
+	"streamtok/internal/reps"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/tokenskip"
+)
+
+// The baseline tokenizers the paper evaluates StreamTok against. They all
+// implement the same maximal-munch semantics (Definition 1) and are
+// differential-tested against the executable specification.
+
+// compileForBaseline compiles a grammar for the baseline engines.
+func compileForBaseline(g *Grammar) (*tokdfa.Machine, error) {
+	return tokdfa.Compile(g.g, tokdfa.Options{Minimize: true})
+}
+
+// FlexScanner is the flex-style streaming backtracking tokenizer (the
+// Fig. 2 algorithm with block-by-block buffering). Unlike StreamTok it
+// handles every grammar, but its time is Θ(k·n) for max-TND k — quadratic
+// in general — and its carry buffer can grow to Ω(n).
+type FlexScanner struct {
+	sc *backtrack.Scanner
+	m  *tokdfa.Machine
+}
+
+// NewFlexScanner builds the streaming backtracking scanner.
+func NewFlexScanner(g *Grammar) (*FlexScanner, error) {
+	m, err := compileForBaseline(g)
+	if err != nil {
+		return nil, err
+	}
+	return &FlexScanner{sc: backtrack.NewScanner(m), m: m}, nil
+}
+
+// Tokenize streams r through the scanner with an initial buffer of
+// bufSize bytes (0 = 64 KB), returning the offset of the first
+// untokenized byte.
+func (f *FlexScanner) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	rest, _, err = f.sc.Tokenize(r, bufSize, emit)
+	return rest, err
+}
+
+// ScanBytes runs the in-memory Fig. 2 scan (the code path a non-streaming
+// regex-based tokenizer executes).
+func (f *FlexScanner) ScanBytes(input []byte, emit EmitFunc) (rest int) {
+	rest, _ = backtrack.Scan(f.m, input, emit)
+	return rest
+}
+
+// RepsTokenizer is Reps' (TOPLAS '98) memoized linear-time tokenizer. It
+// is offline: the memo table is indexed by absolute input position.
+type RepsTokenizer struct {
+	m *tokdfa.Machine
+}
+
+// NewRepsTokenizer builds the memoized tokenizer.
+func NewRepsTokenizer(g *Grammar) (*RepsTokenizer, error) {
+	m, err := compileForBaseline(g)
+	if err != nil {
+		return nil, err
+	}
+	return &RepsTokenizer{m: m}, nil
+}
+
+// TokenizeBytes tokenizes an in-memory input.
+func (r *RepsTokenizer) TokenizeBytes(input []byte, emit EmitFunc) (rest int) {
+	rest, _ = reps.Tokenize(r.m, input, emit)
+	return rest
+}
+
+// ExtOracleTokenizer is the offline two-pass tokenizer of Li & Mamouras
+// (OOPSLA '25): a right-to-left pass materializes a Θ(n) lookahead tape,
+// then a left-to-right pass emits tokens without backtracking. It applies
+// to every grammar (bounded max-TND or not) but must buffer the whole
+// input.
+type ExtOracleTokenizer struct {
+	o *extoracle.Oracle
+}
+
+// NewExtOracleTokenizer builds the two-pass tokenizer.
+func NewExtOracleTokenizer(g *Grammar) (*ExtOracleTokenizer, error) {
+	m, err := compileForBaseline(g)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtOracleTokenizer{o: extoracle.New(m)}, nil
+}
+
+// TokenizeBytes tokenizes an in-memory input.
+func (e *ExtOracleTokenizer) TokenizeBytes(input []byte, emit EmitFunc) (rest int) {
+	return e.o.Tokenize(input, nil, emit)
+}
+
+// ReferenceTokens computes tokens(r̄)(input) directly from Definition 1 —
+// the executable specification (O(n²); for testing and small inputs).
+func ReferenceTokens(g *Grammar, input []byte) (toks []Token, rest int, err error) {
+	m, err := compileForBaseline(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	toks, rest = reference.Tokens(m, input)
+	return toks, rest, nil
+}
+
+// TokenSkipTokenizer is the second OOPSLA '25 offline algorithm: a
+// right-to-left pass materializes the maximal token starting at every
+// position (a Θ(n) skip tape), then the forward pass hops token to token.
+// Like ExtOracle it handles every grammar but buffers the whole input.
+type TokenSkipTokenizer struct {
+	s *tokenskip.Skipper
+}
+
+// NewTokenSkipTokenizer builds the skip-table tokenizer.
+func NewTokenSkipTokenizer(g *Grammar) (*TokenSkipTokenizer, error) {
+	m, err := compileForBaseline(g)
+	if err != nil {
+		return nil, err
+	}
+	return &TokenSkipTokenizer{s: tokenskip.New(m)}, nil
+}
+
+// TokenizeBytes tokenizes an in-memory input.
+func (t *TokenSkipTokenizer) TokenizeBytes(input []byte, emit EmitFunc) (rest int) {
+	return t.s.Tokenize(input, emit)
+}

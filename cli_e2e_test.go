@@ -1,0 +1,195 @@
+package streamtok_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a shared temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command(goTool, "build", "-o", bin, "./cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", bin, err, out)
+	}
+	return string(out), code
+}
+
+// TestCLITnd: analysis tool end to end, including exit codes.
+func TestCLITnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "tnd")
+
+	out, code := run(t, bin, "", "-catalog", "json")
+	if code != 0 || !strings.Contains(out, "max-TND:   3") {
+		t.Errorf("tnd -catalog json: code %d\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "", `[0-9]*0`, `[ ]+`)
+	if code != 1 || !strings.Contains(out, "max-TND:   inf") {
+		t.Errorf("tnd unbounded: code %d\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "", "-witness", `[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`)
+	if code != 0 || !strings.Contains(out, "pair:") {
+		t.Errorf("tnd -witness: code %d\n%s", code, out)
+	}
+
+	// Named grammar file.
+	gf := filepath.Join(t.TempDir(), "g.tok")
+	os.WriteFile(gf, []byte("NUM := [0-9]+\nWS := [ ]+\n"), 0o644)
+	out, code = run(t, bin, "", "-f", gf)
+	if code != 0 || !strings.Contains(out, "max-TND:   1") {
+		t.Errorf("tnd -f: code %d\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "", "-listgrammars")
+	if code != 0 || !strings.Contains(out, "json") || !strings.Contains(out, "sql-inserts") {
+		t.Errorf("tnd -listgrammars: code %d\n%s", code, out)
+	}
+
+	if _, code = run(t, bin, "", "-catalog", "nope"); code != 2 {
+		t.Errorf("tnd bad catalog: code %d, want 2", code)
+	}
+}
+
+// TestCLIStreamtok: the tokenizer CLI on stdin, both engines, counts, and
+// the untokenizable-input exit code.
+func TestCLIStreamtok(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "streamtok")
+
+	out, code := run(t, bin, `{"a": 1}`, "-catalog", "json")
+	if code != 0 || !strings.Contains(out, "NUMBER") || !strings.Contains(out, `"{"`) {
+		t.Errorf("streamtok json: code %d\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "12 34 5", "-count", `[0-9]+`, `[ ]+`)
+	if code != 0 || !strings.Contains(out, "tokens\t5") {
+		t.Errorf("streamtok -count: code %d\n%s", code, out)
+	}
+
+	_, code = run(t, bin, "12 x", "-count", `[0-9]+`, `[ ]+`)
+	if code != 1 {
+		t.Errorf("untokenizable input: code %d, want 1", code)
+	}
+
+	out, code = run(t, bin, "ab 12", "-engine", "flex", "-count", `[a-z]+|[0-9]+`, `[ ]+`)
+	if code != 0 || !strings.Contains(out, "tokens\t3") {
+		t.Errorf("flex engine: code %d\n%s", code, out)
+	}
+}
+
+// TestCLIPaperbenchList: the experiment registry is reachable.
+func TestCLIPaperbenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "paperbench")
+	out, code := run(t, bin, "", "-list")
+	if code != 0 {
+		t.Fatalf("paperbench -list: code %d\n%s", code, out)
+	}
+	for _, e := range []string{"table1", "fig7a", "fig8", "fig11b", "table2", "rq6"} {
+		if !strings.Contains(out, e) {
+			t.Errorf("missing experiment %s in:\n%s", e, out)
+		}
+	}
+	out, code = run(t, bin, "", "-exp", "table1")
+	if code != 0 || !strings.Contains(out, "json") {
+		t.Errorf("paperbench -exp table1: code %d\n%s", code, out)
+	}
+}
+
+// TestCLILexgen: generate a lexer and check it gofmt-parses.
+func TestCLILexgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "lexgen")
+	out, code := run(t, bin, "", "-catalog", "csv", "-pkg", "csvlex")
+	if code != 0 || !strings.Contains(out, "package csvlex") || !strings.Contains(out, "func Scan(") {
+		t.Fatalf("lexgen: code %d\n%s", code, out[:min(len(out), 400)])
+	}
+	if _, code = run(t, bin, "", "-catalog", "c"); code != 1 {
+		t.Errorf("lexgen unbounded grammar: code %d, want 1", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestExamplesRun builds and runs every example with its embedded sample
+// input, checking each exits cleanly and prints something sensible.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "max token neighbor distance: 3"},
+		{"logtotsv", "sshd"},
+		{"jsonminify", `{"name":"streamtok"`},
+		{"csvstats", "score"},
+		{"parallelcount", "tokens"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), c.dir)
+			build := exec.Command(goTool, "build", "-o", bin, "./examples/"+c.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			// Leave Stdin nil: the child gets /dev/null (a character
+			// device), so each example falls back to its embedded
+			// sample input.
+			cmd := exec.Command(bin)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command lexgen generates a standalone, dependency-free Go lexer from a
+// tokenization grammar — the lexer-generator workflow of flex, with
+// StreamTok's backtracking-free tables baked in.
+//
+// Usage:
+//
+//	lexgen -f grammar.tok -pkg mylexer -o lexer.go
+//	lexgen -catalog csv -pkg csvlex > csvlex.go
+//	lexgen -pkg lit '[0-9]+' '[ ]+' > lit.go
+//
+// grammar.tok uses the NAME := regex format (one rule per line, '#'
+// comments). Generation fails (exit 1) for grammars with unbounded max
+// token neighbor distance.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamtok/internal/grammarfile"
+	"streamtok/internal/grammars"
+	"streamtok/internal/lexgen"
+	"streamtok/internal/tokdfa"
+)
+
+func main() {
+	file := flag.String("f", "", "grammar file (NAME := regex per line)")
+	catalog := flag.String("catalog", "", "use a built-in grammar")
+	pkg := flag.String("pkg", "lexer", "package name for the generated file")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	g, err := load(*catalog, *file, flag.Args())
+	exitOn(err)
+
+	var buf bytes.Buffer
+	exitOn(lexgen.Generate(&buf, *pkg, g))
+
+	if *out == "" {
+		_, err = os.Stdout.Write(buf.Bytes())
+		exitOn(err)
+		return
+	}
+	exitOn(os.WriteFile(*out, buf.Bytes(), 0o644))
+	fmt.Fprintf(os.Stderr, "lexgen: wrote %s (%d bytes)\n", *out, buf.Len())
+}
+
+func load(catalog, file string, args []string) (*tokdfa.Grammar, error) {
+	switch {
+	case catalog != "":
+		spec, err := grammars.Lookup(catalog)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Grammar(), nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return grammarfile.Parse(f)
+	case len(args) > 0:
+		return tokdfa.ParseGrammar(args...)
+	default:
+		return nil, fmt.Errorf("no grammar: use -f, -catalog, or rule arguments")
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lexgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command paperbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	paperbench -exp fig8            # one experiment
+//	paperbench -exp all -scale 10   # everything, at 10x input sizes
+//	paperbench -list                # list experiments
+//
+// Output rows have the same shape as the paper's tables/figures; absolute
+// numbers are hardware-dependent, the shapes (who wins, by what factor,
+// where curves flatten) are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamtok/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (table1, fig7a..fig11b, table2, rq6, or 'all')")
+	scale := flag.Float64("scale", 1.0, "input-size multiplier (paper-scale streams need ~10)")
+	seed := flag.Int64("seed", 2026, "workload seed")
+	trials := flag.Int("trials", 3, "timed repetitions per cell (median reported)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Trials: *trials}
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e.Run(cfg).Format())
+		}
+		return
+	}
+	e, err := bench.LookupExperiment(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println(e.Run(cfg).Format())
+}

@@ -1,0 +1,132 @@
+// Command streamtok tokenizes a stream (stdin or a file) with a
+// tokenization grammar, using StreamTok by default or a baseline engine on
+// request.
+//
+// Usage:
+//
+//	streamtok -catalog json < doc.json            # print tokens
+//	streamtok -catalog csv -count < data.csv      # counts only
+//	streamtok '[0-9]+' '[ ]+' < nums.txt          # ad-hoc grammar
+//	streamtok -catalog log -engine flex < syslog  # baseline engine
+//
+// Each token prints as "offset\tlength\trule\ttext" (TSV). Exit status 1
+// when the stream has an untokenizable remainder.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"streamtok"
+)
+
+func main() {
+	catalog := flag.String("catalog", "", "use a built-in grammar")
+	engine := flag.String("engine", "streamtok", "engine: streamtok or flex")
+	count := flag.Bool("count", false, "print token/byte counts instead of tokens")
+	buf := flag.Int("buf", 0, "input buffer capacity in bytes (0 = 64KB)")
+	input := flag.String("in", "", "input file (default stdin)")
+	machine := flag.String("machine", "", "load a precompiled machine (tnd -emit) instead of a grammar")
+	flag.Parse()
+
+	var g *streamtok.Grammar
+	var preloaded *streamtok.Tokenizer
+	if *machine != "" {
+		f, err := os.Open(*machine)
+		exitOn(err)
+		preloaded, g, err = streamtok.LoadCompiled(f)
+		f.Close()
+		exitOn(err)
+	} else {
+		var err error
+		g, err = loadGrammar(*catalog, flag.Args())
+		exitOn(err)
+	}
+
+	var src io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		exitOn(err)
+		defer f.Close()
+		src = f
+	}
+	r := &countingReader{r: src}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	tokens, bytes := 0, 0
+	emit := func(tok streamtok.Token, text []byte) {
+		tokens++
+		bytes += tok.Len()
+		if !*count {
+			fmt.Fprintf(out, "%d\t%d\t%s\t%q\n", tok.Start, tok.Len(), g.RuleName(tok.Rule), text)
+		}
+	}
+
+	var rest int
+	switch *engine {
+	case "streamtok":
+		tok := preloaded
+		if tok == nil {
+			var err error
+			tok, err = streamtok.New(g)
+			exitOn(err)
+		}
+		var err error
+		rest, err = tok.Tokenize(r, *buf, emit)
+		exitOn(err)
+	case "flex":
+		sc, err := streamtok.NewFlexScanner(g)
+		exitOn(err)
+		rest, err = sc.Tokenize(r, *buf, emit)
+		exitOn(err)
+	default:
+		exitOn(fmt.Errorf("unknown engine %q (streamtok, flex)", *engine))
+	}
+
+	if *count {
+		fmt.Fprintf(out, "tokens\t%d\nbytes\t%d\nconsumed\t%d\n", tokens, bytes, rest)
+	}
+	out.Flush()
+	// The engines read at least one byte past the point where
+	// tokenization stops, so rest < r.n exactly when the stream has an
+	// untokenizable remainder.
+	if int64(rest) < r.n {
+		fmt.Fprintf(os.Stderr, "streamtok: input not tokenizable past offset %d\n", rest)
+		os.Exit(1)
+	}
+}
+
+// countingReader counts the bytes handed to the tokenizer.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func loadGrammar(catalog string, args []string) (*streamtok.Grammar, error) {
+	switch {
+	case catalog != "":
+		return streamtok.CatalogGrammar(catalog)
+	case len(args) > 0:
+		return streamtok.ParseGrammar(args...)
+	default:
+		return nil, fmt.Errorf("no grammar: pass -catalog NAME or rules as arguments")
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtok:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,147 @@
+// Command tnd runs the static analysis (Fig. 3) on a tokenization grammar
+// and prints its NFA size, minimized DFA size, and maximum token neighbor
+// distance.
+//
+// Usage:
+//
+//	tnd -catalog json               # analyze a built-in grammar
+//	tnd '[0-9]+' '[ ]+'             # analyze rules given as arguments
+//	tnd -f grammar.txt              # one rule per line
+//	tnd -table1                     # print the paper's Table 1
+//
+// Exit status 0 when the grammar has bounded max-TND (StreamTok applies),
+// 1 when unbounded, 2 on usage errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/bench"
+	"streamtok/internal/grammarfile"
+	"streamtok/internal/grammars"
+	"streamtok/internal/machinefile"
+	"streamtok/internal/tokdfa"
+)
+
+func main() {
+	catalog := flag.String("catalog", "", "analyze a built-in grammar (see -listgrammars)")
+	file := flag.String("f", "", "read rules from a file, one per line ('#' comments allowed)")
+	table1 := flag.Bool("table1", false, "print the paper's Table 1 and exit")
+	listGrammars := flag.Bool("listgrammars", false, "list built-in grammar names")
+	witness := flag.Bool("witness", false, "print a witnessing token-extension path")
+	emitMachine := flag.String("emit", "", "write the compiled machine (tables + analysis) to a file")
+	dot := flag.Bool("dot", false, "print the tokenization DFA as Graphviz DOT and exit")
+	flag.Parse()
+
+	if *listGrammars {
+		for _, n := range grammars.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *table1 {
+		fmt.Println(bench.Table1().Format())
+		return
+	}
+
+	g, err := loadGrammar(*catalog, *file, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnd:", err)
+		os.Exit(2)
+	}
+	m, err := tokdfa.Compile(g, tokdfa.Options{Minimize: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnd:", err)
+		os.Exit(2)
+	}
+	if *dot {
+		if err := m.DFA.WriteDOT(os.Stdout, g.RuleName); err != nil {
+			fmt.Fprintln(os.Stderr, "tnd:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	res := analysis.Analyze(m)
+	fmt.Printf("grammar:   %s\n", g.String())
+	fmt.Printf("nfa size:  %d\n", res.NFASize)
+	fmt.Printf("dfa size:  %d (minimized)\n", res.DFASize)
+	fmt.Printf("max-TND:   %s\n", res.String())
+	if res.Bounded() {
+		fmt.Printf("verdict:   StreamTok applies (lookahead %s bytes)\n", res.String())
+	} else {
+		fmt.Printf("verdict:   unbounded; use an offline tokenizer or adapt the grammar\n")
+	}
+	if *witness && len(res.Witness) > 0 {
+		fmt.Printf("witness:   DFA state path %v\n", res.Witness)
+		if u, v, ok := analysis.WitnessStrings(m, res); ok {
+			fmt.Printf("pair:      %q -> %q (distance %d)\n", u, v, len(v)-len(u))
+		}
+	}
+	if *emitMachine != "" {
+		if err := writeMachine(*emitMachine, m, res.MaxTND); err != nil {
+			fmt.Fprintln(os.Stderr, "tnd:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("machine:   wrote %s\n", *emitMachine)
+	}
+	if !res.Bounded() {
+		os.Exit(1)
+	}
+}
+
+func writeMachine(path string, m *tokdfa.Machine, maxTND int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := machinefile.Encode(f, m, maxTND); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadGrammar(catalog, file string, args []string) (*tokdfa.Grammar, error) {
+	switch {
+	case catalog != "":
+		spec, err := grammars.Lookup(catalog)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Grammar(), nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return nil, err
+		}
+		// Named format ("NAME := regex") or one bare regex per line.
+		if strings.Contains(string(data), ":=") {
+			return grammarfile.ParseString(string(data))
+		}
+		var rules []string
+		sc := bufio.NewScanner(strings.NewReader(string(data)))
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			rules = append(rules, line)
+		}
+		return tokdfa.ParseGrammar(rules...)
+	case len(args) > 0:
+		return tokdfa.ParseGrammar(args...)
+	default:
+		return nil, fmt.Errorf("no grammar given: use -catalog, -f, or rule arguments")
+	}
+}

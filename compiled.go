@@ -1,0 +1,56 @@
+package streamtok
+
+import (
+	"fmt"
+	"io"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/machinefile"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+)
+
+// SaveCompiled compiles g, runs the static analysis, and writes the
+// machine (tables, rule names, max-TND) to w in a versioned binary
+// format. A saved machine can be loaded with LoadCompiled without paying
+// determinization or analysis again — the deployment path for tools that
+// compile grammars ahead of time (see also cmd/lexgen for source-level
+// generation).
+func SaveCompiled(g *Grammar, w io.Writer) error {
+	m, err := tokdfa.Compile(g.g, tokdfa.Options{Minimize: true})
+	if err != nil {
+		return err
+	}
+	res := analysis.Analyze(m)
+	return machinefile.Encode(w, m, res.MaxTND)
+}
+
+// LoadCompiled reads a machine written by SaveCompiled and builds a
+// ready-to-use Tokenizer. It fails with an error wrapping ErrUnbounded
+// when the stored grammar's max-TND is infinite, and with a format error
+// on corrupted input.
+func LoadCompiled(r io.Reader) (*Tokenizer, *Grammar, error) {
+	mf, err := machinefile.Decode(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &Grammar{g: mf.Machine.Grammar}
+	if mf.MaxTND == analysis.Infinite {
+		return nil, g, fmt.Errorf("%w (grammar %s)", ErrUnbounded, g.g.String())
+	}
+	inner, err := core.NewWithK(mf.Machine, mf.MaxTND, tepath.Limits{})
+	if err != nil {
+		return nil, g, err
+	}
+	res := analysis.Result{MaxTND: mf.MaxTND, NFASize: mf.Machine.NFASize, DFASize: mf.Machine.DFA.NumStates()}
+	return &Tokenizer{
+		inner: inner,
+		an: Analysis{
+			MaxTND:  res.MaxTND,
+			Bounded: true,
+			NFASize: res.NFASize,
+			DFASize: res.DFASize,
+		},
+	}, g, nil
+}

@@ -1,0 +1,66 @@
+package streamtok_test
+
+import (
+	"fmt"
+	"strings"
+
+	"streamtok"
+)
+
+// ExampleAnalyze shows the static analysis on Example 9's
+// scientific-notation grammar: the max-TND is 3 because a bare integer
+// can be extended by an "e+5"-style exponent.
+func ExampleAnalyze() {
+	g := streamtok.MustParseGrammar(`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`)
+	a, _ := streamtok.Analyze(g)
+	fmt.Println("max-TND:", a)
+	fmt.Printf("witness: %s -> %s\n", a.WitnessU, a.WitnessV)
+	// Output:
+	// max-TND: 3
+	// witness: 0 -> 0E+0
+}
+
+// ExampleNew tokenizes a stream with StreamTok.
+func ExampleNew() {
+	g := streamtok.MustParseGrammar(`[0-9]+`, `[a-z]+`, `[ ]+`).Named("NUM", "WORD", "WS")
+	tok, _ := streamtok.New(g)
+	tok.Tokenize(strings.NewReader("watch 007 now"), 0,
+		func(t streamtok.Token, text []byte) {
+			if t.Rule != 2 { // skip whitespace
+				fmt.Printf("%s %q\n", g.RuleName(t.Rule), text)
+			}
+		})
+	// Output:
+	// WORD "watch"
+	// NUM "007"
+	// WORD "now"
+}
+
+// ExampleTokenizer_NewStreamer shows push-mode streaming: chunks arrive
+// from anywhere, tokens are emitted as soon as they are confirmed
+// maximal.
+func ExampleTokenizer_NewStreamer() {
+	g := streamtok.MustParseGrammar(`[0-9]+(\.[0-9]+)?`, `,`)
+	tok, _ := streamtok.New(g)
+	s := tok.NewStreamer()
+	for _, chunk := range []string{"3.1", "4,2", ",10"} {
+		s.Feed([]byte(chunk), func(t streamtok.Token, text []byte) {
+			fmt.Printf("%q ", text)
+		})
+	}
+	s.Close(func(t streamtok.Token, text []byte) { fmt.Printf("%q ", text) })
+	// Output: "3.14" "," "2" "," "10"
+}
+
+// ExampleErrUnbounded shows the analysis rejecting a grammar that cannot
+// be tokenized in bounded memory (Example 9, row 5).
+func ExampleErrUnbounded() {
+	g := streamtok.MustParseGrammar(`[0-9]*0`, `[ ]+`)
+	_, err := streamtok.New(g)
+	fmt.Println(err != nil)
+	a, _ := streamtok.Analyze(g)
+	fmt.Println("bounded:", a.Bounded)
+	// Output:
+	// true
+	// bounded: false
+}

@@ -1,0 +1,178 @@
+// csvstats infers a CSV file's per-column schema (int/float/bool/text)
+// and basic statistics from the token stream alone — the paper's RQ5
+// "CSV schema inference" task, streaming and allocation-light.
+//
+//	go run ./examples/csvstats < data.csv
+//	go run ./examples/csvstats            # uses an embedded sample
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"streamtok"
+)
+
+const sample = `id,name,score,active
+1,alpha,99.5,true
+2,"bravo, jr",87.25,false
+3,charlie,12,true
+`
+
+// colType mirrors csvstat's widening lattice: int -> float -> text.
+type colType int
+
+const (
+	typeInt colType = iota
+	typeFloat
+	typeBool
+	typeText
+)
+
+func (t colType) String() string {
+	return [...]string{"int", "float", "bool", "text"}[t]
+}
+
+type column struct {
+	typ    colType
+	seen   bool
+	cells  int
+	maxLen int
+}
+
+func main() {
+	g, err := streamtok.CatalogGrammar("csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tok, err := streamtok.New(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rule ids of the catalog CSV grammar.
+	const (
+		ruleQuoted = 0
+		ruleField  = 1
+		ruleComma  = 2
+		ruleEOL    = 3
+	)
+
+	var cols []column
+	var header []string
+	col, rows := 0, 0
+	cell := func(text []byte) {
+		if rows == 0 {
+			// First record is the header (csvstat's default).
+			header = append(header, string(text))
+			return
+		}
+		for len(cols) <= col {
+			cols = append(cols, column{})
+		}
+		c := &cols[col]
+		ct := classify(text)
+		if !c.seen {
+			c.typ, c.seen = ct, true
+		} else {
+			c.typ = widen(c.typ, ct)
+		}
+		c.cells++
+		if len(text) > c.maxLen {
+			c.maxLen = len(text)
+		}
+	}
+
+	rest, err := tok.Tokenize(input(), 0, func(t streamtok.Token, text []byte) {
+		switch t.Rule {
+		case ruleQuoted:
+			cell(unquote(text))
+		case ruleField:
+			cell(text)
+		case ruleComma:
+			col++
+		case ruleEOL:
+			rows++
+			col = 0
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("rows: %d data + 1 header (consumed %d bytes)\n", rows-1, rest)
+	fmt.Printf("%-10s %-6s %-6s %s\n", "column", "type", "cells", "max len")
+	for i, c := range cols {
+		name := fmt.Sprintf("col%d", i)
+		if i < len(header) {
+			name = header[i]
+		}
+		fmt.Printf("%-10s %-6s %-6d %d\n", name, c.typ, c.cells, c.maxLen)
+	}
+}
+
+func classify(text []byte) colType {
+	if s := string(text); s == "true" || s == "false" {
+		return typeBool
+	}
+	digits, dots := 0, 0
+	body := text
+	if len(body) > 0 && (body[0] == '-' || body[0] == '+') {
+		body = body[1:]
+	}
+	for _, b := range body {
+		switch {
+		case b >= '0' && b <= '9':
+			digits++
+		case b == '.':
+			dots++
+		default:
+			return typeText
+		}
+	}
+	switch {
+	case digits > 0 && dots == 0:
+		return typeInt
+	case digits > 0 && dots == 1:
+		return typeFloat
+	default:
+		return typeText
+	}
+}
+
+func widen(a, b colType) colType {
+	if a == b {
+		return a
+	}
+	if (a == typeInt && b == typeFloat) || (a == typeFloat && b == typeInt) {
+		return typeFloat
+	}
+	return typeText
+}
+
+// unquote strips the surrounding quotes (the streaming grammar makes the
+// closing one optional) and collapses "" escapes.
+func unquote(text []byte) []byte {
+	body := text[1:]
+	if len(body) > 0 && body[len(body)-1] == '"' {
+		body = body[:len(body)-1]
+	}
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		out = append(out, body[i])
+		if body[i] == '"' {
+			i++
+		}
+	}
+	return out
+}
+
+func input() *bufio.Reader {
+	if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice == 0 {
+		return bufio.NewReader(os.Stdin)
+	}
+	return bufio.NewReader(strings.NewReader(sample))
+}

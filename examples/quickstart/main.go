@@ -1,0 +1,55 @@
+// Quickstart: define a grammar, run the static analysis, and tokenize a
+// stream with StreamTok.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"streamtok"
+)
+
+func main() {
+	// A tokenization grammar is an ordered list of regular expressions.
+	// Ties between equally long matches go to the earliest rule.
+	g, err := streamtok.ParseGrammar(
+		`[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?`, // NUMBER
+		`[A-Za-z_][A-Za-z0-9_]*`,              // IDENT
+		`[-+*/=<>!]+`,                         // OP
+		`[ \t\n]+`,                            // WS
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.Named("NUMBER", "IDENT", "OP", "WS")
+
+	// The static analysis decides whether bounded-memory streaming
+	// tokenization is possible, and how much lookahead it needs.
+	a, err := streamtok.Analyze(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max token neighbor distance: %s (NFA %d states, DFA %d states)\n",
+		a, a.NFASize, a.DFASize)
+
+	tok, err := streamtok.New(g)
+	if err != nil {
+		log.Fatal(err) // would wrap streamtok.ErrUnbounded
+	}
+
+	input := "x1 = 3.25e-2 + rate*7"
+	fmt.Printf("input: %q\n", input)
+	rest, err := tok.Tokenize(strings.NewReader(input), 0,
+		func(t streamtok.Token, text []byte) {
+			fmt.Printf("  %2d..%-2d %-6s %q\n", t.Start, t.End, g.RuleName(t.Rule), text)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rest != len(input) {
+		fmt.Printf("untokenizable remainder at offset %d\n", rest)
+	}
+}

@@ -1,0 +1,3 @@
+module streamtok
+
+go 1.22

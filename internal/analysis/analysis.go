@@ -1,0 +1,188 @@
+// Package analysis implements the paper's static analysis (§4): the Fig. 3
+// algorithm computing the maximum token neighbor distance TkDist(r̄) of a
+// tokenization grammar, witness extraction, the Lemma 11 dichotomy bound,
+// and the Theorem 13 PSPACE-hardness reduction (used by tests).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"streamtok/internal/tokdfa"
+)
+
+// Infinite represents an unbounded maximum token neighbor distance.
+const Infinite = math.MaxInt
+
+// Result reports the outcome of the static analysis of a grammar.
+type Result struct {
+	// MaxTND is TkDist(r̄); Infinite when unbounded.
+	MaxTND int
+	// NFASize and DFASize are the automaton sizes (Table 1 columns).
+	NFASize int
+	DFASize int
+	// Iterations is how many times the Fig. 3 loop body ran.
+	Iterations int
+	// Witness, when 0 < MaxTND < ∞, is a DFA state path
+	// q_0 → q_1 → ... → q_k with k = MaxTND, q_0 and q_k final and
+	// q_1..q_{k-1} non-final: a token-extension path realizing the
+	// maximum distance. For MaxTND == 0 it is a single final state, and
+	// nil when the grammar matches no nonempty string.
+	Witness []int
+}
+
+// Bounded reports whether the grammar admits StreamTok (finite max-TND).
+func (r Result) Bounded() bool { return r.MaxTND != Infinite }
+
+// String renders the distance for display ("inf" when unbounded).
+func (r Result) String() string {
+	if !r.Bounded() {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", r.MaxTND)
+}
+
+// MaxTND runs the Fig. 3 algorithm on a compiled machine and returns
+// TkDist(r̄), Infinite if unbounded.
+func MaxTND(m *tokdfa.Machine) int { return Analyze(m).MaxTND }
+
+// Analyze runs the Fig. 3 frontier algorithm.
+//
+// Loop invariant (Theorem 15): after `dist` iterations, S contains exactly
+// the states q for which there are a token u ∈ L ∩ Σ⁺ and v ∈ Σ^dist with
+// δ(uv) = q and no w with u < w ≤ uv in L. The algorithm returns dist as
+// soon as the successor set T of S has no co-accessible state, and ∞ once
+// dist exceeds |A|+1 (Lemma 11 dichotomy).
+func Analyze(m *tokdfa.Machine) Result {
+	d := m.DFA
+	numStates := d.NumStates()
+	res := Result{NFASize: m.NFASize, DFASize: numStates}
+
+	// Line 3: S ← final states reachable by some u ∈ Σ⁺.
+	reach := d.ReachableNonEmpty()
+	s := make([]bool, numStates)
+	frontierAny := false
+	for q := 0; q < numStates; q++ {
+		if reach[q] && d.IsFinal(q) {
+			s[q] = true
+			frontierAny = true
+		}
+	}
+	if !frontierAny {
+		// The grammar matches no nonempty string: there are no tokens,
+		// the neighbor relation is empty, and TkDist = sup ∅ = 0.
+		res.MaxTND = 0
+		return res
+	}
+
+	// generations[g] is the frontier S after g iterations; parents[g]
+	// maps each state first discovered in generation g to its
+	// predecessor in generation g-1 (for witness extraction).
+	generations := [][]bool{cloneBools(s)}
+	parents := []map[int]int{nil}
+
+	dist := 0
+	for dist < numStates+2 {
+		res.Iterations++
+		// Line 7: T ← successors of S.
+		t := make([]bool, numStates)
+		parent := make(map[int]int)
+		for q := 0; q < numStates; q++ {
+			if !s[q] {
+				continue
+			}
+			for b := 0; b < 256; b++ {
+				tgt := d.Step(q, byte(b))
+				if !t[tgt] {
+					t[tgt] = true
+					parent[tgt] = q
+				}
+			}
+		}
+		// Line 8: if T has no co-accessible state, TkDist = dist.
+		hit := false
+		for q := 0; q < numStates; q++ {
+			if t[q] && m.CoAcc[q] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			res.MaxTND = dist
+			res.Witness = extractWitness(m, generations, parents)
+			return res
+		}
+		// Line 12: S ← non-final states of T; dist++.
+		next := make([]bool, numStates)
+		for q := 0; q < numStates; q++ {
+			if t[q] && !d.IsFinal(q) {
+				next[q] = true
+			}
+		}
+		s = next
+		dist++
+		generations = append(generations, cloneBools(s))
+		parents = append(parents, parent)
+	}
+	res.MaxTND = Infinite
+	return res
+}
+
+func cloneBools(b []bool) []bool {
+	out := make([]bool, len(b))
+	copy(out, b)
+	return out
+}
+
+// extractWitness rebuilds a maximal token-extension path. When the
+// algorithm returns dist = D, the maximum distance D is realized by a
+// state in generation D-1 with a final successor (generation g states are
+// reached from a final state by g steps through non-final states, so a
+// final successor at generation g witnesses distance g+1). The walk back
+// through per-generation parent links yields a consistent single-step
+// chain.
+func extractWitness(m *tokdfa.Machine, generations [][]bool, parents []map[int]int) []int {
+	d := m.DFA
+	last := len(generations) - 1 // == returned dist
+	if last == 0 {
+		for q := 0; q < d.NumStates(); q++ {
+			if generations[0][q] {
+				return []int{q}
+			}
+		}
+		return nil
+	}
+	g := last - 1
+	for q := 0; q < d.NumStates(); q++ {
+		if !generations[g][q] {
+			continue
+		}
+		for b := 0; b < 256; b++ {
+			tgt := d.Step(q, byte(b))
+			if !d.IsFinal(tgt) {
+				continue
+			}
+			path := []int{tgt, q}
+			cur := q
+			for gg := g; gg >= 1; gg-- {
+				cur = parents[gg][cur]
+				path = append(path, cur)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+	}
+	return nil
+}
+
+// TokenDistAtMost decides TOKENDIST_k: whether TkDist(r̄) ≤ k.
+func TokenDistAtMost(m *tokdfa.Machine, k int) bool {
+	r := Analyze(m)
+	return r.Bounded() && r.MaxTND <= k
+}
+
+// DichotomyBound returns the Lemma 11 bound: TkDist(L) is either ∞ or at
+// most m+1 where m is the number of states of the minimal DFA for L.
+func DichotomyBound(minimalDFASize int) int { return minimalDFASize + 1 }

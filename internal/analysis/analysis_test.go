@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"testing"
+
+	"streamtok/internal/tokdfa"
+)
+
+func compile(t *testing.T, minimize bool, rules ...string) *tokdfa.Machine {
+	t.Helper()
+	g, err := tokdfa.ParseGrammar(rules...)
+	if err != nil {
+		t.Fatalf("ParseGrammar(%q): %v", rules, err)
+	}
+	m, err := tokdfa.Compile(g, tokdfa.Options{Minimize: minimize})
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", rules, err)
+	}
+	return m
+}
+
+// TestExample9 checks the max-TND of the six grammars in the paper's
+// Example 9 table.
+func TestExample9(t *testing.T) {
+	cases := []struct {
+		rules []string
+		want  int
+	}{
+		{[]string{`[0-9]`, `[ ]`}, 0},
+		{[]string{`[0-9]+`, `[ ]+`}, 1},
+		{[]string{`[0-9]+(\.[0-9]+)?`, `[ .]`}, 2},
+		{[]string{`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`}, 3},
+		{[]string{`[0-9]*0`, `[ ]+`}, Infinite},
+		{[]string{`a`, `a*b`, `[ab]*[^ab]`}, Infinite},
+	}
+	for i, c := range cases {
+		m := compile(t, false, c.rules...)
+		got := MaxTND(m)
+		if got != c.want {
+			t.Errorf("grammar %d %v: MaxTND = %v, want %v", i+1, c.rules, got, c.want)
+		}
+	}
+}
+
+// TestExample16 checks the Fig. 4 trace endpoint: the float-with-exponent
+// grammar has max-TND 3 and a witness path of length 3.
+func TestExample16(t *testing.T) {
+	m := compile(t, false, `[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`)
+	res := Analyze(m)
+	if res.MaxTND != 3 {
+		t.Fatalf("MaxTND = %d, want 3", res.MaxTND)
+	}
+	checkWitness(t, m, res)
+}
+
+// TestWitnessStructure verifies witness paths on several bounded grammars:
+// first and last states final, interior states non-final, consecutive
+// states connected by some byte.
+func TestWitnessStructure(t *testing.T) {
+	for _, rules := range [][]string{
+		{`[0-9]+`, `[ ]+`},
+		{`[0-9]+(\.[0-9]+)?`, `[ .]`},
+		{`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`},
+		{`a{0,7}b`, `a`},
+	} {
+		m := compile(t, false, rules...)
+		res := Analyze(m)
+		if !res.Bounded() {
+			t.Fatalf("%v: unexpectedly unbounded", rules)
+		}
+		checkWitness(t, m, res)
+	}
+}
+
+func checkWitness(t *testing.T, m *tokdfa.Machine, res Result) {
+	t.Helper()
+	w := res.Witness
+	if res.MaxTND == 0 {
+		if len(w) != 1 || !m.DFA.IsFinal(w[0]) {
+			t.Errorf("witness for distance 0 should be one final state, got %v", w)
+		}
+		return
+	}
+	if len(w) != res.MaxTND+1 {
+		t.Fatalf("witness length = %d states, want %d", len(w), res.MaxTND+1)
+	}
+	if !m.DFA.IsFinal(w[0]) || !m.DFA.IsFinal(w[len(w)-1]) {
+		t.Errorf("witness endpoints must be final: %v", w)
+	}
+	for i := 1; i < len(w)-1; i++ {
+		if m.DFA.IsFinal(w[i]) {
+			t.Errorf("witness interior state %d is final: %v", w[i], w)
+		}
+	}
+	for i := 0; i+1 < len(w); i++ {
+		connected := false
+		for b := 0; b < 256 && !connected; b++ {
+			if m.DFA.Step(w[i], byte(b)) == w[i+1] {
+				connected = true
+			}
+		}
+		if !connected {
+			t.Errorf("witness states %d -> %d not connected: %v", w[i], w[i+1], w)
+		}
+	}
+}
+
+// TestWorstCaseFamily checks TkDist(a{0,k}b | a) = k, the Fig. 8 family.
+func TestWorstCaseFamily(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 16} {
+		m := compile(t, false, grammarRk(k)...)
+		if got := MaxTND(m); got != k {
+			t.Errorf("r_%d: MaxTND = %d, want %d", k, got, k)
+		}
+	}
+}
+
+func grammarRk(k int) []string {
+	return []string{`a{0,` + itoa(k) + `}b`, `a`}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestCSVVariants checks the two CSV quoted-field grammars discussed in
+// RQ1: the RFC-style rule has unbounded max-TND, the streaming variant with
+// optional closing quote has max-TND 1.
+func TestCSVVariants(t *testing.T) {
+	rfc := compile(t, false, `"([^"]|"")*"`, `[^,"\n]+`, `,`, `\n`)
+	if got := MaxTND(rfc); got != Infinite {
+		t.Errorf("RFC CSV quoted rule: MaxTND = %v, want Infinite", got)
+	}
+	stream := compile(t, false, `"([^"]|"")*"?`, `[^,"\n]+`, `,`, `\n`)
+	if got := MaxTND(stream); got != 1 {
+		t.Errorf("streaming CSV quoted rule: MaxTND = %v, want 1", got)
+	}
+}
+
+// TestMinimizationInvariance: max-TND is a property of the language, so
+// analysis on the minimized DFA must agree with the unminimized one.
+func TestMinimizationInvariance(t *testing.T) {
+	for _, rules := range [][]string{
+		{`[0-9]+`, `[ ]+`},
+		{`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`},
+		{`[0-9]*0`, `[ ]+`},
+		{`a`, `a*b`, `[ab]*[^ab]`},
+		{`"([^"]|"")*"?`, `[^,"\n]+`, `,`, `\n`},
+	} {
+		a := MaxTND(compile(t, false, rules...))
+		b := MaxTND(compile(t, true, rules...))
+		if a != b {
+			t.Errorf("%v: MaxTND differs with minimization: %v vs %v", rules, a, b)
+		}
+	}
+}

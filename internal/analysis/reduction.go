@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"streamtok/internal/automata"
+	"streamtok/internal/charclass"
+	"streamtok/internal/regex"
+)
+
+// Theorem13Reduction builds the regular expression f(r) of the Theorem 13
+// proof: a reduction from universality of r (over the alphabet sigma) to
+// the decision problem TOKENDIST_1. The marker byte □ must not belong to
+// sigma. The resulting single-rule grammar over Γ = sigma ∪ {marker}
+// satisfies
+//
+//	L(r) = sigma*  ⟺  TkDist([f(r)]) ≤ 1.
+//
+// Construction: if ε ∉ L(r), f(r) = □ | □□□. Otherwise f(r) accepts w iff
+// w = ε, or w ends with □, or w ends with a sigma symbol and w with all □
+// removed is in L(r); realized as Γ*□ | interleave(r) where interleave
+// replaces every class σ in r by □*σ□*.
+func Theorem13Reduction(r regex.Node, sigma charclass.Class, marker byte) regex.Node {
+	if sigma.Contains(marker) {
+		panic("analysis: marker must not be in sigma")
+	}
+	mk := regex.Class(charclass.Single(marker))
+	if !containsEpsilon(r) {
+		// f(r) = □ | □□□.
+		return regex.Or(mk, regex.Seq(mk, mk, mk))
+	}
+	gamma := sigma.Union(charclass.Single(marker))
+	anyGamma := regex.Class(gamma)
+	endsWithMarker := regex.Seq(regex.Kleene(anyGamma), mk)
+	return regex.Or(endsWithMarker, interleave(r, marker))
+}
+
+// containsEpsilon reports whether ε ∈ L(r); for this AST Nullable is exact.
+func containsEpsilon(r regex.Node) bool { return r.Nullable() }
+
+// interleave replaces every character class σ in r by □*σ□*, so the result
+// accepts exactly the strings whose □-erasure is in L(r) (among strings
+// over Γ whose last symbol, if any, may be □ only when the erasure also
+// accounts for it — padding □s attach to an adjacent symbol's pads).
+func interleave(r regex.Node, marker byte) regex.Node {
+	pad := regex.Kleene(regex.Class(charclass.Single(marker)))
+	var walk func(n regex.Node) regex.Node
+	walk = func(n regex.Node) regex.Node {
+		switch t := n.(type) {
+		case regex.Epsilon:
+			return t
+		case regex.Char:
+			return regex.Seq(pad, t, pad)
+		case regex.Concat:
+			fs := make([]regex.Node, len(t.Factors))
+			for i, f := range t.Factors {
+				fs[i] = walk(f)
+			}
+			return regex.Concat{Factors: fs}
+		case regex.Alt:
+			as := make([]regex.Node, len(t.Alternatives))
+			for i, a := range t.Alternatives {
+				as[i] = walk(a)
+			}
+			return regex.Alt{Alternatives: as}
+		case regex.Star:
+			return regex.Star{Inner: walk(t.Inner)}
+		case regex.Repeat:
+			return regex.Repeat{Inner: walk(t.Inner), Min: t.Min, Max: t.Max}
+		default:
+			panic("analysis: unknown regex node")
+		}
+	}
+	return walk(r)
+}
+
+// IsUniversal reports whether L(r) = sigma* (restricted to strings over
+// sigma), by complement search on the DFA of r: it looks for a reachable
+// state, via sigma-transitions only, that is non-final.
+func IsUniversal(r regex.Node, sigma charclass.Class) bool {
+	dfa := singleRuleDFA(r)
+	seen := make([]bool, dfa.NumStates())
+	stack := []int{dfa.Start}
+	seen[dfa.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !dfa.IsFinal(q) {
+			return false
+		}
+		sigma.ForEach(func(b byte) {
+			t := dfa.Step(q, b)
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		})
+	}
+	return true
+}
+
+// singleRuleDFA determinizes the one-rule grammar [r].
+func singleRuleDFA(r regex.Node) *automata.DFA {
+	return automata.Determinize(automata.BuildNFA([]regex.Node{r}))
+}

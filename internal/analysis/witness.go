@@ -1,0 +1,92 @@
+package analysis
+
+import "streamtok/internal/tokdfa"
+
+// WitnessStrings converts a finite-distance analysis result into a
+// concrete token neighbor pair (u, v) realizing the maximum distance:
+// u, v ∈ L, u is a strict prefix of v, no token lies strictly between
+// them, and |v| − |u| = MaxTND. ok is false when MaxTND is 0 with no
+// nonempty witness, or the result is unbounded.
+//
+// u is a shortest nonempty string reaching the witness path's first
+// (final) state; the increment follows the path one byte per edge.
+func WitnessStrings(m *tokdfa.Machine, res Result) (u, v []byte, ok bool) {
+	if !res.Bounded() || len(res.Witness) == 0 {
+		return nil, nil, false
+	}
+	d := m.DFA
+	u = shortestNonEmptyTo(m, res.Witness[0])
+	if u == nil {
+		return nil, nil, false
+	}
+	v = append([]byte(nil), u...)
+	q := res.Witness[0]
+	for _, next := range res.Witness[1:] {
+		found := false
+		for b := 0; b < 256 && !found; b++ {
+			if d.Step(q, byte(b)) == next {
+				v = append(v, byte(b))
+				q = next
+				found = true
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+	}
+	return u, v, true
+}
+
+// shortestNonEmptyTo finds a shortest string of length ≥ 1 from the start
+// state to target, by BFS.
+func shortestNonEmptyTo(m *tokdfa.Machine, target int) []byte {
+	d := m.DFA
+	type link struct {
+		prev int32
+		by   byte
+	}
+	parents := make([]link, d.NumStates())
+	visited := make([]bool, d.NumStates())
+	var queue []int32
+	// Seed with all one-byte-reachable states so the result is nonempty
+	// even when the start state is its own target.
+	for b := 0; b < 256; b++ {
+		t := d.Step(d.Start, byte(b))
+		if !visited[t] {
+			visited[t] = true
+			parents[t] = link{prev: -1, by: byte(b)}
+			queue = append(queue, int32(t))
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if int(q) == target {
+			// Walk back.
+			var rev []byte
+			cur := q
+			for {
+				l := parents[cur]
+				rev = append(rev, l.by)
+				if l.prev < 0 {
+					break
+				}
+				cur = l.prev
+			}
+			out := make([]byte, len(rev))
+			for i, b := range rev {
+				out[len(rev)-1-i] = b
+			}
+			return out
+		}
+		for b := 0; b < 256; b++ {
+			t := d.Step(int(q), byte(b))
+			if !visited[t] {
+				visited[t] = true
+				parents[t] = link{prev: q, by: byte(b)}
+				queue = append(queue, int32(t))
+			}
+		}
+	}
+	return nil
+}

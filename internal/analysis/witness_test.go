@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+)
+
+// checkNeighborPair verifies (u, v) is a token neighbor pair of distance
+// dist per Definition 7, directly against the DFA.
+func checkNeighborPair(t *testing.T, m *tokdfa.Machine, u, v []byte, dist int) {
+	t.Helper()
+	d := m.DFA
+	if len(u) == 0 || !d.Accepts(u) {
+		t.Fatalf("u = %q not a nonempty token", u)
+	}
+	if !d.Accepts(v) {
+		t.Fatalf("v = %q not a token", v)
+	}
+	if len(v)-len(u) != dist {
+		t.Fatalf("|v|-|u| = %d, want %d (u=%q v=%q)", len(v)-len(u), dist, u, v)
+	}
+	if string(v[:len(u)]) != string(u) {
+		t.Fatalf("u = %q is not a prefix of v = %q", u, v)
+	}
+	for i := len(u) + 1; i < len(v); i++ {
+		if d.Accepts(v[:i]) {
+			t.Fatalf("intermediate %q is a token: (u,v) not neighbors", v[:i])
+		}
+	}
+}
+
+// TestWitnessStringsExamples: the Example 9 grammars yield verifiable
+// neighbor pairs at the exact maximum distance.
+func TestWitnessStringsExamples(t *testing.T) {
+	for _, rules := range [][]string{
+		{`[0-9]+`, `[ ]+`},
+		{`[0-9]+(\.[0-9]+)?`, `[ .]`},
+		{`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`},
+		{`a{0,7}b`, `a`},
+	} {
+		m := compile(t, false, rules...)
+		res := Analyze(m)
+		u, v, ok := WitnessStrings(m, res)
+		if !ok {
+			t.Fatalf("%v: no witness strings", rules)
+		}
+		checkNeighborPair(t, m, u, v, res.MaxTND)
+	}
+}
+
+// TestWitnessStringsRandom: on random bounded grammars with positive TND,
+// witness strings always verify.
+func TestWitnessStringsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 80; trial++ {
+		g := testutil.RandomGrammar(rng)
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Analyze(m)
+		if !res.Bounded() || res.MaxTND == 0 {
+			continue
+		}
+		u, v, ok := WitnessStrings(m, res)
+		if !ok {
+			t.Fatalf("grammar %v (TND %d): no witness strings", g, res.MaxTND)
+		}
+		checkNeighborPair(t, m, u, v, res.MaxTND)
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d grammars checked", checked)
+	}
+}
+
+// TestWitnessStringsUnbounded: no strings for unbounded or empty cases.
+func TestWitnessStringsUnbounded(t *testing.T) {
+	m := compile(t, false, `[0-9]*0`, `[ ]+`)
+	if _, _, ok := WitnessStrings(m, Analyze(m)); ok {
+		t.Error("unbounded grammar should have no witness strings")
+	}
+}

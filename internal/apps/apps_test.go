@@ -1,0 +1,230 @@
+package apps_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamtok/internal/apps"
+	"streamtok/internal/grammars"
+	"streamtok/internal/workload"
+)
+
+func engines(t *testing.T, grammar string) []apps.Engine {
+	t.Helper()
+	spec, err := grammars.Lookup(grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, flex, err := apps.Engines(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []apps.Engine{st, flex}
+}
+
+// TestLogToTSV: both engines produce identical TSV with one record per
+// log line.
+func TestLogToTSV(t *testing.T) {
+	in, err := workload.Log("linux", 1, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outputs []string
+	for _, eng := range engines(t, "log") {
+		var out bytes.Buffer
+		lines, err := apps.LogToTSV(eng, in, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if want := bytes.Count(in, []byte{'\n'}); lines != want {
+			t.Errorf("%s: %d lines, want %d", eng.Name(), lines, want)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("streamtok and flex produced different TSV")
+	}
+	if !strings.Contains(outputs[0], "\t") {
+		t.Error("no tabs in TSV output")
+	}
+}
+
+// TestJSONMinify: whitespace is gone, everything else preserved in order,
+// and engines agree.
+func TestJSONMinify(t *testing.T) {
+	in := []byte("{ \"a\" : [ 1 , 2.5 ,\n true ] ,\t\"b\" : null }\n")
+	want := `{"a":[1,2.5,true],"b":null}`
+	for _, eng := range engines(t, "json") {
+		var out bytes.Buffer
+		if err := apps.JSONMinify(eng, in, &out); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if out.String() != want {
+			t.Errorf("%s: minified %q, want %q", eng.Name(), out.String(), want)
+		}
+	}
+	// And at scale on generated input.
+	big := workload.JSON(3, 64*1024)
+	var a, b bytes.Buffer
+	engs := engines(t, "json")
+	if err := apps.JSONMinify(engs[0], big, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.JSONMinify(engs[1], big, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("engines disagree on generated JSON")
+	}
+	if a.Len() >= len(big) {
+		t.Error("minification did not shrink the document")
+	}
+}
+
+// TestJSONToCSV: records equal top-level values; cells quoted properly.
+func TestJSONToCSV(t *testing.T) {
+	in := []byte("{\"k\": \"va\\\"l\", \"n\": -2.5}\n[1, \"x\", null]\n")
+	for _, eng := range engines(t, "json") {
+		var out bytes.Buffer
+		records, err := apps.JSONToCSV(eng, in, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if records != 2 {
+			t.Errorf("%s: %d records, want 2", eng.Name(), records)
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("%s: output %q", eng.Name(), out.String())
+		}
+		if lines[1] != `1,"x",null` {
+			t.Errorf("%s: second record %q", eng.Name(), lines[1])
+		}
+	}
+}
+
+// TestJSONToSQL: one INSERT per top-level value with ” escaping.
+func TestJSONToSQL(t *testing.T) {
+	in := []byte("{\"name\": \"O'Hara\", \"age\": 7}\n")
+	for _, eng := range engines(t, "json") {
+		var out bytes.Buffer
+		stmts, err := apps.JSONToSQL(eng, "people", in, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if stmts != 1 {
+			t.Errorf("%s: %d statements, want 1", eng.Name(), stmts)
+		}
+		want := "INSERT INTO people VALUES ('name', 'O''Hara', 'age', 7);\n"
+		if out.String() != want {
+			t.Errorf("%s: got %q, want %q", eng.Name(), out.String(), want)
+		}
+	}
+}
+
+// TestCSVToJSON: quoted fields are unescaped and JSON-escaped.
+func TestCSVToJSON(t *testing.T) {
+	in := []byte("a,\"b,c\",\"say \"\"hi\"\"\"\n1,2,3\n")
+	for _, eng := range engines(t, "csv") {
+		var out bytes.Buffer
+		records, err := apps.CSVToJSON(eng, in, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if records != 2 {
+			t.Errorf("%s: %d records, want 2", eng.Name(), records)
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		if lines[0] != `["a", "b,c", "say \"hi\""]` {
+			t.Errorf("%s: first record %q", eng.Name(), lines[0])
+		}
+	}
+}
+
+// TestCSVSchema: inference agrees with csvstat-style widening, and
+// validation flags mismatches.
+func TestCSVSchema(t *testing.T) {
+	in := []byte("1,alpha,2.5,true\n2,bravo,3,false\n30,charlie,4.25,true\n")
+	for _, eng := range engines(t, "csv") {
+		schema, rows, err := apps.CSVSchemaInfer(eng, in)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if rows != 3 {
+			t.Errorf("%s: %d rows, want 3", eng.Name(), rows)
+		}
+		want := []apps.ColumnType{apps.TypeInt, apps.TypeText, apps.TypeFloat, apps.TypeBool}
+		for i, w := range want {
+			if i >= len(schema) || schema[i] != w {
+				t.Fatalf("%s: schema %v, want %v", eng.Name(), schema, want)
+			}
+		}
+		rows, violations, err := apps.CSVValidate(eng, in, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows != 3 || violations != 0 {
+			t.Errorf("%s: validate rows %d violations %d", eng.Name(), rows, violations)
+		}
+		bad := []byte("x,alpha,2.5,true\n")
+		_, violations, err = apps.CSVValidate(eng, bad, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violations != 1 {
+			t.Errorf("%s: want 1 violation on bad row, got %d", eng.Name(), violations)
+		}
+	}
+}
+
+// TestSQLLoad: statement/row/value/table counting on generated and
+// hand-written migrations.
+func TestSQLLoad(t *testing.T) {
+	in := []byte("INSERT INTO users VALUES (1, 'a');\nINSERT INTO users VALUES (2, 'b''c'), (3, 'd');\n-- done\n")
+	for _, eng := range engines(t, "sql-inserts") {
+		st, err := apps.SQLLoad(eng, in)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if st.Statements != 2 || st.Rows != 3 || st.Values != 6 || st.Tables != 1 {
+			t.Errorf("%s: stats %+v, want 2 stmts, 3 rows, 6 values, 1 table", eng.Name(), st)
+		}
+	}
+	big := workload.SQLInserts(5, 32*1024)
+	engs := engines(t, "sql-inserts")
+	a, err := apps.SQLLoad(engs[0], big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := apps.SQLLoad(engs[1], big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("engines disagree: %+v vs %+v", a, b)
+	}
+	if a.Statements == 0 || a.Values < a.Rows {
+		t.Errorf("implausible stats %+v", a)
+	}
+}
+
+// TestPipelineChain: JSON → SQL → SQLLoad round-trip: the SQL emitted by
+// JSONToSQL must load cleanly under the sql-inserts grammar.
+func TestPipelineChain(t *testing.T) {
+	in := workload.JSON(9, 16*1024)
+	jsonEng := engines(t, "json")[0]
+	var sql bytes.Buffer
+	stmts, err := apps.JSONToSQL(jsonEng, "data", in, &sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlEng := engines(t, "sql-inserts")[0]
+	st, err := apps.SQLLoad(sqlEng, sql.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Statements != stmts {
+		t.Errorf("loaded %d statements, emitted %d", st.Statements, stmts)
+	}
+}

@@ -1,0 +1,56 @@
+package apps
+
+import "streamtok/internal/token"
+
+// Rule indices of the catalog "fasta" grammar.
+const (
+	fastaHeader = iota
+	fastaSeq
+	fastaEOL
+)
+
+// FASTAStats summarizes a FASTA stream from its token stream alone: the
+// paper's point that simple queries and aggregations run directly over
+// tokens without parsing.
+type FASTAStats struct {
+	Records   int // header lines
+	Residues  int // total sequence bytes
+	GC        int // G/C/g/c residues (GC content = GC/Residues)
+	MaxRecord int // longest record's residue count
+}
+
+// FASTAScan computes sequence statistics over a FASTA stream.
+func FASTAScan(eng Engine, input []byte) (FASTAStats, error) {
+	var st FASTAStats
+	current := 0
+	flush := func() {
+		if current > st.MaxRecord {
+			st.MaxRecord = current
+		}
+		current = 0
+	}
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case fastaHeader:
+			flush()
+			st.Records++
+		case fastaSeq:
+			st.Residues += len(text)
+			current += len(text)
+			for _, b := range text {
+				switch b {
+				case 'G', 'C', 'g', 'c':
+					st.GC++
+				}
+			}
+		}
+	})
+	flush()
+	if err != nil {
+		return st, err
+	}
+	if rest != len(input) {
+		return st, &UntokenizedError{Offset: rest}
+	}
+	return st, nil
+}

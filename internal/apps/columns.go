@@ -1,0 +1,63 @@
+package apps
+
+import "io"
+
+// CSVSelectColumns is the paper's introductory motivating example: "to
+// process a specific column in a streaming CSV file, we can first extract
+// the desired column through tokenization before propagating the reduced
+// data to the next stage of the pipeline." It writes the selected
+// (0-based) columns of every record, comma-separated, one record per
+// line, without parsing anything beyond the token stream.
+func CSVSelectColumns(eng Engine, input []byte, columns []int, w io.Writer) (records int, err error) {
+	want := map[int]bool{}
+	for _, c := range columns {
+		want[c] = true
+	}
+	var werr error
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = w.Write(p)
+		}
+	}
+
+	// Cells of the current record that were selected, as offsets into
+	// cellBuf (offsets, not slices: appending to cellBuf may move it).
+	type span struct{ start, end int }
+	selected := make([]span, 0, len(columns))
+	var cellBuf []byte // backing storage for retained cell copies
+	flush := func() {
+		for i, cell := range selected {
+			if i > 0 {
+				write([]byte{','})
+			}
+			write(cellBuf[cell.start:cell.end])
+		}
+		write([]byte{'\n'})
+		records++
+		selected = selected[:0]
+		cellBuf = cellBuf[:0]
+	}
+
+	rest, err := csvRows(eng, input,
+		func(col int, text []byte) {
+			if !want[col] {
+				return
+			}
+			// The token text aliases the engine's buffer; retain a copy
+			// until the record ends.
+			start := len(cellBuf)
+			cellBuf = append(cellBuf, text...)
+			selected = append(selected, span{start, len(cellBuf)})
+		},
+		func(cols int) { flush() })
+	if err != nil {
+		return records, err
+	}
+	if werr != nil {
+		return records, werr
+	}
+	if rest != len(input) {
+		return records, &UntokenizedError{Offset: rest}
+	}
+	return records, nil
+}

@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"io"
+
+	"streamtok/internal/token"
+)
+
+// Rule indices of the catalog "csv" grammar.
+const (
+	csvQuoted = iota
+	csvField
+	csvComma
+	csvEOL
+)
+
+// ColumnType is an inferred CSV column type, ordered from most to least
+// specific (inference widens: Int → Float → Bool → Text).
+type ColumnType int
+
+// Column types, csvstat-style.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeBool
+	TypeText
+)
+
+// String names the column type.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	default:
+		return "text"
+	}
+}
+
+// classify returns the most specific type of one cell.
+func classify(text []byte) ColumnType {
+	if len(text) == 0 {
+		return TypeText
+	}
+	s := text
+	if s[0] == '-' || s[0] == '+' {
+		s = s[1:]
+	}
+	digits, dots := 0, 0
+	for _, b := range s {
+		switch {
+		case b >= '0' && b <= '9':
+			digits++
+		case b == '.':
+			dots++
+		default:
+			if str := string(text); str == "true" || str == "false" || str == "True" || str == "False" {
+				return TypeBool
+			}
+			return TypeText
+		}
+	}
+	switch {
+	case digits > 0 && dots == 0:
+		return TypeInt
+	case digits > 0 && dots == 1:
+		return TypeFloat
+	default:
+		return TypeText
+	}
+}
+
+// widen merges a cell type into a column type.
+func widen(col, cell ColumnType) ColumnType {
+	if col == cell {
+		return col
+	}
+	if (col == TypeInt && cell == TypeFloat) || (col == TypeFloat && cell == TypeInt) {
+		return TypeFloat
+	}
+	return TypeText
+}
+
+// csvRows drives a row/cell walk over the CSV token stream. onCell gets
+// the unquoted cell text; onRow fires at each end of record.
+func csvRows(eng Engine, input []byte, onCell func(col int, text []byte), onRow func(cols int)) (rest int, err error) {
+	col := 0
+	sawCell := false
+	var unq []byte
+	return eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case csvQuoted:
+			body := text[1:] // opening quote
+			if len(body) > 0 && body[len(body)-1] == '"' {
+				body = body[:len(body)-1] // closing quote (optional in the streaming rule)
+			}
+			unq = unq[:0]
+			for i := 0; i < len(body); i++ {
+				unq = append(unq, body[i])
+				if body[i] == '"' {
+					i++ // "" escape: keep one
+				}
+			}
+			onCell(col, unq)
+			sawCell = true
+		case csvField:
+			onCell(col, text)
+			sawCell = true
+		case csvComma:
+			col++
+		case csvEOL:
+			if sawCell || col > 0 {
+				onRow(col + 1)
+			}
+			col = 0
+			sawCell = false
+		}
+	})
+}
+
+// CSVToJSON converts CSV records to one JSON array of strings per line.
+func CSVToJSON(eng Engine, input []byte, w io.Writer) (records int, err error) {
+	var werr error
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = w.Write(p)
+		}
+	}
+	rowOpen := false
+	rest, err := csvRows(eng, input,
+		func(col int, text []byte) {
+			if !rowOpen {
+				write([]byte{'['})
+				rowOpen = true
+			}
+			if col > 0 {
+				write([]byte(", "))
+			}
+			write([]byte{'"'})
+			for _, b := range text {
+				switch b {
+				case '"':
+					write([]byte(`\"`))
+				case '\\':
+					write([]byte(`\\`))
+				default:
+					write([]byte{b})
+				}
+			}
+			write([]byte{'"'})
+		},
+		func(cols int) {
+			if rowOpen {
+				write([]byte("]\n"))
+				records++
+				rowOpen = false
+			}
+		})
+	if err != nil {
+		return records, err
+	}
+	if werr != nil {
+		return records, werr
+	}
+	if rest != len(input) {
+		return records, &UntokenizedError{Offset: rest}
+	}
+	return records, nil
+}
+
+// CSVSchemaInfer infers per-column types over the whole stream
+// (csvstat-style): the widest type needed by any cell of the column.
+func CSVSchemaInfer(eng Engine, input []byte) (schema []ColumnType, rows int, err error) {
+	seen := []bool{}
+	rest, err := csvRows(eng, input,
+		func(col int, text []byte) {
+			for len(schema) <= col {
+				schema = append(schema, TypeInt)
+				seen = append(seen, false)
+			}
+			ct := classify(text)
+			if !seen[col] {
+				schema[col] = ct
+				seen[col] = true
+			} else {
+				schema[col] = widen(schema[col], ct)
+			}
+		},
+		func(cols int) { rows++ })
+	if err != nil {
+		return nil, rows, err
+	}
+	if rest != len(input) {
+		return nil, rows, &UntokenizedError{Offset: rest}
+	}
+	return schema, rows, nil
+}
+
+// CSVValidate checks every cell against the given schema; it returns the
+// number of rows scanned and the number of cells whose type does not
+// widen into the schema type.
+func CSVValidate(eng Engine, input []byte, schema []ColumnType) (rows, violations int, err error) {
+	rest, err := csvRows(eng, input,
+		func(col int, text []byte) {
+			want := TypeText
+			if col < len(schema) {
+				want = schema[col]
+			}
+			if widen(want, classify(text)) != want {
+				violations++
+			}
+		},
+		func(cols int) { rows++ })
+	if err != nil {
+		return rows, violations, err
+	}
+	if rest != len(input) {
+		return rows, violations, &UntokenizedError{Offset: rest}
+	}
+	return rows, violations, nil
+}

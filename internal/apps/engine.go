@@ -1,0 +1,74 @@
+// Package apps implements the higher-level applications of RQ5, all built
+// on a token stream: log parsing (log→TSV), format conversions (JSON→CSV,
+// CSV→JSON, JSON minification, JSON→SQL, SQL loads), and CSV schema
+// inference/validation. Every application is parameterized by the
+// tokenization engine, so Table 2 can compare the same pipeline over
+// StreamTok and over the flex-style backtracking scanner.
+package apps
+
+import (
+	"fmt"
+
+	"streamtok/internal/backtrack"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Engine tokenizes an in-memory input, invoking emit per token. rest is
+// the offset of the first untokenized byte.
+type Engine interface {
+	Name() string
+	Tokenize(input []byte, emit func(tok token.Token, text []byte)) (rest int, err error)
+}
+
+// streamTokEngine adapts core.Tokenizer.
+type streamTokEngine struct {
+	tok *core.Tokenizer
+}
+
+// NewStreamTok builds a StreamTok engine for a catalog grammar.
+func NewStreamTok(spec grammars.Spec) (Engine, error) {
+	m := spec.Machine()
+	tok, _, err := core.New(m, tepath.Limits{})
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", spec.Name, err)
+	}
+	return &streamTokEngine{tok: tok}, nil
+}
+
+func (e *streamTokEngine) Name() string { return "streamtok" }
+
+func (e *streamTokEngine) Tokenize(input []byte, emit func(token.Token, []byte)) (int, error) {
+	s := e.tok.NewStreamer()
+	s.Feed(input, emit)
+	return s.Close(emit), nil
+}
+
+// flexEngine adapts the Fig. 2 backtracking scan.
+type flexEngine struct {
+	m *tokdfa.Machine
+}
+
+// NewFlex builds a flex-style engine for a catalog grammar.
+func NewFlex(spec grammars.Spec) Engine {
+	return &flexEngine{m: spec.Machine()}
+}
+
+func (e *flexEngine) Name() string { return "flex" }
+
+func (e *flexEngine) Tokenize(input []byte, emit func(token.Token, []byte)) (int, error) {
+	rest, _ := backtrack.Scan(e.m, input, emit)
+	return rest, nil
+}
+
+// Engines returns both comparison engines for a catalog grammar.
+func Engines(spec grammars.Spec) (streamtok, flex Engine, err error) {
+	st, err := NewStreamTok(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, NewFlex(spec), nil
+}

@@ -1,0 +1,108 @@
+package apps_test
+
+import (
+	"bytes"
+	"testing"
+
+	"streamtok/internal/apps"
+	"streamtok/internal/workload"
+)
+
+// TestFASTAScan: record/residue/GC accounting, both engines agreeing.
+func TestFASTAScan(t *testing.T) {
+	in := []byte(">r1 first\nACGT\nGGCC\n>r2\nAT\n")
+	var results []apps.FASTAStats
+	for _, eng := range engines(t, "fasta") {
+		st, err := apps.FASTAScan(eng, in)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		results = append(results, st)
+	}
+	st := results[0]
+	if st != results[1] {
+		t.Errorf("engines disagree: %+v vs %+v", results[0], results[1])
+	}
+	if st.Records != 2 || st.Residues != 10 || st.GC != 6 || st.MaxRecord != 8 {
+		t.Errorf("stats %+v; want 2 records, 10 residues, 6 GC, max 8", st)
+	}
+
+	big := workload.FASTA(11, 64*1024)
+	st, err := apps.FASTAScan(engines(t, "fasta")[0], big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records == 0 || st.Residues == 0 || st.GC > st.Residues {
+		t.Errorf("implausible stats %+v", st)
+	}
+}
+
+// TestXMLScan: structure accounting without parsing.
+func TestXMLScan(t *testing.T) {
+	in := []byte(`<doc a="1"><item/><deep><x>hi &amp; &#65;</x></deep><!-- c --></doc>`)
+	for _, eng := range engines(t, "xml") {
+		out, err := apps.XMLScan(eng, in)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if out.Elements != 4 || out.SelfClosed != 1 || out.Comments != 1 ||
+			out.Entities != 2 || out.MaxDepth != 3 || !out.Balanced {
+			t.Errorf("%s: outline %+v", eng.Name(), out)
+		}
+	}
+	// Unbalanced document detected.
+	out, err := apps.XMLScan(engines(t, "xml")[0], []byte(`<a><b></b>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Balanced {
+		t.Error("unbalanced document reported balanced")
+	}
+	// Generated XML is always balanced.
+	big := workload.XML(12, 64*1024)
+	out, err = apps.XMLScan(engines(t, "xml")[0], big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Balanced || out.Elements == 0 {
+		t.Errorf("generated XML outline %+v", out)
+	}
+}
+
+// TestCSVSelectColumns: the paper-intro column-extraction pipeline.
+func TestCSVSelectColumns(t *testing.T) {
+	in := []byte("id,name,score\n1,\"alpha, a\",99\n2,bravo,87\n")
+	for _, eng := range engines(t, "csv") {
+		var out bytes.Buffer
+		records, err := apps.CSVSelectColumns(eng, in, []int{0, 2}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		want := "id,score\n1,99\n2,87\n"
+		if records != 3 || out.String() != want {
+			t.Errorf("%s: %d records, output %q, want %q", eng.Name(), records, out.String(), want)
+		}
+	}
+	// Out-of-range columns simply produce empty projections.
+	var out bytes.Buffer
+	records, err := apps.CSVSelectColumns(engines(t, "csv")[0], in, []int{9}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 3 || out.String() != "\n\n\n" {
+		t.Errorf("out-of-range: %d records %q", records, out.String())
+	}
+	// At scale, the projection of generated CSV stays consistent between
+	// engines.
+	big := workload.CSV(21, 64*1024)
+	var a, b bytes.Buffer
+	if _, err := apps.CSVSelectColumns(engines(t, "csv")[0], big, []int{1}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apps.CSVSelectColumns(engines(t, "csv")[1], big, []int{1}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("engines disagree on column projection")
+	}
+}

@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"io"
+
+	"streamtok/internal/token"
+)
+
+// Rule indices of the catalog "json" grammar.
+const (
+	jsonString = iota
+	jsonNumber
+	jsonTrue
+	jsonFalse
+	jsonNull
+	jsonPunct
+	jsonWS
+)
+
+// JSONMinify removes whitespace tokens and writes every other token
+// verbatim — the paper's example of a simplified lexical grammar doing a
+// useful transformation without parsing.
+func JSONMinify(eng Engine, input []byte, w io.Writer) error {
+	var werr error
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		if tok.Rule == jsonWS || werr != nil {
+			return
+		}
+		_, werr = w.Write(text)
+	})
+	if err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	if rest != len(input) {
+		return &UntokenizedError{Offset: rest}
+	}
+	return nil
+}
+
+// JSONToCSV flattens each top-level JSON value into one CSV record whose
+// cells are the scalars in document order (string cells are re-quoted
+// CSV-style). Structural tokens drive a depth counter; no tree is built.
+func JSONToCSV(eng Engine, input []byte, w io.Writer) (records int, err error) {
+	var werr error
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = w.Write(p)
+		}
+	}
+	depth := 0
+	cell := 0
+	flushRecord := func() {
+		if cell > 0 {
+			write([]byte{'\n'})
+			records++
+			cell = 0
+		}
+	}
+	scalar := func(text []byte, quote bool) {
+		if cell > 0 {
+			write([]byte{','})
+		}
+		cell++
+		if quote {
+			write([]byte{'"'})
+			// JSON string content; double any embedded CSV quotes.
+			body := text[1 : len(text)-1]
+			for _, b := range body {
+				if b == '"' {
+					write([]byte{'"', '"'})
+				} else {
+					write([]byte{b})
+				}
+			}
+			write([]byte{'"'})
+		} else {
+			write(text)
+		}
+	}
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case jsonPunct:
+			switch text[0] {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					flushRecord()
+				}
+			}
+		case jsonString:
+			scalar(text, true)
+		case jsonNumber, jsonTrue, jsonFalse, jsonNull:
+			scalar(text, false)
+		}
+	})
+	flushRecord()
+	if err != nil {
+		return records, err
+	}
+	if werr != nil {
+		return records, werr
+	}
+	if rest != len(input) {
+		return records, &UntokenizedError{Offset: rest}
+	}
+	return records, nil
+}
+
+// JSONToSQL emits one INSERT statement per top-level JSON value, its
+// scalars becoming the VALUES list (SQL string literals with ” escaping).
+func JSONToSQL(eng Engine, table string, input []byte, w io.Writer) (stmts int, err error) {
+	var werr error
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = w.Write(p)
+		}
+	}
+	prefix := []byte("INSERT INTO " + table + " VALUES (")
+	depth, cell := 0, 0
+	flush := func() {
+		if cell > 0 {
+			write([]byte(");\n"))
+			stmts++
+			cell = 0
+		}
+	}
+	scalar := func(text []byte, isString bool) {
+		if cell == 0 {
+			write(prefix)
+		} else {
+			write([]byte(", "))
+		}
+		cell++
+		if isString {
+			write([]byte{'\''})
+			body := text[1 : len(text)-1]
+			for _, b := range body {
+				if b == '\'' {
+					write([]byte("''"))
+				} else {
+					write([]byte{b})
+				}
+			}
+			write([]byte{'\''})
+		} else {
+			write(text)
+		}
+	}
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case jsonPunct:
+			switch text[0] {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					flush()
+				}
+			}
+		case jsonString:
+			scalar(text, true)
+		case jsonNumber:
+			scalar(text, false)
+		case jsonTrue, jsonFalse:
+			scalar(text, false)
+		case jsonNull:
+			if cell == 0 {
+				write(prefix)
+			} else {
+				write([]byte(", "))
+			}
+			cell++
+			write([]byte("NULL"))
+		}
+	})
+	flush()
+	if err != nil {
+		return stmts, err
+	}
+	if werr != nil {
+		return stmts, werr
+	}
+	if rest != len(input) {
+		return stmts, &UntokenizedError{Offset: rest}
+	}
+	return stmts, nil
+}

@@ -1,0 +1,163 @@
+package apps
+
+import "streamtok/internal/token"
+
+// JSONValidity reports the structural checks JSONValidate performs over
+// the token stream (a streaming well-formedness check in the spirit of
+// the paper's §8 JSON-validation application: no tree, O(depth) memory).
+type JSONValidity struct {
+	Valid  bool
+	Reason string // empty when valid
+	Offset int    // byte offset of the first violation
+	Values int    // top-level values seen (NDJSON streams have many)
+	Depth  int    // maximum nesting depth
+}
+
+// jsonValidator is a token-level pushdown recognizing the JSON grammar
+// (objects, arrays, scalars) without materializing a tree.
+type jsonValidator struct {
+	// stack of contexts: 'O' inside an object, 'A' inside an array.
+	stack []byte
+	// state encodes what is syntactically expected next.
+	state  jvState
+	out    JSONValidity
+	failed bool
+}
+
+type jvState int
+
+const (
+	jvWantValue      jvState = iota // a value must start here (after ',' or ':', or top level)
+	jvWantFirstValue                // right after '[': a value or ']'
+	jvAfterValue                    // a value just ended
+	jvWantKey                       // right after '{': a key or '}'
+	jvWantKeyStrict                 // after ',' in an object: a key only
+	jvAfterKey                      // expect ':'
+)
+
+func (s jvState) wantsValue() bool { return s == jvWantValue || s == jvWantFirstValue }
+
+// JSONValidate checks structural well-formedness of a JSON stream
+// (sequences of top-level values are allowed, matching NDJSON workloads).
+func JSONValidate(eng Engine, input []byte) (JSONValidity, error) {
+	v := &jsonValidator{state: jvWantValue}
+	v.out.Valid = true
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		if v.failed {
+			return
+		}
+		v.step(tok, text)
+	})
+	if err != nil {
+		return v.out, err
+	}
+	if !v.failed && rest != len(input) {
+		v.fail(rest, "untokenizable input")
+	}
+	if !v.failed && len(v.stack) != 0 {
+		v.fail(len(input), "unclosed object or array")
+	}
+	if !v.failed && v.state == jvAfterKey {
+		v.fail(len(input), "dangling object key")
+	}
+	return v.out, nil
+}
+
+func (v *jsonValidator) fail(offset int, reason string) {
+	v.failed = true
+	v.out.Valid = false
+	v.out.Reason = reason
+	v.out.Offset = offset
+}
+
+func (v *jsonValidator) push(c byte) {
+	v.stack = append(v.stack, c)
+	if len(v.stack) > v.out.Depth {
+		v.out.Depth = len(v.stack)
+	}
+}
+
+func (v *jsonValidator) inObject() bool {
+	return len(v.stack) > 0 && v.stack[len(v.stack)-1] == 'O'
+}
+
+func (v *jsonValidator) valueEnded() {
+	if len(v.stack) == 0 {
+		v.out.Values++
+		v.state = jvWantValue // NDJSON: next top-level value may follow
+		return
+	}
+	v.state = jvAfterValue
+}
+
+func (v *jsonValidator) step(tok token.Token, text []byte) {
+	switch tok.Rule {
+	case jsonWS:
+		return
+	case jsonString:
+		switch {
+		case v.state == jvWantKey || v.state == jvWantKeyStrict:
+			v.state = jvAfterKey
+		case v.state.wantsValue():
+			v.valueEnded()
+		default:
+			v.fail(tok.Start, "unexpected string")
+		}
+	case jsonNumber, jsonTrue, jsonFalse, jsonNull:
+		if !v.state.wantsValue() {
+			v.fail(tok.Start, "unexpected scalar")
+			return
+		}
+		v.valueEnded()
+	case jsonPunct:
+		switch text[0] {
+		case '{':
+			if !v.state.wantsValue() {
+				v.fail(tok.Start, "unexpected '{'")
+				return
+			}
+			v.push('O')
+			v.state = jvWantKey
+		case '[':
+			if !v.state.wantsValue() {
+				v.fail(tok.Start, "unexpected '['")
+				return
+			}
+			v.push('A')
+			v.state = jvWantFirstValue
+		case '}':
+			if !v.inObject() || (v.state != jvAfterValue && v.state != jvWantKey) {
+				v.fail(tok.Start, "unexpected '}'")
+				return
+			}
+			v.stack = v.stack[:len(v.stack)-1]
+			v.valueEnded()
+		case ']':
+			// ']' closes an array after a value or immediately after
+			// '[' (empty array); "[1,]" fails because the ',' left the
+			// state at the strict jvWantValue.
+			if v.inObject() || len(v.stack) == 0 || (v.state != jvAfterValue && v.state != jvWantFirstValue) {
+				v.fail(tok.Start, "unexpected ']'")
+				return
+			}
+			v.stack = v.stack[:len(v.stack)-1]
+			v.valueEnded()
+		case ',':
+			if v.state != jvAfterValue || len(v.stack) == 0 {
+				v.fail(tok.Start, "unexpected ','")
+				return
+			}
+			if v.inObject() {
+				v.state = jvWantKeyStrict
+			} else {
+				v.state = jvWantValue
+			}
+		case ':':
+			if v.state != jvAfterKey {
+				v.fail(tok.Start, "unexpected ':'")
+				return
+			}
+			v.state = jvWantValue
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package apps_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/apps"
+	"streamtok/internal/testutil"
+	"streamtok/internal/workload"
+)
+
+// TestJSONValidateHandPicked covers the accept/reject matrix.
+func TestJSONValidateHandPicked(t *testing.T) {
+	valid := []string{
+		`{}`, `[]`, `1`, `"s"`, `true`, `null`, `-2.5e+3`,
+		`{"a": 1}`, `{"a": {"b": [1, 2]}, "c": null}`,
+		`[[], {}, [1, [2]]]`,
+		"1 2 3",                       // NDJSON-style value sequence
+		`{"a": 1}` + "\n" + `{"b":2}`, // newline-delimited objects
+		`  [ 1 , 2 ]  `,
+	}
+	invalid := []string{
+		`{`, `}`, `[`, `]`, `{]`, `[}`,
+		`[1,]`, `{"a":}`, `{"a"}`, `{"a" 1}`, `{1: 2}`,
+		`[1 2]`, `{"a": 1,}`, `,`, `:`,
+		`{"a": 1} }`, `[["]]`,
+	}
+	for _, eng := range engines(t, "json") {
+		for _, src := range valid {
+			v, err := apps.JSONValidate(eng, []byte(src))
+			if err != nil {
+				t.Fatalf("%s %q: %v", eng.Name(), src, err)
+			}
+			if !v.Valid {
+				t.Errorf("%s: %q rejected: %s at %d", eng.Name(), src, v.Reason, v.Offset)
+			}
+		}
+		for _, src := range invalid {
+			v, err := apps.JSONValidate(eng, []byte(src))
+			if err != nil {
+				t.Fatalf("%s %q: %v", eng.Name(), src, err)
+			}
+			if v.Valid {
+				t.Errorf("%s: %q accepted", eng.Name(), src)
+			}
+		}
+	}
+}
+
+// TestJSONValidateVsEncodingJSON: random single-document inputs agree
+// with the standard library's verdict.
+func TestJSONValidateVsEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	eng := engines(t, "json")[0]
+	agree, total := 0, 0
+	for i := 0; i < 400; i++ {
+		var in []byte
+		if i%2 == 0 {
+			in = workload.JSON(int64(i), 64)
+			// Take exactly the first line: one document.
+			for j, b := range in {
+				if b == '\n' {
+					in = in[:j]
+					break
+				}
+			}
+		} else {
+			in = testutil.RandomInput(rng, []byte(`{}[],:"0a `), 1+rng.Intn(24))
+		}
+		stdValid := json.Valid(in)
+		v, err := apps.JSONValidate(eng, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if v.Valid == stdValid {
+			agree++
+			continue
+		}
+		// Known acceptable difference: encoding/json demands exactly
+		// one document; our validator accepts NDJSON streams of zero
+		// or more top-level values.
+		if v.Valid && v.Values != 1 {
+			continue
+		}
+		t.Errorf("disagree on %q: ours %v (%s), encoding/json %v", in, v.Valid, v.Reason, stdValid)
+	}
+	if agree < total/2 {
+		t.Fatalf("agreement too low: %d/%d", agree, total)
+	}
+}
+
+// TestJSONValidateStats: value counts and depth.
+func TestJSONValidateStats(t *testing.T) {
+	eng := engines(t, "json")[0]
+	v, err := apps.JSONValidate(eng, []byte(`{"a": [[1]]} 2 [3]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid || v.Values != 3 || v.Depth != 3 {
+		t.Errorf("validity %+v; want valid, 3 values, depth 3", v)
+	}
+}
+
+// TestJSONValidateGenerated: every generated workload document is valid.
+func TestJSONValidateGenerated(t *testing.T) {
+	eng := engines(t, "json")[0]
+	in := workload.JSON(77, 128*1024)
+	v, err := apps.JSONValidate(eng, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid {
+		t.Fatalf("generated JSON invalid: %s at %d", v.Reason, v.Offset)
+	}
+	if v.Values < 10 {
+		t.Errorf("only %d top-level values", v.Values)
+	}
+}

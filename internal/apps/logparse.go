@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"io"
+
+	"streamtok/internal/token"
+)
+
+// Rule indices of the catalog "log" grammar.
+const (
+	logWord = iota
+	logString
+	logPunct
+	logWS
+	logEOL
+	logOther
+)
+
+// LogToTSV converts raw log lines to a tab-separated representation: each
+// non-whitespace token becomes a field, each log line a TSV record. This
+// is the RQ5 log-parsing task (raw logs → semi-structured TSV).
+func LogToTSV(eng Engine, input []byte, w io.Writer) (lines int, err error) {
+	var werr error
+	first := true
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = w.Write(p)
+		}
+	}
+	tab := []byte{'\t'}
+	nl := []byte{'\n'}
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case logWS:
+			// Field separator: nothing to emit.
+		case logEOL:
+			write(nl)
+			lines++
+			first = true
+		default:
+			if !first {
+				write(tab)
+			}
+			write(text)
+			first = false
+		}
+	})
+	if err != nil {
+		return lines, err
+	}
+	if werr != nil {
+		return lines, werr
+	}
+	if rest != len(input) {
+		return lines, &UntokenizedError{Offset: rest}
+	}
+	return lines, nil
+}
+
+// UntokenizedError reports input the grammar could not tokenize.
+type UntokenizedError struct {
+	Offset int
+}
+
+func (e *UntokenizedError) Error() string {
+	return "apps: input not tokenizable at offset " + itoa(e.Offset)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

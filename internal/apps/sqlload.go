@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"bytes"
+
+	"streamtok/internal/token"
+)
+
+// Rule indices of the catalog "sql-inserts" grammar (the bounded,
+// application-specific grammar for migration loads).
+const (
+	sqlKeyword = iota
+	sqlIdent
+	sqlNumber
+	sqlString
+	sqlComment
+	sqlOp
+	sqlWS
+)
+
+// LoadStats summarizes a SQL migration load.
+type LoadStats struct {
+	Statements int // INSERT statements seen
+	Rows       int // VALUES tuples
+	Values     int // scalar values across all tuples
+	Tables     int // distinct target tables
+}
+
+// SQLLoad scans a migration file of INSERT INTO statements (the RQ5 "SQL
+// loads" task): it walks the token stream, tracks INSERT ... VALUES
+// tuples, and tallies rows and values without building an AST.
+func SQLLoad(eng Engine, input []byte) (LoadStats, error) {
+	var st LoadStats
+	tables := map[string]bool{}
+	inInsert := false
+	expectTable := false
+	depth := 0
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case sqlKeyword:
+			switch {
+			case bytes.EqualFold(text, []byte("INSERT")):
+				inInsert = true
+				st.Statements++
+			case bytes.EqualFold(text, []byte("INTO")):
+				expectTable = inInsert
+			}
+		case sqlIdent:
+			if expectTable {
+				if !tables[string(text)] {
+					tables[string(text)] = true
+					st.Tables++
+				}
+				expectTable = false
+			}
+		case sqlNumber, sqlString:
+			if inInsert && depth > 0 {
+				st.Values++
+			}
+		case sqlOp:
+			switch text[0] {
+			case '(':
+				if inInsert {
+					if depth == 0 {
+						st.Rows++
+					}
+					depth++
+				}
+			case ')':
+				if inInsert && depth > 0 {
+					depth--
+				}
+			case ';':
+				inInsert = false
+				depth = 0
+			}
+		}
+	})
+	if err != nil {
+		return st, err
+	}
+	if rest != len(input) {
+		return st, &UntokenizedError{Offset: rest}
+	}
+	return st, nil
+}

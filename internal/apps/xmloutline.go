@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"bytes"
+
+	"streamtok/internal/token"
+)
+
+// Rule indices of the catalog "xml" grammar.
+const (
+	xmlTag = iota
+	xmlComment
+	xmlEntity
+	xmlCharRef
+	xmlAmp
+	xmlText
+)
+
+// XMLOutline summarizes an XML stream's structure from the token stream
+// alone (no tree is built): element counts, maximum nesting depth,
+// balance, and text/markup volume.
+type XMLOutline struct {
+	Elements   int // open or self-closing tags
+	SelfClosed int
+	Comments   int
+	Entities   int // named entities and character references
+	TextBytes  int
+	MaxDepth   int
+	Balanced   bool // every close matched an open, depth returned to 0
+}
+
+// XMLScan computes the outline.
+func XMLScan(eng Engine, input []byte) (XMLOutline, error) {
+	out := XMLOutline{Balanced: true}
+	depth := 0
+	rest, err := eng.Tokenize(input, func(tok token.Token, text []byte) {
+		switch tok.Rule {
+		case xmlTag:
+			switch {
+			case bytes.HasPrefix(text, []byte("</")):
+				depth--
+				if depth < 0 {
+					out.Balanced = false
+					depth = 0
+				}
+			case bytes.HasSuffix(text, []byte("/>")):
+				out.Elements++
+				out.SelfClosed++
+			default:
+				out.Elements++
+				depth++
+				if depth > out.MaxDepth {
+					out.MaxDepth = depth
+				}
+			}
+		case xmlComment:
+			out.Comments++
+		case xmlEntity, xmlCharRef:
+			out.Entities++
+		case xmlText:
+			out.TextBytes += len(text)
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	if depth != 0 {
+		out.Balanced = false
+	}
+	if rest != len(input) {
+		return out, &UntokenizedError{Offset: rest}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package automata_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+)
+
+// TestNFAvsDFA: subset construction preserves the language and the
+// priority labeling, cross-checked by NFA simulation on random strings.
+func TestNFAvsDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		g := testutil.RandomGrammar(rng)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		nfa := automata.BuildNFA(exprs)
+		dfa := automata.Determinize(nfa)
+		for i := 0; i < 40; i++ {
+			w := testutil.RandomInput(rng, []byte("abcx"), rng.Intn(10))
+			nfaRule, nfaOK := nfa.Match(w)
+			q := dfa.Run(w)
+			dfaOK := dfa.IsFinal(q)
+			if nfaOK != dfaOK {
+				t.Fatalf("grammar %v on %q: NFA accepts=%v, DFA accepts=%v", g, w, nfaOK, dfaOK)
+			}
+			if nfaOK && nfaRule != dfa.Rule(q) {
+				t.Fatalf("grammar %v on %q: NFA rule %d, DFA rule %d", g, w, nfaRule, dfa.Rule(q))
+			}
+		}
+	}
+}
+
+// TestMinimizePreservesLanguage: minimization keeps the language and
+// labels (checked with the product-equivalence routine and by sampling).
+func TestMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		g := testutil.RandomGrammar(rng)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		dfa := automata.Determinize(automata.BuildNFA(exprs))
+		min := automata.Minimize(dfa)
+		if min.NumStates() > dfa.NumStates() {
+			t.Fatalf("minimization grew the DFA: %d -> %d", dfa.NumStates(), min.NumStates())
+		}
+		if !automata.Equivalent(dfa, min) {
+			t.Fatalf("grammar %v: minimized DFA not equivalent", g)
+		}
+	}
+}
+
+// TestMinimizeIdempotent: minimizing twice changes nothing.
+func TestMinimizeIdempotent(t *testing.T) {
+	for _, c := range testutil.Corpus()[:8] {
+		g := tokdfa.MustParseGrammar(c.Rules...)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		m1 := automata.Minimize(automata.Determinize(automata.BuildNFA(exprs)))
+		m2 := automata.Minimize(m1)
+		if m1.NumStates() != m2.NumStates() {
+			t.Errorf("%s: second minimization %d -> %d states", c.Name, m1.NumStates(), m2.NumStates())
+		}
+	}
+}
+
+// TestCoAccessible: dead states accept no extension; co-accessible states
+// reach a final.
+func TestCoAccessible(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`ab`, `cd`)
+	exprs := []regex.Node{g.Rules[0].Expr, g.Rules[1].Expr}
+	dfa := automata.Determinize(automata.BuildNFA(exprs))
+	coacc := dfa.CoAccessible()
+	for q := 0; q < dfa.NumStates(); q++ {
+		// BFS from q: can it reach a final?
+		seen := map[int]bool{q: true}
+		stack := []int{q}
+		reaches := false
+		for len(stack) > 0 && !reaches {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if dfa.IsFinal(s) {
+				reaches = true
+				break
+			}
+			for b := 0; b < 256; b++ {
+				n := dfa.Step(s, byte(b))
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		if coacc[q] != reaches {
+			t.Errorf("state %d: CoAccessible=%v, BFS says %v", q, coacc[q], reaches)
+		}
+	}
+}
+
+// TestReachableNonEmpty: the start state is in ReachableNonEmpty only if
+// it is reachable by a nonempty string.
+func TestReachableNonEmpty(t *testing.T) {
+	// For a* the start state has a self-loop on a.
+	dfa := automata.Determinize(automata.BuildNFA([]regex.Node{regex.MustParse(`a*`)}))
+	reach := dfa.ReachableNonEmpty()
+	if !reach[dfa.Run([]byte("a"))] {
+		t.Error("state after 'a' should be Σ+-reachable")
+	}
+	// For ab, the start state is not reachable by a nonempty string.
+	dfa2 := automata.Determinize(automata.BuildNFA([]regex.Node{regex.MustParse(`ab`)}))
+	reach2 := dfa2.ReachableNonEmpty()
+	if reach2[dfa2.Start] {
+		t.Error("start state of 'ab' DFA should not be Σ+-reachable")
+	}
+}
+
+// TestPriorityTieBreak: when two rules match the same string, the least
+// rule id labels the DFA state (Definition 1's tie-break).
+func TestPriorityTieBreak(t *testing.T) {
+	// Both rules match exactly "ab"; rule 0 must win.
+	exprs := []regex.Node{regex.MustParse(`ab`), regex.MustParse(`a[b]`)}
+	dfa := automata.Determinize(automata.BuildNFA(exprs))
+	q := dfa.Run([]byte("ab"))
+	if !dfa.IsFinal(q) || dfa.Rule(q) != 0 {
+		t.Errorf("rule = %d, want 0", dfa.Rule(q))
+	}
+	// Reversed declaration order flips the winner's id but same language.
+	exprs2 := []regex.Node{regex.MustParse(`a[b]`), regex.MustParse(`ab`)}
+	dfa2 := automata.Determinize(automata.BuildNFA(exprs2))
+	q2 := dfa2.Run([]byte("ab"))
+	if dfa2.Rule(q2) != 0 {
+		t.Errorf("rule = %d, want 0 (earliest rule)", dfa2.Rule(q2))
+	}
+}
+
+// TestDFACompleteness: every state has a transition for every byte.
+func TestDFACompleteness(t *testing.T) {
+	exprs := []regex.Node{regex.MustParse(`[a-z]+`)}
+	dfa := automata.Determinize(automata.BuildNFA(exprs))
+	for q := 0; q < dfa.NumStates(); q++ {
+		for b := 0; b < 256; b++ {
+			n := dfa.Step(q, byte(b))
+			if n < 0 || n >= dfa.NumStates() {
+				t.Fatalf("state %d byte %d: target %d out of range", q, b, n)
+			}
+		}
+	}
+}
+
+// TestByteClasses: the class-compressed table is pointwise equal to the
+// dense one, and the class count is small for real grammars.
+func TestByteClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 50; trial++ {
+		g := testutil.RandomGrammar(rng)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		dfa := automata.Determinize(automata.BuildNFA(exprs))
+		classOf, trans, numClasses := automata.CompressDFA(dfa)
+		if numClasses < 1 || numClasses > 256 {
+			t.Fatalf("numClasses = %d", numClasses)
+		}
+		for q := 0; q < dfa.NumStates(); q++ {
+			for b := 0; b < 256; b++ {
+				dense := int32(dfa.Step(q, byte(b)))
+				compressed := trans[q*numClasses+int(classOf[b])]
+				if dense != compressed {
+					t.Fatalf("grammar %v: state %d byte %d: dense %d vs compressed %d", g, q, b, dense, compressed)
+				}
+			}
+		}
+	}
+	// A small-alphabet grammar needs very few classes.
+	dfa := automata.Determinize(automata.BuildNFA([]regex.Node{regex.MustParse(`[0-9]+`), regex.MustParse(`[ ]+`)}))
+	_, _, numClasses := automata.CompressDFA(dfa)
+	if numClasses > 4 {
+		t.Errorf("digits+spaces grammar needs %d classes, want <= 4", numClasses)
+	}
+}

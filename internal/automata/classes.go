@@ -1,0 +1,55 @@
+package automata
+
+// ByteClasses partitions the byte alphabet by column equivalence: two
+// bytes are in the same class iff every state transitions identically on
+// them. This is flex's classic table compression — a dense M×256 table
+// becomes a 256-entry class map plus an M×C table, where C is typically
+// 10–30 for real grammars.
+//
+// step must be a pure function of (state, byte). The returned classOf maps
+// each byte to its class id; reps holds one representative byte per class.
+func ByteClasses(numStates int, step func(q int, b byte) int) (classOf [256]uint8, reps []byte) {
+	for b := 0; b < 256; b++ {
+		found := -1
+		for ci, rep := range reps {
+			same := true
+			for q := 0; q < numStates; q++ {
+				if step(q, byte(b)) != step(q, rep) {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			if len(reps) == 256 {
+				// Unreachable (at most 256 classes), but keep the
+				// uint8 conversion safe.
+				found = 255
+			} else {
+				found = len(reps)
+				reps = append(reps, byte(b))
+			}
+		}
+		classOf[b] = uint8(found)
+	}
+	return classOf, reps
+}
+
+// CompressDFA returns the class-compressed form of d's transition table:
+// Step(q, b) == trans[q*len(reps)+int(classOf[b])].
+func CompressDFA(d *DFA) (classOf [256]uint8, trans []int32, numClasses int) {
+	var reps []byte
+	classOf, reps = ByteClasses(d.NumStates(), d.Step)
+	numClasses = len(reps)
+	trans = make([]int32, d.NumStates()*numClasses)
+	for q := 0; q < d.NumStates(); q++ {
+		for ci, rep := range reps {
+			trans[q*numClasses+ci] = int32(d.Step(q, rep))
+		}
+	}
+	return classOf, trans, numClasses
+}

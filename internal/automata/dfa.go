@@ -1,0 +1,206 @@
+package automata
+
+import "sort"
+
+// DFA is a complete deterministic automaton over the byte alphabet with a
+// dense transition table. State 0 is the start state. Accept[q] holds the
+// preferred rule id Λ(q) (NoRule for non-final states).
+//
+// A DFA built by Determinize is complete: every state has a transition on
+// every byte, with failures routed to an explicit dead state (a non-final
+// state from which no final state is reachable).
+type DFA struct {
+	// Trans is the flattened transition table: Trans[q*256+int(b)] is
+	// δ(q, b).
+	Trans []int32
+	// Accept[q] is the rule id Λ(q), or NoRule.
+	Accept []int32
+	// Start is the start state id (always 0 for Determinize output).
+	Start int
+}
+
+// NumStates returns the number of DFA states ("DFA Size" in Table 1).
+func (d *DFA) NumStates() int { return len(d.Accept) }
+
+// Step returns δ(q, b).
+func (d *DFA) Step(q int, b byte) int { return int(d.Trans[q<<8|int(b)]) }
+
+// IsFinal reports whether q is a final state.
+func (d *DFA) IsFinal(q int) bool { return d.Accept[q] != NoRule }
+
+// Rule returns Λ(q): the preferred rule id of final state q, or NoRule.
+func (d *DFA) Rule(q int) int { return int(d.Accept[q]) }
+
+// Run returns δ(Start, w).
+func (d *DFA) Run(w []byte) int {
+	q := d.Start
+	for _, b := range w {
+		q = d.Step(q, b)
+	}
+	return q
+}
+
+// Accepts reports whether w is in the DFA's language.
+func (d *DFA) Accepts(w []byte) bool { return d.IsFinal(d.Run(w)) }
+
+// Determinize applies the subset construction to n. Rule priorities carry
+// over: a subset's Accept is the least rule id among its members' Accepts.
+// The result is complete (the empty subset becomes an explicit dead state).
+func Determinize(n *NFA) *DFA {
+	type entry struct {
+		id int
+	}
+	key := func(set []int) string {
+		buf := make([]byte, len(set)*4)
+		for i, s := range set {
+			buf[i*4] = byte(s)
+			buf[i*4+1] = byte(s >> 8)
+			buf[i*4+2] = byte(s >> 16)
+			buf[i*4+3] = byte(s >> 24)
+		}
+		return string(buf)
+	}
+
+	start := n.epsClosure([]int{n.Start})
+	ids := map[string]entry{}
+	var subsets [][]int
+	var accepts []int32
+
+	intern := func(set []int) int {
+		k := key(set)
+		if e, ok := ids[k]; ok {
+			return e.id
+		}
+		id := len(subsets)
+		ids[k] = entry{id}
+		subsets = append(subsets, set)
+		acc := int32(NoRule)
+		for _, s := range set {
+			if a := n.States[s].Accept; a != NoRule && (acc == NoRule || int32(a) < acc) {
+				acc = int32(a)
+			}
+		}
+		accepts = append(accepts, acc)
+		return id
+	}
+
+	intern(start)
+	var trans []int32
+	for q := 0; q < len(subsets); q++ {
+		row := make([]int32, 256)
+		set := subsets[q]
+		// Group target computation by byte. For each byte b, collect
+		// move(set, b) and ε-close it.
+		var moved []int
+		seen := map[int]bool{}
+		for b := 0; b < 256; b++ {
+			moved = moved[:0]
+			for k := range seen {
+				delete(seen, k)
+			}
+			for _, s := range set {
+				st := &n.States[s]
+				if st.Next >= 0 && st.Class.Contains(byte(b)) && !seen[st.Next] {
+					seen[st.Next] = true
+					moved = append(moved, st.Next)
+				}
+			}
+			var target []int
+			if len(moved) > 0 {
+				sort.Ints(moved)
+				target = n.epsClosure(moved)
+			}
+			row[b] = int32(intern(target))
+		}
+		trans = append(trans, row...)
+	}
+	return &DFA{Trans: trans, Accept: accepts, Start: 0}
+}
+
+// Reachable returns the set of states reachable from the start state as a
+// boolean slice.
+func (d *DFA) Reachable() []bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := 0; b < 256; b++ {
+			t := d.Step(q, byte(b))
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachableNonEmpty returns the set of states q with q = δ(u) for some
+// u ∈ Σ⁺, i.e. reachable from the start by at least one symbol (line 3 of
+// Fig. 3 restricts the initial frontier to such states).
+func (d *DFA) ReachableNonEmpty() []bool {
+	seen := make([]bool, d.NumStates())
+	var stack []int
+	for b := 0; b < 256; b++ {
+		t := d.Step(d.Start, byte(b))
+		if !seen[t] {
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := 0; b < 256; b++ {
+			t := d.Step(q, byte(b))
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// CoAccessible returns the set of states from which some final state is
+// reachable (including final states themselves), via reverse BFS.
+func (d *DFA) CoAccessible() []bool {
+	m := d.NumStates()
+	// Build reverse adjacency (deduplicated per edge pair).
+	rev := make([][]int32, m)
+	for q := 0; q < m; q++ {
+		prev := int32(-1)
+		for b := 0; b < 256; b++ {
+			t := d.Trans[q<<8|b]
+			if t != prev {
+				rev[t] = append(rev[t], int32(q))
+				prev = t
+			}
+		}
+	}
+	coacc := make([]bool, m)
+	var queue []int32
+	for q := 0; q < m; q++ {
+		if d.IsFinal(q) {
+			coacc[q] = true
+			queue = append(queue, int32(q))
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range rev[q] {
+			if !coacc[p] {
+				coacc[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return coacc
+}
+
+// IsDead reports whether q is a dead (reject/failure) state: non-final and
+// unable to reach a final state. coacc must be the result of CoAccessible.
+func (d *DFA) IsDead(q int, coacc []bool) bool { return !coacc[q] }

@@ -1,0 +1,65 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"streamtok/internal/charclass"
+)
+
+// WriteDOT renders the DFA as a Graphviz digraph in the style of the
+// paper's figures: final states are filled and labeled with their rule
+// id, the dead state is drawn in orange, and parallel byte transitions
+// are merged into character-class edge labels.
+func (d *DFA) WriteDOT(w io.Writer, ruleName func(rule int) string) error {
+	coacc := d.CoAccessible()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph tokenization_dfa {\n")
+	p("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n")
+	p("  start [shape=point];\n  start -> q%d;\n", d.Start)
+	for q := 0; q < d.NumStates(); q++ {
+		switch {
+		case d.IsFinal(q):
+			label := fmt.Sprintf("%d", q)
+			if ruleName != nil {
+				label = fmt.Sprintf("%d\\n%s", q, ruleName(d.Rule(q)))
+			}
+			p("  q%d [shape=doublecircle, style=filled, fillcolor=lightblue, label=\"%s\"];\n", q, label)
+		case !coacc[q]:
+			p("  q%d [style=filled, fillcolor=orange];\n", q)
+		default:
+			p("  q%d;\n", q)
+		}
+	}
+	// Merge transitions q -> t over all bytes into one labeled edge.
+	for q := 0; q < d.NumStates(); q++ {
+		targets := map[int]*charclass.Class{}
+		var order []int
+		for b := 0; b < 256; b++ {
+			t := d.Step(q, byte(b))
+			cls, ok := targets[t]
+			if !ok {
+				c := charclass.Empty()
+				cls = &c
+				targets[t] = cls
+				order = append(order, t)
+			}
+			cls.Add(byte(b))
+		}
+		sort.Ints(order)
+		for _, t := range order {
+			if !coacc[t] && !coacc[q] {
+				continue // dead self-loops add only noise
+			}
+			p("  q%d -> q%d [label=%q];\n", q, t, targets[t].String())
+		}
+	}
+	p("}\n")
+	return err
+}

@@ -1,0 +1,34 @@
+package automata_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+)
+
+// TestWriteDOT renders the Fig. 1 grammar [0-9]+|[ ]+ and checks the
+// structural elements the paper's figures show: doublecircle finals with
+// rule labels, an orange dead state, class-labeled edges.
+func TestWriteDOT(t *testing.T) {
+	exprs := []regex.Node{regex.MustParse(`[0-9]+`), regex.MustParse(`[ ]+`)}
+	dfa := automata.Minimize(automata.Determinize(automata.BuildNFA(exprs)))
+	names := []string{"INT", "WS"}
+	var sb strings.Builder
+	if err := dfa.WriteDOT(&sb, func(r int) string { return names[r] }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph tokenization_dfa", "rankdir=LR", "doublecircle",
+		"INT", "WS", "fillcolor=orange", `[label="[0-9]"]`, "start ->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT output not closed")
+	}
+}

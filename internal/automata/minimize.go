@@ -1,0 +1,162 @@
+package automata
+
+import "sort"
+
+// Minimize returns the minimal complete DFA equivalent to d, restricted to
+// reachable states. State equivalence respects rule labels: two final
+// states are equivalent only if they accept the same rule id, so the
+// minimal automaton is still a valid tokenization DFA.
+//
+// The implementation is Moore partition refinement over the reachable part
+// (adequate for the grammar sizes in this domain; rows are 256-ary so the
+// constant factor is dominated by table scans either way).
+func Minimize(d *DFA) *DFA {
+	reach := d.Reachable()
+	m := d.NumStates()
+
+	// Initial partition by accept label (NoRule and each rule id).
+	part := make([]int, m) // state -> block id
+	labels := map[int32]int{}
+	next := 0
+	for q := 0; q < m; q++ {
+		if !reach[q] {
+			part[q] = -1
+			continue
+		}
+		lb, ok := labels[d.Accept[q]]
+		if !ok {
+			lb = next
+			next++
+			labels[d.Accept[q]] = lb
+		}
+		part[q] = lb
+	}
+
+	for {
+		// Signature of a state: (block, block of each byte successor).
+		type sigKey string
+		sig := make(map[sigKey]int)
+		newPart := make([]int, m)
+		newNext := 0
+		buf := make([]byte, 0, 257*4)
+		for q := 0; q < m; q++ {
+			if !reach[q] {
+				newPart[q] = -1
+				continue
+			}
+			buf = buf[:0]
+			buf = appendInt(buf, part[q])
+			for b := 0; b < 256; b++ {
+				buf = appendInt(buf, part[d.Trans[q<<8|b]])
+			}
+			k := sigKey(buf)
+			id, ok := sig[k]
+			if !ok {
+				id = newNext
+				newNext++
+				sig[k] = id
+			}
+			newPart[q] = id
+		}
+		if newNext == next {
+			part = newPart
+			break
+		}
+		part, next = newPart, newNext
+	}
+
+	// Canonicalize block order by first reachable occurrence from start
+	// (block of start state becomes 0).
+	order := make([]int, next)
+	for i := range order {
+		order[i] = -1
+	}
+	rank := 0
+	assign := func(b int) {
+		if b >= 0 && order[b] == -1 {
+			order[b] = rank
+			rank++
+		}
+	}
+	// BFS over blocks.
+	assign(part[d.Start])
+	var queue []int
+	queue = append(queue, part[d.Start])
+	repOf := make([]int, next) // block -> representative state
+	for i := range repOf {
+		repOf[i] = -1
+	}
+	for q := 0; q < m; q++ {
+		if reach[q] && repOf[part[q]] == -1 {
+			repOf[part[q]] = q
+		}
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		rep := repOf[blk]
+		seen := map[int]bool{}
+		var succ []int
+		for b := 0; b < 256; b++ {
+			t := part[d.Trans[rep<<8|b]]
+			if !seen[t] {
+				seen[t] = true
+				succ = append(succ, t)
+			}
+		}
+		sort.Ints(succ)
+		for _, t := range succ {
+			if order[t] == -1 {
+				assign(t)
+				queue = append(queue, t)
+			}
+		}
+	}
+
+	out := &DFA{
+		Trans:  make([]int32, rank*256),
+		Accept: make([]int32, rank),
+		Start:  0,
+	}
+	for blk := 0; blk < next; blk++ {
+		if order[blk] == -1 {
+			continue
+		}
+		rep := repOf[blk]
+		nq := order[blk]
+		out.Accept[nq] = d.Accept[rep]
+		for b := 0; b < 256; b++ {
+			out.Trans[nq<<8|b] = int32(order[part[d.Trans[rep<<8|b]]])
+		}
+	}
+	return out
+}
+
+func appendInt(buf []byte, v int) []byte {
+	u := uint32(v)
+	return append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+// Equivalent reports whether two complete DFAs accept the same language
+// with the same rule labeling, by BFS over the product automaton.
+func Equivalent(a, b *DFA) bool {
+	type pair struct{ p, q int32 }
+	seen := map[pair]bool{}
+	stack := []pair{{int32(a.Start), int32(b.Start)}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Accept[pr.p] != b.Accept[pr.q] {
+			return false
+		}
+		for by := 0; by < 256; by++ {
+			np := pair{a.Trans[int(pr.p)<<8|by], b.Trans[int(pr.q)<<8|by]}
+			if !seen[np] {
+				seen[np] = true
+				stack = append(stack, np)
+			}
+		}
+	}
+	return true
+}

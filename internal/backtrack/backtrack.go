@@ -1,0 +1,175 @@
+// Package backtrack implements the standard DFA-based backtracking
+// tokenization algorithm of Fig. 2 — the algorithm of flex — in two forms:
+// an in-memory scan and a streaming block-by-block scanner with a carry
+// buffer, the way flex processes streams.
+//
+// The worst-case time is Θ(n²) (Θ(k·n) when TkDist(r̄) = k, Lemma 12), and
+// the carry buffer can grow to Ω(n) on adversarial grammars (Lemma 6).
+package backtrack
+
+import (
+	"io"
+
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Stats reports work and memory counters used by the Lemma 6 and Lemma 12
+// tests and by the benchmark harness.
+type Stats struct {
+	// Steps is the number of DFA transitions taken. Steps/n is the
+	// average number of times each input byte was (re)read.
+	Steps int
+	// MaxBacktrack is the largest single backtrack distance
+	// (pos - (startP + tokenLen)) observed.
+	MaxBacktrack int
+	// PeakBuffer is the largest carry-buffer size reached (streaming
+	// scanner only).
+	PeakBuffer int
+}
+
+// Scan is Fig. 2 verbatim on an in-memory input: for each token, run the
+// DFA from the token start recording the last final state, backtrack to it,
+// emit, repeat. Returns the offset of the first untokenized byte.
+func Scan(m *tokdfa.Machine, input []byte, emit func(tok token.Token, text []byte)) (rest int, stats Stats) {
+	d := m.DFA
+	startP := 0
+	for startP < len(input) {
+		q := d.Start
+		bestEnd, bestRule := -1, -1
+		pos := startP
+		for pos < len(input) {
+			q = d.Step(q, input[pos])
+			stats.Steps++
+			pos++
+			if d.IsFinal(q) {
+				bestEnd, bestRule = pos, d.Rule(q)
+			}
+			if m.IsDead(q) {
+				break
+			}
+		}
+		if bestEnd < 0 {
+			return startP, stats
+		}
+		if bt := pos - bestEnd; bt > stats.MaxBacktrack {
+			stats.MaxBacktrack = bt
+		}
+		if emit != nil {
+			emit(token.Token{Start: startP, End: bestEnd, Rule: bestRule}, input[startP:bestEnd])
+		}
+		startP = bestEnd
+	}
+	return startP, stats
+}
+
+// Scanner is the streaming form: it reads the input block-by-block into a
+// carry buffer that always retains the bytes from the current token start
+// onward (flex's yy_scan buffer). When a token cannot be resolved within
+// the buffered bytes, the buffer is refilled — and grown if the unresolved
+// token spans it entirely, which is what costs Ω(n) space on grammars with
+// unbounded token neighbor distance.
+type Scanner struct {
+	m *tokdfa.Machine
+}
+
+// NewScanner returns a streaming backtracking scanner for m.
+func NewScanner(m *tokdfa.Machine) *Scanner { return &Scanner{m: m} }
+
+// Tokenize tokenizes r with an initial buffer capacity of bufSize bytes.
+// It returns the offset of the first untokenized byte, work/memory stats,
+// and any read error.
+func (s *Scanner) Tokenize(r io.Reader, bufSize int, emit func(tok token.Token, text []byte)) (rest int, stats Stats, err error) {
+	if bufSize <= 0 {
+		bufSize = 64 * 1024
+	}
+	d := s.m.DFA
+	buf := make([]byte, 0, bufSize)
+	stats.PeakBuffer = cap(buf)
+	base := 0  // stream offset of buf[0]
+	start := 0 // index in buf of the current token start
+	eof := false
+
+	// fill compacts the buffer (moving the unresolved suffix starting at
+	// `start` to the front — flex's yy_scan buffer shuffle), grows it
+	// when an unresolved token fills it entirely (Lemma 6), and reads
+	// more input. It returns how far indices shifted left.
+	fill := func() (shift int, err error) {
+		if eof {
+			return 0, nil
+		}
+		if start > 0 {
+			shift = start
+			n := copy(buf, buf[start:])
+			buf = buf[:n]
+			base += start
+			start = 0
+		}
+		if len(buf) == cap(buf) {
+			nb := make([]byte, len(buf), cap(buf)*2)
+			copy(nb, buf)
+			buf = nb
+			if cap(buf) > stats.PeakBuffer {
+				stats.PeakBuffer = cap(buf)
+			}
+		}
+		n, rerr := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if rerr == io.EOF {
+			eof = true
+			return shift, nil
+		}
+		return shift, rerr
+	}
+
+	for {
+		// Inner pass of Fig. 2 over the buffered suffix of the stream.
+		q := d.Start
+		bestEnd, bestRule := -1, -1
+		pos := start // index into buf; stream offset is base+pos
+		for {
+			if pos == len(buf) {
+				if eof {
+					break
+				}
+				shift, err := fill()
+				if err != nil {
+					return base + start, stats, err
+				}
+				pos -= shift
+				if bestEnd >= 0 {
+					bestEnd -= shift
+				}
+				if pos == len(buf) && eof {
+					break
+				}
+				continue
+			}
+			q = d.Step(q, buf[pos])
+			stats.Steps++
+			pos++
+			if d.IsFinal(q) {
+				bestEnd, bestRule = pos, d.Rule(q)
+			}
+			if s.m.IsDead(q) {
+				break
+			}
+		}
+		if bestEnd < 0 {
+			return base + start, stats, nil
+		}
+		if bt := pos - bestEnd; bt > stats.MaxBacktrack {
+			stats.MaxBacktrack = bt
+		}
+		if emit != nil {
+			emit(token.Token{Start: base + start, End: base + bestEnd, Rule: bestRule}, buf[start:bestEnd])
+		}
+		// Backtrack: the next scan restarts right after the token; bytes
+		// in (bestEnd, pos) are re-read then (the algorithm's quadratic
+		// behaviour). The buffer is compacted only on refill.
+		start = bestEnd
+		if start == len(buf) && eof {
+			return base + start, stats, nil
+		}
+	}
+}

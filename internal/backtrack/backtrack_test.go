@@ -1,0 +1,168 @@
+package backtrack_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/backtrack"
+	"streamtok/internal/reference"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// TestScanCorpus: the in-memory Fig. 2 scan equals the reference on the
+// corpus (bounded and unbounded grammars alike — backtracking handles all).
+func TestScanCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		for i := 0; i < 50; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(96))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest, _ := backtrack.Scan(m, in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%s on %q: got %v/%d want %v/%d", c.Name, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestScannerStreaming: the streaming scanner equals the reference across
+// buffer sizes, including buffers far smaller than tokens.
+func TestScannerStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		sc := backtrack.NewScanner(m)
+		for i := 0; i < 12; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(200))
+			want, wantRest := reference.Tokens(m, in)
+			for _, buf := range []int{1, 2, 7, 64, 1 << 16} {
+				var got []token.Token
+				rest, _, err := sc.Tokenize(bytes.NewReader(in), buf, func(tk token.Token, _ []byte) { got = append(got, tk) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reference.Equal(got, want) || rest != wantRest {
+					t.Fatalf("%s buf %d on %q: got %v/%d want %v/%d", c.Name, buf, in, got, rest, want, wantRest)
+				}
+			}
+		}
+	}
+}
+
+// TestScannerTokenText checks the streaming scanner hands out the right
+// token bytes even when tokens straddle refills.
+func TestScannerTokenText(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	sc := backtrack.NewScanner(m)
+	in := []byte("12345678901234567890 42")
+	var texts [][]byte
+	_, _, err := sc.Tokenize(bytes.NewReader(in), 4, func(tk token.Token, text []byte) {
+		texts = append(texts, append([]byte(nil), text...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"12345678901234567890", " ", "42"}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(texts), len(want))
+	}
+	for i, w := range want {
+		if string(texts[i]) != w {
+			t.Errorf("token %d = %q, want %q", i, texts[i], w)
+		}
+	}
+}
+
+// TestLemma6SpaceLowerBound: on the grammar [a, b, (a|b)*c] and a stream
+// of only a's, any correct streaming tokenizer must buffer the whole
+// stream; the flex-style scanner's carry buffer indeed grows linearly.
+func TestLemma6SpaceLowerBound(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`a`, `b`, `(a|b)*c`), tokdfa.Options{})
+	sc := backtrack.NewScanner(m)
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 13} {
+		in := bytes.Repeat([]byte("a"), n)
+		count := 0
+		rest, stats, err := sc.Tokenize(bytes.NewReader(in), 256, func(token.Token, []byte) { count++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rest != n || count != n {
+			t.Fatalf("n=%d: rest %d count %d", n, rest, count)
+		}
+		if stats.PeakBuffer < n {
+			t.Errorf("n=%d: peak buffer %d — expected Ω(n) growth", n, stats.PeakBuffer)
+		}
+	}
+	// Sanity: a bounded-TND grammar must NOT grow the buffer.
+	m2 := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	sc2 := backtrack.NewScanner(m2)
+	in := bytes.Repeat([]byte("12 "), 1<<16)
+	_, stats, err := sc2.Tokenize(bytes.NewReader(in), 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakBuffer > 256 {
+		t.Errorf("bounded grammar grew buffer to %d", stats.PeakBuffer)
+	}
+}
+
+// TestLemma12BacktrackBound: when TkDist(r̄) = k, the Fig. 2 algorithm
+// backtracks at most k+1 positions (it overshoots through at most k
+// non-final co-accessible states — any deeper one would witness a larger
+// TND — plus the final step into the dead state), so its step count is at
+// most (k+2)·(n+1).
+func TestLemma12BacktrackBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		res := analysis.Analyze(m)
+		if !res.Bounded() {
+			continue
+		}
+		k := res.MaxTND
+		for i := 0; i < 10; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, 512)
+			rest, stats := backtrack.Scan(m, in, nil)
+			if stats.MaxBacktrack > k+1 {
+				t.Errorf("%s: backtracked %d > TkDist+1 = %d", c.Name, stats.MaxBacktrack, k+1)
+			}
+			if limit := (k + 2) * (len(in) + 1); stats.Steps > limit && rest == len(in) {
+				t.Errorf("%s: %d steps on %d bytes exceeds (k+2)(n+1) = %d", c.Name, stats.Steps, len(in), limit)
+			}
+		}
+	}
+}
+
+// TestQuadraticFamily: on r_k = a{0,k}b | a with all-a input, flex
+// backtracks k positions per token: steps ≈ (k+1)·n.
+func TestQuadraticFamily(t *testing.T) {
+	n := 2048
+	in := bytes.Repeat([]byte("a"), n)
+	for _, k := range []int{2, 8, 32} {
+		g := tokdfa.MustParseGrammar(`a{0,`+itoa(k)+`}b`, `a`)
+		m := tokdfa.MustCompile(g, tokdfa.Options{})
+		_, stats := backtrack.Scan(m, in, nil)
+		lo := k * (n - k) // each emitted 'a' token required ~k+1 reads
+		if stats.Steps < lo {
+			t.Errorf("k=%d: steps %d, expected ≥ %d (Θ(k·n) behaviour)", k, stats.Steps, lo)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,113 @@
+// Package bench implements the paper's evaluation harness: one function
+// per table or figure, each returning a printable Table whose rows have
+// the same shape as the paper's. cmd/paperbench is the CLI front end; the
+// root-level benchmarks reuse the same workloads.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Config scales the experiments. The defaults regenerate every figure in
+// minutes on a laptop; Scale can stretch input sizes toward the paper's.
+type Config struct {
+	// Scale multiplies the default input sizes (1.0 = defaults; the
+	// paper's sizes correspond to roughly Scale 10 for RQ3 streams).
+	Scale float64
+	// Seed feeds every workload generator.
+	Seed int64
+	// Trials is the number of timed repetitions per cell (median wins).
+	Trials int
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 2026, Trials: 3} }
+
+func (c Config) size(base int) int {
+	if c.Scale <= 0 {
+		return base
+	}
+	return int(float64(base) * c.Scale)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString("## " + t.Title + "\n")
+	if t.Note != "" {
+		sb.WriteString(t.Note + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// timeIt returns the median wall time of trials runs of f.
+func timeIt(trials int, f func()) time.Duration {
+	if trials < 1 {
+		trials = 1
+	}
+	times := make([]time.Duration, trials)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	// Median by insertion into a small slice.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+// mbps formats throughput for n input bytes processed in d.
+func mbps(n int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", float64(n)/1e6/d.Seconds())
+}
+
+// secs formats a duration in seconds.
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

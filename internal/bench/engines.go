@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/backtrack"
+	"streamtok/internal/core"
+	"streamtok/internal/extoracle"
+	"streamtok/internal/reps"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// engineRun is one tool under measurement: run tokenizes input and
+// returns the number of tokens (consumed as a side effect to keep the
+// optimizer honest).
+type engineRun struct {
+	name      string
+	streaming bool // true if the tool processes block-by-block
+	run       func(input []byte) int
+}
+
+// ToolNames lists the tools in the order figures print them.
+var ToolNames = []string{"streamtok", "flex", "reps", "regex-scan", "extoracle"}
+
+// buildEngines constructs every comparison tool for a machine. bufSize is
+// the streaming buffer capacity for the streaming tools.
+func buildEngines(m *tokdfa.Machine, bufSize int) ([]engineRun, error) {
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		return nil, fmt.Errorf("bench: grammar unbounded, StreamTok does not apply")
+	}
+	st, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	flex := backtrack.NewScanner(m)
+	oracle := extoracle.New(m)
+	count := 0
+	emit := func(token.Token, []byte) { count++ }
+	return []engineRun{
+		{"streamtok", true, func(input []byte) int {
+			count = 0
+			s := st.NewStreamer()
+			for off := 0; off < len(input); off += bufSize {
+				end := off + bufSize
+				if end > len(input) {
+					end = len(input)
+				}
+				s.Feed(input[off:end], emit)
+			}
+			s.Close(emit)
+			return count
+		}},
+		{"flex", true, func(input []byte) int {
+			count = 0
+			if _, _, err := flex.Tokenize(bytes.NewReader(input), bufSize, emit); err != nil {
+				panic(err)
+			}
+			return count
+		}},
+		{"reps", false, func(input []byte) int {
+			count = 0
+			reps.Tokenize(m, input, emit)
+			return count
+		}},
+		{"regex-scan", false, func(input []byte) int {
+			count = 0
+			backtrack.Scan(m, input, emit)
+			return count
+		}},
+		{"extoracle", false, func(input []byte) int {
+			count = 0
+			oracle.Tokenize(input, nil, emit)
+			return count
+		}},
+	}, nil
+}

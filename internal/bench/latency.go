@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/tepath"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// Latency measures StreamTok's emission latency empirically: feeding the
+// stream byte by byte, how many bytes past a token's end arrive before
+// the token is emitted. The paper's streaming guarantee is that this
+// never exceeds K = TkDist(r̄) — tokens are emitted at the earliest point
+// their maximality is decidable. (Not a paper figure; an empirical check
+// of the property that motivates the whole design.)
+func Latency(cfg Config) Table {
+	t := Table{
+		Title:  "Emission latency (bytes of lookahead consumed past token end)",
+		Note:   "bound: K = max-TND; StreamTok must never exceed it",
+		Header: []string{"format", "K", "tokens", "max latency", "mean latency"},
+	}
+	for _, spec := range grammars.DataFormats() {
+		m := spec.Machine()
+		res := analysis.Analyze(m)
+		tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			panic(err)
+		}
+		input, err := workload.Generate(spec.Name, cfg.Seed, cfg.size(256*1024))
+		if err != nil {
+			panic(err)
+		}
+		s := tok.NewStreamer()
+		consumed := 0
+		maxLat, sumLat, count := 0, 0, 0
+		emit := func(tk token.Token, _ []byte) {
+			lat := consumed - tk.End
+			if lat > maxLat {
+				maxLat = lat
+			}
+			sumLat += lat
+			count++
+		}
+		for i := 0; i < len(input) && !s.Stopped(); i++ {
+			consumed = i + 1
+			s.Feed(input[i:i+1], emit)
+		}
+		s.Close(emit)
+		if maxLat > res.MaxTND {
+			panic(fmt.Sprintf("latency bound violated for %s: %d > %d", spec.Name, maxLat, res.MaxTND))
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name, itoa(res.MaxTND), itoa(count), itoa(maxLat),
+			fmt.Sprintf("%.3f", float64(sumLat)/float64(count)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamtok/internal/grammars"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/workload"
+)
+
+// rkMachine compiles the Fig. 8 family r_k = a{0,k}b | a.
+func rkMachine(k int) *tokdfa.Machine {
+	g := tokdfa.MustParseGrammar(fmt.Sprintf(`a{0,%d}b`, k), `a`)
+	return tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+}
+
+// Fig8 regenerates the worst-case microbenchmark: the grammar family
+// r_k = a{0,k}b | a with TkDist(r_k) = k on an all-a input. StreamTok and
+// ExtOracle are Θ(1) per symbol (flat rows); flex, Reps, and the
+// in-memory scan are Θ(k) per symbol.
+func Fig8(cfg Config) Table {
+	input := workload.WorstCase(cfg.size(2_000_000))
+	t := Table{
+		Title: "Fig 8: Worst-case family r_k = a{0,k}b | a",
+		Note: fmt.Sprintf("input: %d MB of 'a'; time (s) and throughput (MB/s) per tool vs k",
+			len(input)/1_000_000),
+		Header: []string{"k"},
+	}
+	for _, tool := range ToolNames {
+		t.Header = append(t.Header, tool+" s", tool+" MB/s")
+	}
+	for _, k := range []int{2, 4, 8, 16, 32, 64, 128} {
+		m := rkMachine(k)
+		engines, err := buildEngines(m, 64*1024)
+		if err != nil {
+			panic(err)
+		}
+		row := []string{itoa(k)}
+		for _, e := range engines {
+			d := timeIt(cfg.Trials, func() { e.run(input) })
+			row = append(row, secs(d), mbps(len(input), d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig9Formats are the RQ3 practical workloads.
+var fig9Formats = []string{"json", "csv", "tsv", "xml", "yaml", "fasta", "dns", "log"}
+
+// Fig9 regenerates the time-vs-stream-length plots: every tool is linear
+// in the stream length on every bounded-TND format.
+func Fig9(cfg Config) Table {
+	t := Table{
+		Title:  "Fig 9: Tokenization time (s) vs stream length per format",
+		Header: []string{"format", "MB"},
+	}
+	for _, tool := range ToolNames {
+		t.Header = append(t.Header, tool)
+	}
+	for _, format := range fig9Formats {
+		spec, err := grammars.Lookup(format)
+		if err != nil {
+			panic(err)
+		}
+		m := spec.Machine()
+		engines, err := buildEngines(m, 64*1024)
+		if err != nil {
+			panic(err)
+		}
+		for _, mb := range []int{1, 2, 4} {
+			input, err := workload.Generate(format, cfg.Seed, cfg.size(mb*1_000_000))
+			if err != nil {
+				panic(err)
+			}
+			row := []string{format, itoa(len(input) / 1_000_000)}
+			for _, e := range engines {
+				d := timeIt(cfg.Trials, func() { e.run(input) })
+				row = append(row, secs(d))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// Fig10 regenerates the throughput comparison at a fixed stream size:
+// StreamTok should lead every format, 2-3x over flex.
+func Fig10(cfg Config) Table {
+	t := Table{
+		Title:  "Fig 10: Throughput (MB/s) per tool per format",
+		Header: []string{"format"},
+	}
+	for _, tool := range ToolNames {
+		t.Header = append(t.Header, tool)
+	}
+	t.Header = append(t.Header, "streamtok/flex")
+	for _, format := range fig9Formats {
+		spec, err := grammars.Lookup(format)
+		if err != nil {
+			panic(err)
+		}
+		m := spec.Machine()
+		engines, err := buildEngines(m, 64*1024)
+		if err != nil {
+			panic(err)
+		}
+		input, err := workload.Generate(format, cfg.Seed, cfg.size(4_000_000))
+		if err != nil {
+			panic(err)
+		}
+		row := []string{format}
+		var stTime, flexTime float64
+		for _, e := range engines {
+			d := timeIt(cfg.Trials, func() { e.run(input) })
+			switch e.name {
+			case "streamtok":
+				stTime = d.Seconds()
+			case "flex":
+				flexTime = d.Seconds()
+			}
+			row = append(row, mbps(len(input), d))
+		}
+		row = append(row, fmt.Sprintf("%.2fx", flexTime/stTime))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/backtrack"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/tepath"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// Fig11a regenerates the buffer-capacity sweep: throughput of StreamTok
+// and flex on JSON and CSV as the input-stream buffer grows from 1 KB to
+// 4 MB. The stream is read from a real file so each refill pays an actual
+// read system call — the cost the experiment is about. Performance should
+// climb to ~64 KB and plateau.
+func Fig11a(cfg Config) Table {
+	t := Table{
+		Title:  "Fig 11a: Effect of input stream buffer capacity (MB/s, file-backed stream)",
+		Note:   "throughput should plateau around 64 KB, the Unix pipe capacity",
+		Header: []string{"buffer", "json streamtok", "json flex", "csv streamtok", "csv flex"},
+	}
+	files := map[string]string{}
+	sizes := map[string]int{}
+	for _, f := range []string{"json", "csv"} {
+		in, err := workload.Generate(f, cfg.Seed, cfg.size(8_000_000))
+		if err != nil {
+			panic(err)
+		}
+		tmp, err := os.CreateTemp("", "streamtok-fig11a-*."+f)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := tmp.Write(in); err != nil {
+			panic(err)
+		}
+		tmp.Close()
+		files[f] = tmp.Name()
+		sizes[f] = len(in)
+		defer os.Remove(tmp.Name())
+	}
+	for _, bufB := range []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20} {
+		row := []string{fmtBuf(bufB)}
+		for _, f := range []string{"json", "csv"} {
+			spec, err := grammars.Lookup(f)
+			if err != nil {
+				panic(err)
+			}
+			m := spec.Machine()
+			res := analysis.Analyze(m)
+			st, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+			if err != nil {
+				panic(err)
+			}
+			flex := backtrack.NewScanner(m)
+			emit := func(token.Token, []byte) {}
+
+			d := timeIt(cfg.Trials, func() {
+				fh, err := os.Open(files[f])
+				if err != nil {
+					panic(err)
+				}
+				if _, err := st.Tokenize(fh, bufB, emit); err != nil {
+					panic(err)
+				}
+				fh.Close()
+			})
+			row = append(row, mbps(sizes[f], d))
+
+			d = timeIt(cfg.Trials, func() {
+				fh, err := os.Open(files[f])
+				if err != nil {
+					panic(err)
+				}
+				if _, _, err := flex.Tokenize(fh, bufB, emit); err != nil {
+					panic(err)
+				}
+				fh.Close()
+			})
+			row = append(row, mbps(sizes[f], d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig11b regenerates the token-length sweep: throughput of StreamTok and
+// flex on CSV and JSON whose field tokens have a fixed length. Shorter
+// tokens mean more per-token work and lower throughput.
+func Fig11b(cfg Config) Table {
+	t := Table{
+		Title:  "Fig 11b: Effect of average token length (MB/s, 64 KB buffer)",
+		Header: []string{"token length", "csv streamtok", "csv flex", "json streamtok", "json flex"},
+	}
+	size := cfg.size(4_000_000)
+	for _, tokenLen := range []int{2, 4, 8, 16, 32, 64, 128} {
+		row := []string{itoa(tokenLen)}
+		for _, f := range []string{"csv", "json"} {
+			var input []byte
+			if f == "csv" {
+				input = workload.CSVWithTokenLen(cfg.Seed, size, tokenLen)
+			} else {
+				input = workload.JSONWithTokenLen(cfg.Seed, size, tokenLen)
+			}
+			spec, err := grammars.Lookup(f)
+			if err != nil {
+				panic(err)
+			}
+			engines, err := buildEngines(spec.Machine(), 64*1024)
+			if err != nil {
+				panic(err)
+			}
+			for _, e := range engines {
+				if e.name != "streamtok" && e.name != "flex" {
+					continue
+				}
+				d := timeIt(cfg.Trials, func() { e.run(input) })
+				row = append(row, mbps(len(input), d))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fmtBuf renders a buffer size compactly.
+func fmtBuf(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1024:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"streamtok/internal/apps"
+	"streamtok/internal/grammars"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// table2App is one Table 2 row: a grammar, an input, and the
+// post-tokenization work ("rest").
+type table2App struct {
+	name    string
+	grammar string
+	input   []byte
+	rest    func(eng apps.Engine, input []byte) error
+}
+
+// Table2 regenerates the application-speedup table: per application, the
+// tokenization time under flex and under StreamTok, the time spent in the
+// rest of the pipeline, and the end-to-end speedup
+// (flex+rest)/(streamtok+rest).
+func Table2(cfg Config) Table {
+	t := Table{
+		Title:  "Table 2: Application speedup when using StreamTok instead of flex",
+		Note:   "times in seconds; speedup = (flex+rest)/(streamtok+rest)",
+		Header: []string{"Application", "flex", "StreamTok", "rest", "speedup"},
+	}
+	logSize := cfg.size(2_000_000)
+	convSize := cfg.size(4_000_000)
+
+	var rows []table2App
+	for _, f := range workload.LogFormats {
+		in, err := workload.Log(f, cfg.Seed, logSize)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, table2App{
+			name: f, grammar: "log", input: in,
+			rest: func(eng apps.Engine, input []byte) error {
+				_, err := apps.LogToTSV(eng, input, io.Discard)
+				return err
+			},
+		})
+	}
+	jsonIn := workload.JSON(cfg.Seed, convSize)
+	csvIn := workload.CSV(cfg.Seed, convSize)
+	sqlIn := workload.SQLInserts(cfg.Seed, convSize)
+	rows = append(rows,
+		table2App{"JSON to CSV", "json", jsonIn, func(eng apps.Engine, in []byte) error {
+			_, err := apps.JSONToCSV(eng, in, io.Discard)
+			return err
+		}},
+		table2App{"JSON Minify", "json", jsonIn, func(eng apps.Engine, in []byte) error {
+			return apps.JSONMinify(eng, in, io.Discard)
+		}},
+		table2App{"CSV to JSON", "csv", csvIn, func(eng apps.Engine, in []byte) error {
+			_, err := apps.CSVToJSON(eng, in, io.Discard)
+			return err
+		}},
+		table2App{"CSV Schema Validation", "csv", csvIn, func(eng apps.Engine, in []byte) error {
+			schema := []apps.ColumnType{apps.TypeText, apps.TypeText, apps.TypeText, apps.TypeText, apps.TypeText, apps.TypeText, apps.TypeText}
+			_, _, err := apps.CSVValidate(eng, in, schema)
+			return err
+		}},
+		table2App{"CSV Schema Infer", "csv", csvIn, func(eng apps.Engine, in []byte) error {
+			_, _, err := apps.CSVSchemaInfer(eng, in)
+			return err
+		}},
+		table2App{"JSON to SQL", "json", jsonIn, func(eng apps.Engine, in []byte) error {
+			_, err := apps.JSONToSQL(eng, "data", in, io.Discard)
+			return err
+		}},
+		table2App{"SQL loads", "sql-inserts", sqlIn, func(eng apps.Engine, in []byte) error {
+			_, err := apps.SQLLoad(eng, in)
+			return err
+		}},
+	)
+
+	engineCache := map[string][2]apps.Engine{}
+	for _, app := range rows {
+		engs, ok := engineCache[app.grammar]
+		if !ok {
+			spec, err := grammars.Lookup(app.grammar)
+			if err != nil {
+				panic(err)
+			}
+			st, flex, err := apps.Engines(spec)
+			if err != nil {
+				panic(err)
+			}
+			engs = [2]apps.Engine{st, flex}
+			engineCache[app.grammar] = engs
+		}
+		st, flex := engs[0], engs[1]
+
+		noop := func(token.Token, []byte) {}
+		stTok := timeIt(cfg.Trials, func() { _, _ = st.Tokenize(app.input, noop) })
+		flexTok := timeIt(cfg.Trials, func() { _, _ = flex.Tokenize(app.input, noop) })
+		full := timeIt(cfg.Trials, func() {
+			if err := app.rest(st, app.input); err != nil {
+				panic(fmt.Sprintf("%s: %v", app.name, err))
+			}
+		})
+		rest := full - stTok
+		if rest < 0 {
+			rest = 0
+		}
+		speedup := (flexTok + rest).Seconds() / (stTok + rest).Seconds()
+		t.Rows = append(t.Rows, []string{
+			app.name, secs(flexTok), secs(stTok), secs(rest), fmt.Sprintf("%.2f", speedup),
+		})
+	}
+	return t
+}

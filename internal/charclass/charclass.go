@@ -1,0 +1,196 @@
+// Package charclass implements sets of bytes used as transition predicates
+// in regular expressions and automata. The alphabet is Σ = {0, ..., 255}.
+//
+// A Class is a 256-bit set stored as four uint64 words. The zero value is
+// the empty class. Classes are small value types and are passed by value.
+package charclass
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Class is a set of bytes represented as a 256-bit bitmap.
+type Class struct {
+	w [4]uint64
+}
+
+// Empty returns the empty class.
+func Empty() Class { return Class{} }
+
+// Any returns the class containing every byte (PCRE "." without the
+// newline exclusion; the paper's Σ).
+func Any() Class {
+	var c Class
+	for i := range c.w {
+		c.w[i] = ^uint64(0)
+	}
+	return c
+}
+
+// Single returns the class containing exactly b.
+func Single(b byte) Class {
+	var c Class
+	c.w[b>>6] = 1 << (b & 63)
+	return c
+}
+
+// Range returns the class containing all bytes in [lo, hi]. If lo > hi the
+// result is empty.
+func Range(lo, hi byte) Class {
+	var c Class
+	for b := int(lo); b <= int(hi); b++ {
+		c.Add(byte(b))
+	}
+	return c
+}
+
+// Of returns the class containing exactly the given bytes.
+func Of(bs ...byte) Class {
+	var c Class
+	for _, b := range bs {
+		c.Add(b)
+	}
+	return c
+}
+
+// Add inserts b into the class.
+func (c *Class) Add(b byte) { c.w[b>>6] |= 1 << (b & 63) }
+
+// Remove deletes b from the class.
+func (c *Class) Remove(b byte) { c.w[b>>6] &^= 1 << (b & 63) }
+
+// Contains reports whether b is in the class.
+func (c Class) Contains(b byte) bool { return c.w[b>>6]&(1<<(b&63)) != 0 }
+
+// IsEmpty reports whether the class contains no bytes.
+func (c Class) IsEmpty() bool { return c.w == [4]uint64{} }
+
+// Len returns the number of bytes in the class.
+func (c Class) Len() int {
+	n := 0
+	for _, w := range c.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Union returns c ∪ d.
+func (c Class) Union(d Class) Class {
+	for i := range c.w {
+		c.w[i] |= d.w[i]
+	}
+	return c
+}
+
+// Intersect returns c ∩ d.
+func (c Class) Intersect(d Class) Class {
+	for i := range c.w {
+		c.w[i] &= d.w[i]
+	}
+	return c
+}
+
+// Negate returns Σ \ c.
+func (c Class) Negate() Class {
+	for i := range c.w {
+		c.w[i] = ^c.w[i]
+	}
+	return c
+}
+
+// Minus returns c \ d.
+func (c Class) Minus(d Class) Class {
+	for i := range c.w {
+		c.w[i] &^= d.w[i]
+	}
+	return c
+}
+
+// Equal reports whether c and d contain the same bytes.
+func (c Class) Equal(d Class) bool { return c.w == d.w }
+
+// Overlaps reports whether c ∩ d is nonempty.
+func (c Class) Overlaps(d Class) bool {
+	for i := range c.w {
+		if c.w[i]&d.w[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the members of the class in increasing order.
+func (c Class) Bytes() []byte {
+	out := make([]byte, 0, c.Len())
+	c.ForEach(func(b byte) { out = append(out, b) })
+	return out
+}
+
+// ForEach calls f for every byte in the class in increasing order.
+func (c Class) ForEach(f func(b byte)) {
+	for wi, w := range c.w {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			f(byte(wi<<6 | bit))
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest byte in the class; ok is false if the class is
+// empty.
+func (c Class) Min() (b byte, ok bool) {
+	for wi, w := range c.w {
+		if w != 0 {
+			return byte(wi<<6 | bits.TrailingZeros64(w)), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the class in PCRE-ish notation, e.g. "[0-9a-f]". The empty
+// class renders as "[]" and the full class as ".".
+func (c Class) String() string {
+	if c.Equal(Any()) {
+		return "."
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	bs := c.Bytes()
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		writeClassByte(&sb, bs[i])
+		if j > i+1 {
+			sb.WriteByte('-')
+		}
+		if j > i {
+			writeClassByte(&sb, bs[j])
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func writeClassByte(sb *strings.Builder, b byte) {
+	switch {
+	case b == '\\' || b == ']' || b == '-' || b == '^':
+		sb.WriteByte('\\')
+		sb.WriteByte(b)
+	case b == '\n':
+		sb.WriteString(`\n`)
+	case b == '\t':
+		sb.WriteString(`\t`)
+	case b == '\r':
+		sb.WriteString(`\r`)
+	case b >= 0x20 && b < 0x7f:
+		sb.WriteByte(b)
+	default:
+		fmt.Fprintf(sb, `\x%02x`, b)
+	}
+}

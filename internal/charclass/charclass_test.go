@@ -1,0 +1,137 @@
+package charclass
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quick.Generator so property tests get arbitrary classes.
+func (Class) Generate(rng *rand.Rand, _ int) reflect.Value {
+	var c Class
+	for i := range c.w {
+		c.w[i] = rng.Uint64()
+	}
+	return reflect.ValueOf(c)
+}
+
+func TestBasics(t *testing.T) {
+	c := Of('a', 'b', 'z')
+	if !c.Contains('a') || !c.Contains('z') || c.Contains('c') {
+		t.Error("membership wrong")
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Remove('b')
+	if c.Contains('b') || c.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	if !Empty().IsEmpty() || Any().IsEmpty() {
+		t.Error("Empty/Any wrong")
+	}
+	if Any().Len() != 256 {
+		t.Errorf("Any().Len() = %d", Any().Len())
+	}
+	if r := Range('0', '9'); r.Len() != 10 || !r.Contains('5') {
+		t.Error("Range wrong")
+	}
+	if r := Range('z', 'a'); !r.IsEmpty() {
+		t.Error("inverted Range should be empty")
+	}
+}
+
+// TestSetLawsQuick checks boolean-algebra laws with testing/quick.
+func TestSetLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(a, b Class) bool {
+		return a.Union(b).Equal(b.Union(a))
+	}, cfg); err != nil {
+		t.Error("union not commutative:", err)
+	}
+	if err := quick.Check(func(a, b Class) bool {
+		return a.Intersect(b).Equal(b.Intersect(a))
+	}, cfg); err != nil {
+		t.Error("intersect not commutative:", err)
+	}
+	if err := quick.Check(func(a Class) bool {
+		return a.Negate().Negate().Equal(a)
+	}, cfg); err != nil {
+		t.Error("double negation not identity:", err)
+	}
+	if err := quick.Check(func(a, b Class) bool {
+		// De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b
+		return a.Union(b).Negate().Equal(a.Negate().Intersect(b.Negate()))
+	}, cfg); err != nil {
+		t.Error("De Morgan fails:", err)
+	}
+	if err := quick.Check(func(a, b Class) bool {
+		return a.Minus(b).Equal(a.Intersect(b.Negate()))
+	}, cfg); err != nil {
+		t.Error("Minus inconsistent:", err)
+	}
+	if err := quick.Check(func(a, b Class) bool {
+		return a.Overlaps(b) == !a.Intersect(b).IsEmpty()
+	}, cfg); err != nil {
+		t.Error("Overlaps inconsistent:", err)
+	}
+	if err := quick.Check(func(a Class) bool {
+		return a.Len()+a.Negate().Len() == 256
+	}, cfg); err != nil {
+		t.Error("Len complement law fails:", err)
+	}
+}
+
+// TestBytesRoundTrip: Bytes/ForEach enumerate exactly the members in
+// order.
+func TestBytesRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a Class) bool {
+		bs := a.Bytes()
+		if len(bs) != a.Len() {
+			return false
+		}
+		prev := -1
+		for _, b := range bs {
+			if int(b) <= prev || !a.Contains(b) {
+				return false
+			}
+			prev = int(b)
+		}
+		var rebuilt Class
+		for _, b := range bs {
+			rebuilt.Add(b)
+		}
+		return rebuilt.Equal(a)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if _, ok := Empty().Min(); ok {
+		t.Error("Empty().Min() should not exist")
+	}
+	if b, ok := Of('q', 'd', 'z').Min(); !ok || b != 'd' {
+		t.Errorf("Min = %q, %v", b, ok)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Any(), "."},
+		{Empty(), "[]"},
+		{Range('a', 'c'), "[a-c]"},
+		{Of('x'), "[x]"},
+		{Of('a', 'c'), "[ac]"},
+		{Of('\n'), `[\n]`},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/reference"
+	"streamtok/internal/tepath"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+var (
+	fuzzOnce  sync.Once
+	fuzzToks  []*core.Tokenizer
+	fuzzMachs []*tokdfa.Machine
+)
+
+func fuzzSetup() {
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		res := analysis.Analyze(m)
+		if !res.Bounded() {
+			continue
+		}
+		tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			continue
+		}
+		fuzzToks = append(fuzzToks, tok)
+		fuzzMachs = append(fuzzMachs, m)
+	}
+}
+
+// FuzzStreamTokDifferential fuzzes arbitrary inputs against the
+// executable specification, across the bounded corpus grammars and a
+// fuzzer-chosen chunking.
+func FuzzStreamTokDifferential(f *testing.F) {
+	f.Add(0, uint8(1), []byte("123 456"))
+	f.Add(1, uint8(3), []byte("3.14 . 5"))
+	f.Add(2, uint8(7), []byte("12e+3 x"))
+	f.Add(3, uint8(64), []byte(`a,"b""c",d`))
+	f.Fuzz(func(t *testing.T, pick int, chunk uint8, input []byte) {
+		fuzzOnce.Do(fuzzSetup)
+		if len(fuzzToks) == 0 {
+			t.Skip("no bounded grammars")
+		}
+		if pick < 0 {
+			pick = -pick
+		}
+		tok := fuzzToks[pick%len(fuzzToks)]
+		m := fuzzMachs[pick%len(fuzzMachs)]
+		step := int(chunk)
+		if step == 0 {
+			step = 1
+		}
+		want, wantRest := reference.Tokens(m, input)
+		var got []token.Token
+		s := tok.NewStreamer()
+		collect := func(tk token.Token, _ []byte) { got = append(got, tk) }
+		for i := 0; i < len(input); i += step {
+			end := i + step
+			if end > len(input) {
+				end = len(input)
+			}
+			s.Feed(input[i:end], collect)
+		}
+		rest := s.Close(collect)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("grammar %d chunk %d on %q: got %v rest %d, want %v rest %d",
+				pick%len(fuzzToks), step, input, got, rest, want, wantRest)
+		}
+	})
+}

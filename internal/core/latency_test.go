@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/tepath"
+	"streamtok/internal/testutil"
+	"streamtok/internal/token"
+)
+
+// TestEmissionLatency checks the paper's latency property: StreamTok
+// emits every token as soon as its maximality is decidable — within
+// exactly K = TkDist(r̄) bytes of lookahead. Feeding byte-by-byte, a token
+// emitted after byte i (0-based) must satisfy i+1 − End ≤ K, and tokens
+// are never emitted before their End has been consumed.
+func TestEmissionLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		res := analysis.Analyze(m)
+		if !res.Bounded() {
+			continue
+		}
+		k := res.MaxTND
+		tok, err := core.NewWithK(m, k, tepath.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			in := testutil.RandomInput(rng, c.Alphabet, 256)
+			s := tok.NewStreamer()
+			consumed := 0
+			emit := func(tk token.Token, _ []byte) {
+				latency := consumed - tk.End
+				if latency < 0 {
+					t.Fatalf("%s: token %+v emitted before its bytes arrived (consumed %d)", c.Name, tk, consumed)
+				}
+				if latency > k {
+					t.Fatalf("%s: token %+v emitted with latency %d > K = %d", c.Name, tk, latency, k)
+				}
+			}
+			for i := 0; i < len(in) && !s.Stopped(); i++ {
+				consumed = i + 1
+				s.Feed(in[i:i+1], emit)
+			}
+			s.Close(emit)
+		}
+	}
+}
+
+// TestEmissionEagerness complements latency: the K=1 grammar [0-9]+|[ ]+
+// must emit "123" the moment the following space arrives, not later.
+func TestEmissionEagerness(t *testing.T) {
+	m := testutil.GrammarCase{Rules: []string{`[0-9]+`, `[ ]+`}}.Compile(false)
+	tok, err := core.NewWithK(m, 1, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tok.NewStreamer()
+	var emittedAt []int
+	consumed := 0
+	emit := func(tk token.Token, _ []byte) { emittedAt = append(emittedAt, consumed) }
+	for i, b := range []byte("123 45") {
+		consumed = i + 1
+		s.Feed([]byte{b}, emit)
+	}
+	s.Close(emit)
+	// "123" confirmable at byte 4 (the space); " " at byte 5; "45" at EOF.
+	want := []int{4, 5, 6}
+	if len(emittedAt) != len(want) {
+		t.Fatalf("emissions at %v, want %v", emittedAt, want)
+	}
+	for i := range want {
+		if emittedAt[i] != want[i] {
+			t.Errorf("token %d emitted at byte %d, want %d", i, emittedAt[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"io"
+
+	"streamtok/internal/token"
+)
+
+// DefaultBufferSize is the input buffer capacity used when none is given.
+// RQ4 finds 64 KB — the Unix pipe capacity — to be the sweet spot.
+const DefaultBufferSize = 64 * 1024
+
+// Tokenize reads the stream block-by-block with a buffer of bufSize bytes
+// and pushes it through a Streamer, calling emit for every token. It
+// returns the offset of the first untokenized byte and any read error
+// (io.EOF is not an error).
+func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
+	s := t.NewStreamer()
+	buf := make([]byte, bufSize)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			s.Feed(buf[:n], emit)
+		}
+		if rerr == io.EOF {
+			return s.Close(emit), nil
+		}
+		if rerr != nil {
+			s.Close(nil)
+			return s.Rest(), rerr
+		}
+		if s.Stopped() {
+			// Untokenizable remainder: drain the rest of the stream
+			// without work so the caller sees a consistent offset.
+			return s.Rest(), nil
+		}
+	}
+}
+
+// TokenizeBytes tokenizes an in-memory input in one Feed, returning the
+// collected tokens and the offset of the first untokenized byte. It mirrors
+// reference.Tokens for differential testing and for offline callers.
+func (t *Tokenizer) TokenizeBytes(input []byte) (toks []token.Token, rest int) {
+	s := t.NewStreamer()
+	collect := func(tok token.Token, _ []byte) { toks = append(toks, tok) }
+	s.Feed(input, collect)
+	rest = s.Close(collect)
+	return toks, rest
+}
+
+// Count tokenizes the stream and returns only the number of tokens and
+// total token bytes; used by benchmarks to avoid measuring consumer cost.
+func (t *Tokenizer) Count(r io.Reader, bufSize int) (tokens int, bytes int, rest int, err error) {
+	rest, err = t.Tokenize(r, bufSize, func(tok token.Token, _ []byte) {
+		tokens++
+		bytes += tok.Len()
+	})
+	return tokens, bytes, rest, err
+}

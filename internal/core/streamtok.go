@@ -1,0 +1,466 @@
+// Package core implements StreamTok, the paper's backtracking-free
+// streaming tokenization algorithm: the Fig. 5 specializations for
+// max-TND ≤ 1 and the general Fig. 6 algorithm for max-TND = K < ∞, with
+// correct end-of-stream draining for finite inputs.
+//
+// The engine has a push interface (Feed/Close) so it can sit behind any
+// stream source, plus io.Reader-based drivers in stream.go. Memory use is
+// independent of the stream length: a K-byte delay ring, the precomputed
+// automata/tables, and a carry buffer holding only the prefix of the
+// current (unemitted) token that is no longer in the caller's chunk.
+// Tokens that fall entirely inside one chunk are emitted as zero-copy
+// subslices of it.
+package core
+
+import (
+	"fmt"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// EmitFunc receives each maximal token as it is confirmed. text is the
+// token's bytes and is only valid until the next call into the tokenizer.
+type EmitFunc func(tok token.Token, text []byte)
+
+// Tokenizer is a compiled, reusable StreamTok tokenizer for one grammar.
+// It is immutable and safe for concurrent use; each stream gets its own
+// Streamer.
+type Tokenizer struct {
+	m    *tokdfa.Machine
+	k    int
+	te   *tepath.Table
+	lazy *tepath.Lazy
+	k1   *tepath.K1Table
+}
+
+// Streamer is a StreamTok instance processing one stream. It is created
+// by a Tokenizer and is not safe for concurrent use.
+type Streamer struct {
+	m    *tokdfa.Machine
+	k    int
+	te   *tepath.Table     // general mode, eager TeDFA (k >= 2)
+	eval *tepath.Evaluator // general mode, lazy TeDFA (k >= 2)
+	k1   *tepath.K1Table   // Fig. 5 mode (k == 1)
+
+	qa     int    // current state of the tokenization DFA A
+	s      int    // current state of the token-extension DFA B
+	ring   []byte // delay ring: bytes B has consumed but A has not
+	head   int    // ring read index
+	filled int    // bytes currently in the ring (≤ k)
+	prevOK bool   // k==1 mode: the one-byte delay slot is occupied
+	prev   byte   // k==1 mode: the delayed byte
+
+	// carry holds the pending token's bytes that are no longer available
+	// in the caller's chunk (token prefixes spanning chunk boundaries).
+	carry   []byte
+	startP  int // stream offset of the pending token's first byte
+	pos     int // stream offset A will consume next (= bytes A consumed)
+	stopped bool
+	rest    int // offset of the first untokenized byte once stopped
+}
+
+// UnboundedError reports that a grammar cannot be tokenized by StreamTok
+// because its maximum token neighbor distance is unbounded.
+type UnboundedError struct {
+	Grammar string
+}
+
+func (e *UnboundedError) Error() string {
+	return fmt.Sprintf("streamtok: grammar %q has unbounded max token neighbor distance", e.Grammar)
+}
+
+// New builds a StreamTok tokenizer. It runs the static analysis (Fig. 3)
+// and returns an *UnboundedError when TkDist(r̄) = ∞. limits bounds the
+// token-extension DFA construction.
+func New(m *tokdfa.Machine, limits tepath.Limits) (*Tokenizer, int, error) {
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		return nil, 0, &UnboundedError{Grammar: m.Grammar.String()}
+	}
+	t, err := NewWithK(m, res.MaxTND, limits)
+	return t, res.MaxTND, err
+}
+
+// NewWithK builds a tokenizer for a known max-TND k (skipping the
+// analysis). k must be an upper bound on TkDist(r̄); the algorithm is
+// correct for any finite upper bound, and fastest when k is exact.
+//
+// For k ≥ 2 the token-extension DFA is materialized eagerly; if it
+// exceeds its budget (it can be exponential in k), the tokenizer falls
+// back to a lazily determinized TeDFA whose transitions are computed on
+// first use per stream — same O(1) steady-state cost, memory proportional
+// to the powerstates the stream actually visits.
+func NewWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	t := &Tokenizer{m: m, k: k}
+	switch {
+	case k <= 0:
+		// No lookahead needed: every token is maximal at its final state.
+	case k == 1:
+		t.k1 = tepath.BuildK1(m)
+	default:
+		// Cap the eager attempt: practical grammars' TeDFAs are far
+		// below this budget, and probing the full lazy limit before
+		// falling back would waste seconds on exponential families.
+		eagerLimits := limits
+		if eagerLimits.MaxDFAStates == 0 {
+			eagerLimits.MaxDFAStates = 1 << 12
+		}
+		te, err := tepath.Build(m, k, eagerLimits)
+		if err == nil {
+			t.te = te
+			break
+		}
+		if err != tepath.ErrTooLarge {
+			return nil, err
+		}
+		lazy, lerr := tepath.BuildLazy(m, k, limits)
+		if lerr != nil {
+			return nil, lerr
+		}
+		t.lazy = lazy
+	}
+	return t, nil
+}
+
+// NewLazyWithK is NewWithK but always uses the lazy TeDFA (for ablation
+// benchmarks).
+func NewLazyWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	t := &Tokenizer{m: m, k: k}
+	switch {
+	case k <= 0:
+	case k == 1:
+		t.k1 = tepath.BuildK1(m)
+	default:
+		lazy, err := tepath.BuildLazy(m, k, limits)
+		if err != nil {
+			return nil, err
+		}
+		t.lazy = lazy
+	}
+	return t, nil
+}
+
+// K returns the lookahead bound the tokenizer was built with.
+func (t *Tokenizer) K() int { return t.k }
+
+// Machine returns the underlying tokenization DFA machine.
+func (t *Tokenizer) Machine() *tokdfa.Machine { return t.m }
+
+// TeDFASize returns the size of the eager token-extension DFA (0 when
+// k ≤ 1 or when the lazy fallback is in use).
+func (t *Tokenizer) TeDFASize() int {
+	if t.te == nil {
+		return 0
+	}
+	return t.te.NumStates()
+}
+
+// Lazy reports whether the tokenizer uses the lazily determinized TeDFA.
+func (t *Tokenizer) Lazy() bool { return t.lazy != nil }
+
+// TableBytes returns the memory footprint of the precomputed automata and
+// tables: the tokenization DFA, the token-extension DFA (k ≥ 2), or the
+// Fig. 5 table (k == 1). Together with the input buffer and the K-byte
+// delay ring this is StreamTok's entire stream-independent state (the RQ6
+// accounting).
+func (t *Tokenizer) TableBytes() int {
+	d := t.m.DFA
+	n := len(d.Trans)*4 + len(d.Accept)*4
+	if t.te != nil {
+		n += t.te.Bytes()
+	}
+	if t.k1 != nil {
+		n += d.NumStates() * 256 * 4 // fused Fig. 5 action table
+	}
+	return n
+}
+
+// NewStreamer starts tokenizing a fresh stream.
+func (t *Tokenizer) NewStreamer() *Streamer {
+	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, qa: t.m.DFA.Start}
+	if t.te != nil {
+		s.s = t.te.Start
+		s.ring = make([]byte, t.k)
+	} else if t.lazy != nil {
+		s.eval = t.lazy.NewEvaluator()
+		s.s = s.eval.Start()
+		s.ring = make([]byte, t.k)
+	}
+	return s
+}
+
+// Stopped reports whether tokenization has terminated: either Close was
+// called, or the remaining input matches no rule (Definition 1's None
+// case). Once stopped, Feed ignores further input.
+func (s *Streamer) Stopped() bool { return s.stopped }
+
+// Rest returns the offset of the first byte that was not tokenized. It is
+// meaningful after Close (or once Stopped reports true).
+func (s *Streamer) Rest() int { return s.rest }
+
+// Feed pushes a chunk of the stream through the tokenizer, invoking emit
+// for every maximal token confirmed. It never backtracks: each byte is
+// examined O(1) times.
+func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
+	if s.stopped || len(chunk) == 0 {
+		return
+	}
+	switch {
+	case s.k <= 0:
+		s.feedK0(chunk, emit)
+	case s.k == 1:
+		s.feedK1(chunk, emit)
+	case s.eval != nil:
+		s.feedGeneralLazy(chunk, emit)
+	default:
+		s.feedGeneral(chunk, emit)
+	}
+}
+
+// feedK0: max-TND 0 means no token extends another, so A emits the moment
+// it reaches a final state.
+func (s *Streamer) feedK0(chunk []byte, emit EmitFunc) {
+	d := s.m.DFA
+	base := s.pos // stream offset of chunk[0]
+	for _, b := range chunk {
+		s.qa = d.Step(s.qa, b)
+		s.pos++
+		if d.IsFinal(s.qa) {
+			s.emitToken(emit, d.Rule(s.qa), chunk, base)
+		} else if s.m.IsDead(s.qa) {
+			s.stop()
+			return
+		}
+	}
+	s.saveCarry(chunk, base)
+}
+
+// feedK1 implements Fig. 5: A runs one byte behind the input so each
+// table check T[q][a] sees the next byte as lookahead.
+func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
+	d := s.m.DFA
+	base := s.pos // stream offset chunk[0] will have for A
+	if s.prevOK {
+		base++ // the delayed byte precedes the chunk
+	}
+	for _, b := range chunk {
+		if !s.prevOK {
+			s.prev, s.prevOK = b, true
+			continue
+		}
+		a := s.prev
+		s.prev = b
+		if s.pos < base {
+			// a came from a previous chunk: preserve it for the
+			// pending token's text.
+			s.carry = append(s.carry, a)
+		}
+		s.qa = d.Step(s.qa, a)
+		s.pos++
+		if act := s.k1.Action(s.qa, b); act != tepath.ActContinue {
+			if act == tepath.ActDead {
+				s.stop()
+				return
+			}
+			s.emitToken(emit, int(act-tepath.ActEmitBase), chunk, base)
+		}
+	}
+	s.saveCarry(chunk, base)
+}
+
+// feedGeneral implements Fig. 6: the token-extension DFA B consumes each
+// byte immediately; A consumes it K bytes later via the delay ring; the
+// maximality table is consulted after each A step.
+func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
+	d := s.m.DFA
+	te := s.te
+	k := s.k
+	base := s.pos + s.filled // stream offset of chunk[0]
+	for _, b := range chunk {
+		s.s = te.Step(s.s, b) // line 11: B is K symbols ahead of A
+		if s.filled < k {
+			s.ring[(s.head+s.filled)%k] = b
+			s.filled++
+			continue
+		}
+		a := s.ring[s.head]
+		s.ring[s.head] = b
+		s.head++
+		if s.head == k {
+			s.head = 0
+		}
+		if s.pos < base {
+			s.carry = append(s.carry, a)
+		}
+		s.qa = d.Step(s.qa, a) // line 12
+		s.pos++
+		if te.MaximalFinal(s.qa, s.s) { // line 14: T[q][S]
+			s.emitToken(emit, d.Rule(s.qa), chunk, base)
+		} else if s.m.IsDead(s.qa) {
+			s.stop()
+			return
+		}
+	}
+	s.saveCarry(chunk, base)
+}
+
+// feedGeneralLazy is feedGeneral over the lazily determinized TeDFA (the
+// loop is duplicated so both hot paths stay devirtualized).
+func (s *Streamer) feedGeneralLazy(chunk []byte, emit EmitFunc) {
+	d := s.m.DFA
+	eval := s.eval
+	k := s.k
+	base := s.pos + s.filled
+	for _, b := range chunk {
+		s.s = eval.Step(s.s, b)
+		if s.filled < k {
+			s.ring[(s.head+s.filled)%k] = b
+			s.filled++
+			continue
+		}
+		a := s.ring[s.head]
+		s.ring[s.head] = b
+		s.head++
+		if s.head == k {
+			s.head = 0
+		}
+		if s.pos < base {
+			s.carry = append(s.carry, a)
+		}
+		s.qa = d.Step(s.qa, a)
+		s.pos++
+		if eval.MaximalFinal(s.qa, s.s) {
+			s.emitToken(emit, d.Rule(s.qa), chunk, base)
+		} else if s.m.IsDead(s.qa) {
+			s.stop()
+			return
+		}
+	}
+	s.saveCarry(chunk, base)
+}
+
+// Close signals end of stream and drains the delayed bytes, emitting any
+// final maximal tokens. It returns the offset of the first untokenized
+// byte (the stream length when everything tokenized).
+func (s *Streamer) Close(emit EmitFunc) int {
+	if s.stopped {
+		return s.rest
+	}
+	d := s.m.DFA
+	switch {
+	case s.k <= 0:
+		// Nothing delayed.
+	case s.k == 1:
+		if s.prevOK {
+			a := s.prev
+			s.prevOK = false
+			s.carry = append(s.carry, a)
+			s.qa = d.Step(s.qa, a)
+			s.pos++
+			if d.IsFinal(s.qa) {
+				s.emitTail(emit, d.Rule(s.qa))
+			} else if s.m.IsDead(s.qa) {
+				s.stop()
+				return s.rest
+			}
+		}
+	default:
+		// Drain the ring: for the last positions B has no K-byte
+		// lookahead, so maximality is checked directly against the
+		// remaining tail (< K bytes).
+		for s.filled > 0 {
+			a := s.ring[s.head]
+			s.head++
+			if s.head == s.k {
+				s.head = 0
+			}
+			s.filled--
+			s.carry = append(s.carry, a)
+			s.qa = d.Step(s.qa, a)
+			s.pos++
+			if d.IsFinal(s.qa) {
+				tail := s.ringContents()
+				extends := false
+				if s.eval != nil {
+					extends = s.eval.ExtendsWithinTail(s.qa, tail)
+				} else {
+					extends = s.te.ExtendsWithinTail(s.qa, tail)
+				}
+				if !extends {
+					s.emitTail(emit, d.Rule(s.qa))
+				}
+			} else if s.m.IsDead(s.qa) {
+				s.stop()
+				return s.rest
+			}
+		}
+	}
+	s.stopped = true
+	s.rest = s.startP // == s.pos when the final token ended the stream
+	return s.rest
+}
+
+func (s *Streamer) ringContents() []byte {
+	out := make([]byte, 0, s.filled)
+	for i := 0; i < s.filled; i++ {
+		out = append(out, s.ring[(s.head+i)%s.k])
+	}
+	return out
+}
+
+// emitToken emits the pending token ending at s.pos during a Feed whose
+// chunk starts at stream offset base. Tokens contained in the chunk are
+// emitted as zero-copy subslices; tokens spanning chunks are assembled in
+// the carry buffer.
+func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
+	if emit != nil {
+		var text []byte
+		if s.startP >= base {
+			text = chunk[s.startP-base : s.pos-base]
+		} else {
+			// With a delay ring the token may end before the chunk
+			// even starts (s.pos <= base): then carry already has it
+			// all.
+			if end := s.pos - base; end > 0 {
+				s.carry = append(s.carry, chunk[:end]...)
+			}
+			text = s.carry
+		}
+		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, text)
+	}
+	s.startP = s.pos
+	s.carry = s.carry[:0]
+	s.qa = s.m.DFA.Start
+}
+
+// emitTail emits a token during Close; its bytes are fully in carry.
+func (s *Streamer) emitTail(emit EmitFunc, rule int) {
+	if emit != nil {
+		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, s.carry)
+	}
+	s.startP = s.pos
+	s.carry = s.carry[:0]
+	s.qa = s.m.DFA.Start
+}
+
+// saveCarry preserves, at the end of a Feed, the pending token bytes that
+// live in the expiring chunk.
+func (s *Streamer) saveCarry(chunk []byte, base int) {
+	end := s.pos - base // bytes of the chunk A has consumed
+	if end <= 0 || s.pos == s.startP {
+		return
+	}
+	from := s.startP - base
+	if from < 0 {
+		from = 0
+	}
+	s.carry = append(s.carry, chunk[from:end]...)
+}
+
+func (s *Streamer) stop() {
+	s.stopped = true
+	s.rest = s.startP
+}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"streamtok/internal/reference"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// TestUTF8PassThrough: the engine is byte-oriented (Σ = bytes), so UTF-8
+// content flows through delimiter-based grammars intact — multi-byte
+// runes are never split across tokens when the delimiters are ASCII.
+func TestUTF8PassThrough(t *testing.T) {
+	tok := newTok(t, `[^,\n]+`, `,`, `\n`)
+	input := []byte("héllo,wörld,日本語,👍\nπ≈3.14159,κόσμος\n")
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[^,\n]+`, `,`, `\n`), tokdfa.Options{})
+	want, wantRest := reference.Tokens(m, input)
+
+	var texts []string
+	var got []token.Token
+	s := tok.NewStreamer()
+	emit := func(tk token.Token, text []byte) {
+		got = append(got, tk)
+		texts = append(texts, string(text))
+	}
+	// Feed in 3-byte chunks to force rune splits across Feed calls.
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[i:end], emit)
+	}
+	rest := s.Close(emit)
+	if !reference.Equal(got, want) || rest != wantRest {
+		t.Fatalf("got %d tokens rest %d, want %d rest %d", len(got), rest, len(want), wantRest)
+	}
+	for _, text := range texts {
+		if text != "," && text != "\n" && !utf8.ValidString(text) {
+			t.Errorf("field %q is not valid UTF-8", text)
+		}
+	}
+	if texts[0] != "héllo" || texts[4] != "日本語" {
+		t.Errorf("fields: %q", texts)
+	}
+}
+
+// TestUTF8ByteClasses: byte-level classes can still target UTF-8 lead
+// bytes; a grammar distinguishing ASCII runs from non-ASCII runs
+// tokenizes mixed text fully.
+func TestUTF8ByteClasses(t *testing.T) {
+	// ASCII run | any byte with the high bit set (UTF-8 continuation or
+	// lead), i.e. non-ASCII run.
+	tok := newTok(t, `[\x00-\x7f]+`, `[\x80-\xff]+`)
+	input := []byte("abcδεζ123日本")
+	var texts []string
+	toks, rest := tok.TokenizeBytes(input)
+	if rest != len(input) {
+		t.Fatalf("rest %d of %d", rest, len(input))
+	}
+	for _, tk := range toks {
+		texts = append(texts, string(input[tk.Start:tk.End]))
+	}
+	want := []string{"abc", "δεζ", "123", "日本"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens %q, want %q", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}

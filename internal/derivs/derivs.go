@@ -1,0 +1,199 @@
+// Package derivs implements regular-expression matching with Brzozowski
+// derivatives. The related work (§7: Verbatim, Coqlex, POSIX-lexing
+// formalizations) uses derivatives because they admit simple correctness
+// proofs; here they serve the same role executable-style: an independent
+// oracle for the NFA/DFA pipeline, sharing no code with the Thompson
+// construction or the subset construction.
+//
+// The derivative of a language L with respect to a byte a is
+// a⁻¹L = { w : aw ∈ L }. A string w is in L iff the ε-membership
+// (nullability) of the iterated derivative of L by w's bytes holds.
+// Derivatives of regular expressions are regular and computed
+// syntactically; smart constructors keep them from blowing up.
+package derivs
+
+import (
+	"streamtok/internal/charclass"
+	"streamtok/internal/regex"
+)
+
+// Deriv returns the Brzozowski derivative of r with respect to byte a,
+// using smart constructors for on-the-fly simplification.
+func Deriv(r regex.Node, a byte) regex.Node {
+	switch t := r.(type) {
+	case regex.Epsilon:
+		return empty()
+	case regex.Char:
+		if t.Class.Contains(a) {
+			return regex.Epsilon{}
+		}
+		return empty()
+	case regex.Concat:
+		if len(t.Factors) == 0 {
+			return empty()
+		}
+		head, tail := t.Factors[0], t.Factors[1:]
+		// d(r·s) = d(r)·s | [nullable(r)] d(s)
+		left := seq(append([]regex.Node{Deriv(head, a)}, tail...)...)
+		if head.Nullable() {
+			return alt(left, Deriv(seq(tail...), a))
+		}
+		return left
+	case regex.Alt:
+		out := make([]regex.Node, 0, len(t.Alternatives))
+		for _, alt := range t.Alternatives {
+			out = append(out, Deriv(alt, a))
+		}
+		return altN(out)
+	case regex.Star:
+		// d(r*) = d(r)·r*
+		return seq(Deriv(t.Inner, a), t)
+	case regex.Repeat:
+		// Expand one level: r{m,n} = r·r{max(0,m-1), n-1} (n<0 stays
+		// unbounded); r{0,0} = ε.
+		if t.Max == 0 {
+			return empty()
+		}
+		m := t.Min - 1
+		if m < 0 {
+			m = 0
+		}
+		n := t.Max
+		if n > 0 {
+			n--
+		}
+		rest := regex.Node(regex.Repeat{Inner: t.Inner, Min: m, Max: n})
+		if m == 0 && n == 0 {
+			rest = regex.Epsilon{}
+		}
+		return seq(Deriv(t.Inner, a), rest)
+	default:
+		panic("derivs: unknown node")
+	}
+}
+
+// Matches reports whether w ∈ L(r), by iterated derivation.
+func Matches(r regex.Node, w []byte) bool {
+	for _, a := range w {
+		r = Deriv(r, a)
+		if isEmpty(r) {
+			return false
+		}
+	}
+	return r.Nullable()
+}
+
+// MatchRule returns the least rule index of the grammar accepting w, by
+// deriving every rule independently (Definition 1's tie-break).
+func MatchRule(rules []regex.Node, w []byte) (int, bool) {
+	for i, r := range rules {
+		if Matches(r, w) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// empty returns the empty-language expression ∅.
+func empty() regex.Node { return regex.Alt{} }
+
+// isEmpty recognizes syntactic ∅ produced by the smart constructors (a
+// conservative check: false negatives only cost time, not correctness).
+func isEmpty(r regex.Node) bool {
+	a, ok := r.(regex.Alt)
+	return ok && len(a.Alternatives) == 0
+}
+
+func isEpsilon(r regex.Node) bool {
+	switch t := r.(type) {
+	case regex.Epsilon:
+		return true
+	case regex.Concat:
+		return len(t.Factors) == 0
+	}
+	return false
+}
+
+// seq is concatenation with ∅ annihilation and ε elimination.
+func seq(factors ...regex.Node) regex.Node {
+	out := make([]regex.Node, 0, len(factors))
+	for _, f := range factors {
+		if isEmpty(f) {
+			return empty()
+		}
+		if isEpsilon(f) {
+			continue
+		}
+		if c, ok := f.(regex.Concat); ok {
+			out = append(out, c.Factors...)
+			continue
+		}
+		out = append(out, f)
+	}
+	switch len(out) {
+	case 0:
+		return regex.Epsilon{}
+	case 1:
+		return out[0]
+	}
+	return regex.Concat{Factors: out}
+}
+
+// alt is binary union with ∅ elimination.
+func alt(a, b regex.Node) regex.Node { return altN([]regex.Node{a, b}) }
+
+// altN is n-ary union with ∅ elimination, flattening, and char-class
+// fusion (classes merge into one, which keeps derivative towers small).
+func altN(alts []regex.Node) regex.Node {
+	out := make([]regex.Node, 0, len(alts))
+	cls := charclass.Empty()
+	haveCls := false
+	haveEps := false
+	for _, a := range alts {
+		if isEmpty(a) {
+			continue
+		}
+		if flat, ok := a.(regex.Alt); ok {
+			for _, f := range flat.Alternatives {
+				out = append(out, f)
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	// Fuse classes, deduplicate ε, and deduplicate alternatives
+	// structurally (by printed form) — without this, iterated
+	// derivatives of expressions like (a|aa|aaa)* grow exponentially.
+	fused := out[:0]
+	seen := map[string]bool{}
+	for _, a := range out {
+		switch t := a.(type) {
+		case regex.Char:
+			cls = cls.Union(t.Class)
+			haveCls = true
+		case regex.Epsilon:
+			haveEps = true
+		default:
+			key := regex.String(a)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fused = append(fused, a)
+		}
+	}
+	out = fused
+	if haveCls {
+		out = append(out, regex.Char{Class: cls})
+	}
+	if haveEps {
+		out = append(out, regex.Epsilon{})
+	}
+	switch len(out) {
+	case 0:
+		return empty()
+	case 1:
+		return out[0]
+	}
+	return regex.Alt{Alternatives: out}
+}

@@ -1,0 +1,149 @@
+package derivs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/automata"
+	"streamtok/internal/derivs"
+	"streamtok/internal/reference"
+	"streamtok/internal/regex"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+)
+
+// TestDerivativesVsDFA: on random grammars and strings, derivative
+// matching agrees with the Thompson-NFA → subset-construction pipeline —
+// two implementations sharing no code.
+func TestDerivativesVsDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		g := testutil.RandomGrammar(rng)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		dfa := automata.Determinize(automata.BuildNFA(exprs))
+		for i := 0; i < 30; i++ {
+			w := testutil.RandomInput(rng, []byte("abcx"), rng.Intn(12))
+			q := dfa.Run(w)
+			dfaRule := -1
+			if dfa.IsFinal(q) {
+				dfaRule = dfa.Rule(q)
+			}
+			dRule, dOK := derivs.MatchRule(exprs, w)
+			if dOK != dfa.IsFinal(q) || (dOK && dRule != dfaRule) {
+				t.Fatalf("grammar %v on %q: derivs (%d,%v) vs DFA (%d,%v)",
+					g, w, dRule, dOK, dfaRule, dfa.IsFinal(q))
+			}
+		}
+	}
+}
+
+// TestDerivativeTokenization: a maximal-munch tokenizer built on nothing
+// but derivatives agrees with the reference on the corpus (small inputs —
+// this oracle is slow by design).
+func TestDerivativeTokenization(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, c := range testutil.Corpus()[:8] {
+		g := tokdfa.MustParseGrammar(c.Rules...)
+		m := c.Compile(false)
+		exprs := make([]regex.Node, len(g.Rules))
+		for i, r := range g.Rules {
+			exprs[i] = r.Expr
+		}
+		for i := 0; i < 8; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(24))
+			want, wantRest := reference.Tokens(m, in)
+			got, rest := derivTokens(exprs, in)
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%s on %q: derivs %v/%d vs reference %v/%d", c.Name, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// derivTokens is Definition 1 executed over derivative matching only.
+func derivTokens(rules []regex.Node, input []byte) (toks []reference.Token, rest int) {
+	pos := 0
+	for pos < len(input) {
+		bestEnd, bestRule := -1, -1
+		for end := pos + 1; end <= len(input); end++ {
+			if r, ok := derivs.MatchRule(rules, input[pos:end]); ok {
+				bestEnd, bestRule = end, r
+			}
+		}
+		if bestEnd < 0 {
+			return toks, pos
+		}
+		toks = append(toks, reference.Token{Start: pos, End: bestEnd, Rule: bestRule})
+		pos = bestEnd
+	}
+	return toks, pos
+}
+
+// TestDerivBasics hand-checks a few derivatives.
+func TestDerivBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		w    string
+		want bool
+	}{
+		{`a*b`, "aaab", true},
+		{`a*b`, "aaa", false},
+		{`(ab)+`, "abab", true},
+		{`(ab)+`, "aba", false},
+		{`a{2,4}`, "aaa", true},
+		{`a{2,4}`, "aaaaa", false},
+		{`a{2,}`, "aaaaaa", true},
+		{`[^a]+`, "bcd", true},
+		{`[^a]+`, "bad", false},
+		{`a?`, "", true},
+		{`[]`, "", false},
+	}
+	for _, c := range cases {
+		r := regex.MustParse(c.src)
+		if got := derivs.Matches(r, []byte(c.w)); got != c.want {
+			t.Errorf("Matches(%q, %q) = %v, want %v", c.src, c.w, got, c.want)
+		}
+	}
+}
+
+// TestDerivativeTowersStaySmall: simplification keeps iterated
+// derivatives from blowing up on a pathological expression.
+func TestDerivativeTowersStaySmall(t *testing.T) {
+	r := regex.MustParse(`(a|aa|aaa)*`)
+	cur := r
+	for i := 0; i < 200; i++ {
+		cur = derivs.Deriv(cur, 'a')
+	}
+	if size := nodeSize(cur); size > 4000 {
+		t.Errorf("derivative tower grew to %d nodes", size)
+	}
+	if !derivs.Matches(r, []byte("aaaaaaa")) {
+		t.Error("should match")
+	}
+}
+
+func nodeSize(n regex.Node) int {
+	switch t := n.(type) {
+	case regex.Concat:
+		s := 1
+		for _, f := range t.Factors {
+			s += nodeSize(f)
+		}
+		return s
+	case regex.Alt:
+		s := 1
+		for _, a := range t.Alternatives {
+			s += nodeSize(a)
+		}
+		return s
+	case regex.Star:
+		return 1 + nodeSize(t.Inner)
+	case regex.Repeat:
+		return 1 + nodeSize(t.Inner)
+	default:
+		return 1
+	}
+}

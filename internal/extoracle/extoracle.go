@@ -1,0 +1,132 @@
+// Package extoracle reimplements the ExtOracle algorithm of Li & Mamouras
+// (OOPSLA 2025): an inherently offline, linear-time maximal-munch
+// tokenizer. A right-to-left pass computes, for every position i, the
+// extension oracle — the set of DFA states q such that some nonempty
+// extension δ(q, input[i..i+k]) is final — and materializes it as a
+// "lookahead tape" of interned oracle-state ids. A left-to-right pass then
+// tokenizes without backtracking: a token ending at position i in final
+// state q is maximal iff q is not in the oracle set at i.
+//
+// Because the backwards pass must start from the end, the whole input and
+// the tape are buffered: memory is Θ(n), which is the RQ6 contrast with
+// StreamTok. The oracle-state space is determinized lazily so the cost per
+// symbol is O(1) amortized, matching the tool's Fig. 8 behaviour.
+package extoracle
+
+import (
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Oracle is the lazily determinized right-to-left oracle automaton for one
+// machine. It is reusable across inputs and safe for sequential use.
+type Oracle struct {
+	m *tokdfa.Machine
+	// states: interned oracle sets as bitsets over DFA states.
+	sets  [][]uint64
+	ids   map[string]int32
+	trans map[int64]int32 // (sid<<8 | byte) -> sid'
+	words int
+}
+
+// New prepares an oracle for m.
+func New(m *tokdfa.Machine) *Oracle {
+	o := &Oracle{
+		m:     m,
+		ids:   map[string]int32{},
+		trans: map[int64]int32{},
+		words: (m.DFA.NumStates() + 63) / 64,
+	}
+	o.intern(make([]uint64, o.words)) // id 0: the empty oracle set
+	return o
+}
+
+func (o *Oracle) intern(bits []uint64) int32 {
+	key := bitsKey(bits)
+	if id, ok := o.ids[key]; ok {
+		return id
+	}
+	id := int32(len(o.sets))
+	o.sets = append(o.sets, bits)
+	o.ids[key] = id
+	return id
+}
+
+// step computes the oracle transition: given the oracle set for position
+// i+1 and the byte at position i, the oracle set for position i.
+// q ∈ ext[i]  ⟺  δ(q, input[i]) is final, or δ(q, input[i]) ∈ ext[i+1].
+func (o *Oracle) step(sid int32, b byte) int32 {
+	k := int64(sid)<<8 | int64(b)
+	if t, ok := o.trans[k]; ok {
+		return t
+	}
+	d := o.m.DFA
+	cur := o.sets[sid]
+	bits := make([]uint64, o.words)
+	for q := 0; q < d.NumStates(); q++ {
+		t := d.Step(q, b)
+		if d.IsFinal(t) || cur[t>>6]&(1<<(t&63)) != 0 {
+			bits[q>>6] |= 1 << (q & 63)
+		}
+	}
+	id := o.intern(bits)
+	o.trans[k] = id
+	return id
+}
+
+// NumOracleStates returns the number of distinct oracle sets materialized
+// so far.
+func (o *Oracle) NumOracleStates() int { return len(o.sets) }
+
+// Tokenize runs the two passes over an in-memory input. tape, if non-nil,
+// is reused for the lookahead tape (pass a slice of capacity ≥ len(input)+1
+// to avoid reallocation). It returns the offset of the first untokenized
+// byte.
+func (o *Oracle) Tokenize(input []byte, tape []int32, emit func(tok token.Token, text []byte)) (rest int) {
+	d := o.m.DFA
+	if cap(tape) < len(input)+1 {
+		tape = make([]int32, len(input)+1)
+	}
+	tape = tape[:len(input)+1]
+
+	// Pass 1 (right to left): the lookahead tape.
+	tape[len(input)] = 0 // empty set: nothing extends past the end
+	for i := len(input) - 1; i >= 0; i-- {
+		tape[i] = o.step(tape[i+1], input[i])
+	}
+
+	// Pass 2 (left to right): backtracking-free tokenization.
+	startP := 0
+	q := d.Start
+	for pos := 0; pos < len(input); {
+		q = d.Step(q, input[pos])
+		pos++
+		if d.IsFinal(q) {
+			ext := o.sets[tape[pos]]
+			if ext[q>>6]&(1<<(q&63)) == 0 {
+				if emit != nil {
+					emit(token.Token{Start: startP, End: pos, Rule: d.Rule(q)}, input[startP:pos])
+				}
+				startP = pos
+				q = d.Start
+			}
+		} else if o.m.IsDead(q) {
+			return startP
+		}
+	}
+	return startP
+}
+
+// TapeBytes returns the memory the lookahead tape occupies for an input of
+// n bytes (the RQ6 accounting).
+func TapeBytes(n int) int { return 4 * (n + 1) }
+
+func bitsKey(bits []uint64) string {
+	buf := make([]byte, len(bits)*8)
+	for i, w := range bits {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,96 @@
+package extoracle_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/extoracle"
+	"streamtok/internal/reference"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// TestExtOracleCorpus: the two-pass tokenizer equals the reference on the
+// corpus (it applies to every grammar, bounded TND or not).
+func TestExtOracleCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		o := extoracle.New(m)
+		for i := 0; i < 50; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(96))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest := o.Tokenize(in, nil, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%s on %q: got %v/%d want %v/%d", c.Name, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestExtOracleRandomGrammars: differential test on random grammars.
+func TestExtOracleRandomGrammars(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 200; trial++ {
+		g := testutil.RandomGrammar(rng)
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := extoracle.New(m)
+		for i := 0; i < 8; i++ {
+			in := testutil.RandomInput(rng, []byte("abcx"), rng.Intn(64))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest := o.Tokenize(in, nil, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%v on %q: got %v/%d want %v/%d", g, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestExtOracleUnboundedGrammar: ExtOracle handles the Lemma 6 grammar
+// that StreamTok must reject — its generality/memory tradeoff (RQ6).
+func TestExtOracleUnboundedGrammar(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`a`, `b`, `(a|b)*c`), tokdfa.Options{})
+	o := extoracle.New(m)
+	in := append(bytes.Repeat([]byte("ab"), 500), 'c')
+	var got []token.Token
+	rest := o.Tokenize(in, nil, func(tk token.Token, _ []byte) { got = append(got, tk) })
+	if rest != len(in) || len(got) != 1 {
+		t.Fatalf("expected one whole-stream token, got %d tokens rest %d", len(got), rest)
+	}
+	// Without the trailing c, the same input is n single-char tokens.
+	in2 := bytes.Repeat([]byte("ab"), 500)
+	got = nil
+	rest = o.Tokenize(in2, nil, func(tk token.Token, _ []byte) { got = append(got, tk) })
+	if rest != len(in2) || len(got) != len(in2) {
+		t.Fatalf("expected %d single-char tokens, got %d rest %d", len(in2), len(got), rest)
+	}
+}
+
+// TestOracleStateReuse: the lazily determinized oracle space is shared
+// across inputs and stays small for simple grammars.
+func TestOracleStateReuse(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	o := extoracle.New(m)
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 20; i++ {
+		in := testutil.RandomInput(rng, []byte("0123 "), 512)
+		o.Tokenize(in, nil, nil)
+	}
+	if n := o.NumOracleStates(); n > 16 {
+		t.Errorf("oracle states = %d; expected a small reused set", n)
+	}
+}
+
+// TestTapeBytes documents the Θ(n) memory of the lookahead tape.
+func TestTapeBytes(t *testing.T) {
+	if got := extoracle.TapeBytes(1_000_000); got < 4_000_000 {
+		t.Errorf("TapeBytes(1e6) = %d, want ≥ 4e6", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Package ghdataset synthesizes the RQ1/RQ2 grammar corpus. The paper
+// analyzes 2669 de-duplicated tokenization grammars sampled from public
+// GitHub repositories; that dataset is not redistributable and the module
+// is offline, so this package generates a seeded synthetic corpus whose
+// marginal statistics are calibrated to the paper's Fig. 7 numbers:
+//
+//   - ≈81% of grammars have NFA size ≤ 100, with the mode below 20 and the
+//     largest grammar at size 2496 (Fig. 7a);
+//   - ≈32% have unbounded max-TND; of the bounded ones ≈53% have max-TND 1
+//     (≈36% of the whole corpus), most bounded grammars have max-TND ≤ 4,
+//     8 outliers exceed 20, and the largest bounded value is 51 (Fig. 7b).
+//
+// Grammars are built from base templates with a known max-TND plus
+// padding rules (distinct equal-length keywords over a disjoint alphabet)
+// that grow the automaton without changing the distance.
+package ghdataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+)
+
+// CorpusSize is the number of grammars in the paper's dataset.
+const CorpusSize = 2669
+
+// Entry is one synthetic grammar.
+type Entry struct {
+	ID    int
+	Rules []string
+	// PlannedTND is the max-TND the template was built for (Unbounded
+	// for ∞). The static analysis is the ground truth; tests check the
+	// two agree on a sample.
+	PlannedTND int
+}
+
+// Unbounded marks a planned infinite max-TND.
+const Unbounded = -1
+
+// Corpus generates the full synthetic dataset for the given seed. The
+// paper-calibrated seed is 2026.
+func Corpus(seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	plan := tndPlan()
+	rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+	entries := make([]Entry, len(plan))
+	for i, tnd := range plan {
+		entries[i] = Entry{ID: i, Rules: buildGrammar(rng, tnd, targetSize(rng, i)), PlannedTND: tnd}
+	}
+	return entries
+}
+
+// tndPlan returns the multiset of planned max-TND values matching the
+// Fig. 7b distribution (sums to CorpusSize).
+func tndPlan() []int {
+	var plan []int
+	add := func(tnd, n int) {
+		for i := 0; i < n; i++ {
+			plan = append(plan, tnd)
+		}
+	}
+	add(Unbounded, 854) // 32%
+	add(1, 960)         // 36% of all = 53% of bounded
+	add(0, 160)
+	add(2, 320)
+	add(3, 187)
+	add(4, 107)
+	add(5, 20)
+	add(6, 14)
+	add(7, 10)
+	add(8, 10)
+	add(10, 7)
+	add(12, 5)
+	add(15, 4)
+	add(20, 3)
+	// The 8 bounded outliers above 20, largest 51 (Fig. 7b).
+	for _, t := range []int{22, 25, 28, 31, 35, 40, 46, 51} {
+		add(t, 1)
+	}
+	return plan
+}
+
+// targetSize draws an NFA-size target from the Fig. 7a shape. Entry 0
+// (after shuffling, an arbitrary grammar) is forced to the paper's maximum
+// size 2496.
+func targetSize(rng *rand.Rand, id int) int {
+	if id == 0 {
+		return 2496
+	}
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		return 8 + rng.Intn(14) // the sub-20 mode
+	case r < 0.81:
+		return 20 + rng.Intn(81) // up to 100
+	case r < 0.97:
+		return 101 + rng.Intn(300)
+	default:
+		return 401 + rng.Intn(1200)
+	}
+}
+
+// buildGrammar assembles rules: a base template realizing the planned
+// max-TND, then keyword padding up to roughly the target NFA size.
+func buildGrammar(rng *rand.Rand, tnd, size int) []string {
+	var rules []string
+	switch {
+	case tnd == Unbounded:
+		rules = unboundedBase(rng)
+	case tnd == 0:
+		rules = []string{`[0-9]`, `[ ]`}
+	case tnd == 1:
+		rules = base1(rng)
+	default:
+		rules = baseK(rng, tnd)
+	}
+	// Padding: distinct keywords of equal length over the uppercase
+	// alphabet (disjoint from every base template). Equal length means
+	// no prefix pairs, so padding leaves the max-TND unchanged. The
+	// Thompson construction costs exactly 2 states per keyword byte, so
+	// the target NFA size can be hit exactly.
+	base := nfaSize(rules)
+	kwLen := 6
+	need := (size - base) / (2 * kwLen)
+	seen := map[string]bool{}
+	for len(seen) < need {
+		kw := randomKeyword(rng, kwLen)
+		if seen[kw] {
+			continue
+		}
+		seen[kw] = true
+		rules = append(rules, kw)
+	}
+	return rules
+}
+
+// nfaSize measures the Thompson NFA size of a rule list.
+func nfaSize(rules []string) int {
+	exprs := make([]regex.Node, len(rules))
+	for i, r := range rules {
+		exprs[i] = regex.MustParse(r)
+	}
+	return automata.BuildNFA(exprs).NumStates()
+}
+
+func randomKeyword(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('A' + rng.Intn(26)))
+	}
+	return sb.String()
+}
+
+// base1 picks a max-TND-1 template.
+func base1(rng *rand.Rand) []string {
+	switch rng.Intn(4) {
+	case 0:
+		return []string{`[0-9]+`, `[ ]+`}
+	case 1:
+		return []string{`[a-z]+`, `[0-9]+`, `[ \t]+`}
+	case 2:
+		return []string{`"([^"]|"")*"?`, `[^," ]+`, `,`, `[ ]+`}
+	default:
+		return []string{`[a-z]+`, `[ ]+`, `=`, `;`}
+	}
+}
+
+// baseK builds a template with max-TND exactly k ≥ 2: an integer rule with
+// an optional fixed suffix of length k (dot plus k-1 digits), whose
+// intermediate strings match nothing.
+func baseK(rng *rand.Rand, k int) []string {
+	switch rng.Intn(3) {
+	case 0:
+		return []string{fmt.Sprintf(`[0-9]+(\.[0-9]{%d})?`, k-1), `[ ]+`}
+	case 1:
+		return []string{fmt.Sprintf(`a{0,%d}b`, k), `a`}
+	default:
+		// Distance k = 'e' + sign + (k-2) digits.
+		return []string{fmt.Sprintf(`[0-9]+(e[+-][0-9]{%d})?`, k-2), `[ ]+`}
+	}
+}
+
+// unboundedBase picks an ∞-TND template.
+func unboundedBase(rng *rand.Rand) []string {
+	switch rng.Intn(4) {
+	case 0:
+		return []string{`[0-9]*0`, `[ ]+`}
+	case 1:
+		return []string{`a`, `a*b`, `[ab]*c`}
+	case 2:
+		return []string{`/`, `/\*[a-z ]*\*/`, `[a-z]+`, `[ ]+`}
+	default:
+		return []string{`"([^"]|"")*"`, `[^," ]+`, `,`, `[ ]+`}
+	}
+}

@@ -1,0 +1,122 @@
+package ghdataset_test
+
+import (
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/ghdataset"
+	"streamtok/internal/tokdfa"
+)
+
+// TestCorpusShape checks the corpus size and the Fig. 7 marginals: ≈32%
+// unbounded, ≈36% max-TND 1, ≈81% of grammars of size ≤ 100, 8 bounded
+// outliers above 20, max bounded TND 51.
+func TestCorpusShape(t *testing.T) {
+	entries := ghdataset.Corpus(2026)
+	if len(entries) != ghdataset.CorpusSize {
+		t.Fatalf("corpus size %d, want %d", len(entries), ghdataset.CorpusSize)
+	}
+	unbounded, tnd1, outliers, maxBounded := 0, 0, 0, 0
+	for _, e := range entries {
+		switch {
+		case e.PlannedTND == ghdataset.Unbounded:
+			unbounded++
+		case e.PlannedTND == 1:
+			tnd1++
+		}
+		if e.PlannedTND > 20 {
+			outliers++
+		}
+		if e.PlannedTND > maxBounded {
+			maxBounded = e.PlannedTND
+		}
+	}
+	if pct := (100*unbounded + len(entries)/2) / len(entries); pct != 32 {
+		t.Errorf("unbounded = %d%%, want 32%%", pct)
+	}
+	if pct := 100 * tnd1 / len(entries); pct != 35 && pct != 36 {
+		t.Errorf("TND-1 = %d%%, want ≈36%%", pct)
+	}
+	if outliers != 8 {
+		t.Errorf("bounded outliers > 20: %d, want 8", outliers)
+	}
+	if maxBounded != 51 {
+		t.Errorf("largest bounded TND %d, want 51", maxBounded)
+	}
+}
+
+// TestPlannedTNDMatchesAnalysis verifies, on a deterministic sample, that
+// the template generator delivers the max-TND it planned — i.e. keyword
+// padding really is distance-neutral.
+func TestPlannedTNDMatchesAnalysis(t *testing.T) {
+	entries := ghdataset.Corpus(2026)
+	for i := 0; i < len(entries); i += 97 { // ~28 sampled grammars
+		e := entries[i]
+		g, err := tokdfa.ParseGrammar(e.Rules...)
+		if err != nil {
+			t.Fatalf("grammar %d: %v", e.ID, err)
+		}
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatalf("grammar %d: %v", e.ID, err)
+		}
+		res := analysis.Analyze(m)
+		switch {
+		case e.PlannedTND == ghdataset.Unbounded && res.Bounded():
+			t.Errorf("grammar %d: planned unbounded, analysis %d (rules %v)", e.ID, res.MaxTND, e.Rules[:min(len(e.Rules), 4)])
+		case e.PlannedTND >= 0 && (!res.Bounded() || res.MaxTND != e.PlannedTND):
+			t.Errorf("grammar %d: planned %d, analysis %s (rules %v)", e.ID, e.PlannedTND, res.String(), e.Rules[:min(len(e.Rules), 4)])
+		}
+	}
+}
+
+// TestSizeDistribution checks the Fig. 7a shape on actual NFA sizes.
+func TestSizeDistribution(t *testing.T) {
+	entries := ghdataset.Corpus(2026)
+	le100, maxSize := 0, 0
+	for i := 0; i < len(entries); i += 13 { // sample 1/13 for speed
+		e := entries[i]
+		g, err := tokdfa.ParseGrammar(e.Rules...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NFASize <= 100 {
+			le100++
+		}
+		if m.NFASize > maxSize {
+			maxSize = m.NFASize
+		}
+	}
+	n := (len(entries) + 12) / 13
+	pct := 100 * le100 / n
+	if pct < 70 || pct > 92 {
+		t.Errorf("size ≤ 100: %d%%, want ≈81%%", pct)
+	}
+}
+
+// TestDeterministic: the corpus is reproducible for a fixed seed.
+func TestDeterministic(t *testing.T) {
+	a := ghdataset.Corpus(2026)
+	b := ghdataset.Corpus(2026)
+	for i := range a {
+		if a[i].PlannedTND != b[i].PlannedTND || len(a[i].Rules) != len(b[i].Rules) {
+			t.Fatalf("entry %d differs between runs", i)
+		}
+		for j := range a[i].Rules {
+			if a[i].Rules[j] != b[i].Rules[j] {
+				t.Fatalf("entry %d rule %d differs", i, j)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Package grammarfile parses the .tok grammar specification format used
+// by the command-line tools, a minimal flex-like rule file:
+//
+//	# comment
+//	NUMBER  := [0-9]+(\.[0-9]+)?
+//	IDENT   := [A-Za-z_][A-Za-z0-9_]*
+//	WS      := [ \t\n]+
+//
+// One rule per line, "NAME := regex". Names must be unique, rule order is
+// the tie-break order of Definition 1, blank lines and '#' comments are
+// ignored, and everything after ":=" (trimmed) is the regex.
+package grammarfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"streamtok/internal/regex"
+	"streamtok/internal/tokdfa"
+)
+
+// ParseError reports a malformed grammar file.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("grammarfile: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a .tok specification.
+func Parse(r io.Reader) (*tokdfa.Grammar, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	g := &tokdfa.Grammar{}
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, src, ok := strings.Cut(line, ":=")
+		if !ok {
+			return nil, &ParseError{lineNo, fmt.Sprintf("expected NAME := regex, got %q", line)}
+		}
+		name = strings.TrimSpace(name)
+		src = strings.TrimSpace(src)
+		if !validName(name) {
+			return nil, &ParseError{lineNo, fmt.Sprintf("invalid rule name %q", name)}
+		}
+		if seen[name] {
+			return nil, &ParseError{lineNo, fmt.Sprintf("duplicate rule name %q", name)}
+		}
+		if src == "" {
+			return nil, &ParseError{lineNo, "empty regex"}
+		}
+		expr, err := regex.Parse(src)
+		if err != nil {
+			return nil, &ParseError{lineNo, fmt.Sprintf("rule %s: %v", name, err)}
+		}
+		seen[name] = true
+		g.Rules = append(g.Rules, tokdfa.Rule{Name: name, Expr: expr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(g.Rules) == 0 {
+		return nil, &ParseError{lineNo, "no rules"}
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*tokdfa.Grammar, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Format renders a grammar back to the .tok format.
+func Format(g *tokdfa.Grammar) string {
+	width := 0
+	for _, r := range g.Rules {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	var sb strings.Builder
+	for _, r := range g.Rules {
+		fmt.Fprintf(&sb, "%-*s := %s\n", width, r.Name, regex.String(r.Expr))
+	}
+	return sb.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

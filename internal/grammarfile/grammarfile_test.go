@@ -1,0 +1,87 @@
+package grammarfile_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamtok/internal/grammarfile"
+	"streamtok/internal/reference"
+	"streamtok/internal/tokdfa"
+)
+
+const sample = `
+# numbers and identifiers
+NUMBER := [0-9]+(\.[0-9]+)?
+IDENT  := [A-Za-z_][A-Za-z0-9_]*
+
+WS := [ \t\n]+
+`
+
+func TestParse(t *testing.T) {
+	g, err := grammarfile.ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 3 {
+		t.Fatalf("%d rules", len(g.Rules))
+	}
+	if g.RuleName(0) != "NUMBER" || g.RuleName(2) != "WS" {
+		t.Errorf("names: %q %q", g.RuleName(0), g.RuleName(2))
+	}
+	m := tokdfa.MustCompile(g, tokdfa.Options{})
+	toks, rest := reference.Tokens(m, []byte("x1 3.5"))
+	if rest != 6 || len(toks) != 3 {
+		t.Fatalf("tokens %v rest %d", toks, rest)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"FOO\n", "expected NAME"},
+		{"1BAD := a\n", "invalid rule name"},
+		{"A := a\nA := b\n", "duplicate"},
+		{"A :=\n", "empty regex"},
+		{"A := [z-a]\n", "rule A"},
+		{"", "no rules"},
+		{"# only comments\n", "no rules"},
+	}
+	for _, c := range cases {
+		_, err := grammarfile.ParseString(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseString(%q): err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	g, err := grammarfile.ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := grammarfile.Format(g)
+	g2, err := grammarfile.ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", out, err)
+	}
+	if len(g2.Rules) != len(g.Rules) {
+		t.Fatalf("rule count changed: %d vs %d", len(g2.Rules), len(g.Rules))
+	}
+	for i := range g.Rules {
+		if g.Rules[i].Name != g2.Rules[i].Name {
+			t.Errorf("rule %d name %q vs %q", i, g.Rules[i].Name, g2.Rules[i].Name)
+		}
+	}
+	// Languages must agree (compare compiled DFAs on samples).
+	m1 := tokdfa.MustCompile(g, tokdfa.Options{})
+	m2 := tokdfa.MustCompile(g2, tokdfa.Options{})
+	for _, w := range []string{"abc", "1.5", " ", "a1", "..", ""} {
+		a, ar := reference.Tokens(m1, []byte(w))
+		b, br := reference.Tokens(m2, []byte(w))
+		if !reference.Equal(a, b) || ar != br {
+			t.Errorf("round-trip changed tokenization of %q", w)
+		}
+	}
+}

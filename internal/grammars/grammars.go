@@ -1,0 +1,324 @@
+// Package grammars is the catalog of tokenization grammars used in the
+// paper's evaluation: data exchange formats (JSON, CSV, TSV, XML, YAML,
+// FASTA, DNS zone files), log formats, and programming/query languages
+// (C-, R-, and SQL-like, all with unbounded max-TND). Every grammar's
+// max-TND is pinned by tests against the paper's Table 1 / RQ3 values.
+package grammars
+
+import (
+	"fmt"
+	"sort"
+
+	"streamtok/internal/tokdfa"
+)
+
+// Spec is a cataloged grammar with its expected analysis outcome.
+type Spec struct {
+	Name  string
+	Rules []string
+	// RuleNames names each rule (token class) in order.
+	RuleNames []string
+	// WantTND is the expected max-TND; Unbounded for ∞.
+	WantTND int
+}
+
+// Unbounded marks an expected infinite max-TND.
+const Unbounded = -1
+
+// Grammar parses the spec into a tokenization grammar.
+func (s Spec) Grammar() *tokdfa.Grammar {
+	g := tokdfa.MustParseGrammar(s.Rules...)
+	return g.Named(s.RuleNames...)
+}
+
+// Machine compiles the spec (minimized, as Table 1 reports minimal DFA
+// sizes).
+func (s Spec) Machine() *tokdfa.Machine {
+	return tokdfa.MustCompile(s.Grammar(), tokdfa.Options{Minimize: true})
+}
+
+// Lookup returns the spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("grammars: unknown grammar %q", name)
+}
+
+// Names lists all catalog names, sorted.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the full catalog.
+func All() []Spec {
+	return []Spec{
+		JSON(), CSV(), CSVRFC(), TSV(), XML(), YAML(), FASTA(), DNSZone(),
+		LogLine(), CLang(), RLang(), SQL(), SQLInserts(),
+	}
+}
+
+// DataFormats returns the bounded-TND formats used in RQ3/RQ4 (Figs. 9–11).
+func DataFormats() []Spec {
+	return []Spec{JSON(), CSV(), TSV(), XML(), YAML(), FASTA(), DNSZone(), LogLine()}
+}
+
+// JSON is the JSON tokenization grammar (RFC 8259 lexical level). Its
+// max-TND is 3: a bare integer can be extended by "e+5"-style exponents.
+func JSON() Spec {
+	return Spec{
+		Name: "json",
+		Rules: []string{
+			`"([^"\\]|\\.)*"`,
+			`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`,
+			`true`, `false`, `null`,
+			`[{}\[\],:]`,
+			`[ \t\n\r]+`,
+		},
+		RuleNames: []string{"STRING", "NUMBER", "TRUE", "FALSE", "NULL", "PUNCT", "WS"},
+		WantTND:   3,
+	}
+}
+
+// CSV is the streaming CSV variant of RQ1: the closing quote of a quoted
+// field is optional (`"(["]|"")*"?` in the paper's notation), which brings
+// the max-TND down to 1 while behaving identically on well-formed
+// documents.
+func CSV() Spec {
+	return Spec{
+		Name: "csv",
+		Rules: []string{
+			`"([^"]|"")*"?`,
+			`[^,"\r\n]+`,
+			`,`,
+			`\r?\n`,
+		},
+		RuleNames: []string{"QUOTED", "FIELD", "COMMA", "EOL"},
+		WantTND:   1,
+	}
+}
+
+// CSVRFC is the RFC 4180 quoted-field rule `"(["]|"")*"`, whose max-TND is
+// unbounded: the token neighbor pairs "" → "␣""␣" → ... grow without bound
+// (the paper's RQ1 discussion).
+func CSVRFC() Spec {
+	return Spec{
+		Name: "csv-rfc4180",
+		Rules: []string{
+			`"([^"]|"")*"`,
+			`[^,"\r\n]+`,
+			`,`,
+			`\r?\n`,
+		},
+		RuleNames: []string{"QUOTED", "FIELD", "COMMA", "EOL"},
+		WantTND:   Unbounded,
+	}
+}
+
+// TSV is a schema-aware TSV grammar (typed fields, as produced by the
+// paper's schema-driven CSV/TSV adaptation): numeric fields may gain a
+// fractional part, giving max-TND 2.
+func TSV() Spec {
+	return Spec{
+		Name: "tsv",
+		Rules: []string{
+			`[0-9]+(\.[0-9]+)?`,
+			`[A-Za-z_][A-Za-z0-9_.:/-]*`,
+			`\t`,
+			`\r?\n`,
+		},
+		RuleNames: []string{"NUMBER", "WORD", "TAB", "EOL"},
+		WantTND:   2,
+	}
+}
+
+// XML is a subset XML grammar: tags with attributes, comments, character
+// data, named entities, numeric character references, and (lenient) bare
+// ampersands. Its max-TND is 6: the bare "&" token extends to a numeric
+// character reference "&#9999;" (up to four digits).
+func XML() Spec {
+	return Spec{
+		Name: "xml",
+		Rules: []string{
+			`</?[A-Za-z][A-Za-z0-9:_-]*([ \t\n]+[A-Za-z:_-]+="[^"<>&]*")*[ \t\n]*/?>`,
+			`<!--([^-]|-[^-])*-->`,
+			`&(lt|gt|amp|quot|apos);`,
+			`&#[0-9]{1,4};`,
+			`&`,
+			`[^<&]+`,
+		},
+		RuleNames: []string{"TAG", "COMMENT", "ENTITY", "CHARREF", "AMP", "TEXT"},
+		WantTND:   6,
+	}
+}
+
+// YAML is a simplified YAML scalar/structure grammar (the paper reports
+// max-TND 2 for YAML): numbers with optional fractions provide the
+// distance-2 pairs.
+func YAML() Spec {
+	return Spec{
+		Name: "yaml",
+		Rules: []string{
+			`-?[0-9]+(\.[0-9]+)?`,
+			`[A-Za-z_][A-Za-z0-9_]*`,
+			`"[^"\n]*"`,
+			`'[^'\n]*'`,
+			`#[^\n]*`,
+			`[:\-?|>]`,
+			`[ ]+`,
+			`\n`,
+		},
+		RuleNames: []string{"NUMBER", "WORD", "DQ", "SQ", "COMMENT", "PUNCT", "SPACE", "EOL"},
+		WantTND:   2,
+	}
+}
+
+// FASTA tokenizes protein/DNA sequence files: header lines and sequence
+// runs; max-TND 1.
+func FASTA() Spec {
+	return Spec{
+		Name: "fasta",
+		Rules: []string{
+			`>[^\n]*`,
+			`[A-Za-z*-]+`,
+			`\n`,
+		},
+		RuleNames: []string{"HEADER", "SEQ", "EOL"},
+		WantTND:   1,
+	}
+}
+
+// DNSZone tokenizes DNS zone files (RFC 1035 / RFC 4034 presentation
+// format): names, numbers, parentheses, comments, whitespace; max-TND 1.
+func DNSZone() Spec {
+	return Spec{
+		Name: "dns",
+		Rules: []string{
+			`[A-Za-z0-9._@*-]+`,
+			`;[^\n]*`,
+			`[()]`,
+			`"[^"\n]*"`,
+			`[ \t]+`,
+			`\n`,
+		},
+		RuleNames: []string{"NAME", "COMMENT", "PAREN", "STRING", "WS", "EOL"},
+		WantTND:   1,
+	}
+}
+
+// LogLine is the generic system-log grammar used for /var/log-style
+// files (max-TND 1): words (including timestamps, IPs, and paths),
+// brackets, punctuation, whitespace.
+func LogLine() Spec {
+	return Spec{
+		Name: "log",
+		Rules: []string{
+			`[A-Za-z0-9_.:/+@#-]+`,
+			`"[^"\n]*"?`,
+			`[\[\]()=,;]`,
+			`[ \t]+`,
+			`\n`,
+			`[^ \t\n"]`,
+		},
+		RuleNames: []string{"WORD", "STRING", "PUNCT", "WS", "EOL", "OTHER"},
+		WantTND:   1,
+	}
+}
+
+// CLang is a C-like programming-language lexical grammar. Its max-TND is
+// unbounded: the division operator "/" extends to arbitrarily long block
+// comments "/*...*/".
+func CLang() Spec {
+	return Spec{
+		Name: "c",
+		Rules: []string{
+			`auto|break|case|char|const|continue|default|do|double|else|enum|extern|float|for|goto|if|int|long|register|return|short|signed|sizeof|static|struct|switch|typedef|union|unsigned|void|volatile|while`,
+			`[A-Za-z_][A-Za-z0-9_]*`,
+			`0[xX][0-9a-fA-F]+|[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?[uUlLfF]*`,
+			`"([^"\\\n]|\\.)*"`,
+			`'([^'\\\n]|\\.)'`,
+			`/\*([^*]|\*+[^*/])*\*+/`,
+			`//[^\n]*`,
+			`[{}()\[\];,]`,
+			`\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||->|\+=|-=|\*=|/=|%=|&=|\|=|\^=|[-+*/%=<>!&|^~?:.]`,
+			`[ \t\n\r]+`,
+		},
+		RuleNames: []string{"KEYWORD", "IDENT", "NUMBER", "STRING", "CHAR", "COMMENT", "LINECOMMENT", "BRACKET", "OP", "WS"},
+		WantTND:   Unbounded,
+	}
+}
+
+// RLang is an R-like lexical grammar; unbounded via the "%" operator
+// token (modulo-operator error recovery) extending to arbitrary
+// user-defined %op% operators: % → %in%, %my.op%, ...
+func RLang() Spec {
+	return Spec{
+		Name: "r",
+		Rules: []string{
+			`if|else|for|while|repeat|function|return|break|next|TRUE|FALSE|NULL|NA|Inf|NaN`,
+			`[A-Za-z.][A-Za-z0-9._]*`,
+			`[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?L?`,
+			`"([^"\\]|\\.)*"`,
+			`'([^'\\]|\\.)*'`,
+			"`[^`]*`",
+			`#[^\n]*`,
+			`%[^%\n]*%`,
+			`<-|<<-|->|->>|<=|>=|==|!=|&&|\|\||\.\.\.|[-+*/^=<>!&|~?@$:%]`,
+			`[{}()\[\];,]`,
+			`[ \t\n\r]+`,
+		},
+		RuleNames: []string{"KEYWORD", "IDENT", "NUMBER", "DQSTRING", "SQSTRING", "BACKTICK", "COMMENT", "SPECIALOP", "OP", "BRACKET", "WS"},
+		WantTND:   Unbounded,
+	}
+}
+
+// SQLInserts is the application-specific grammar for the RQ5 "SQL loads"
+// task (migration files of INSERT INTO statements). Unlike the full SQL
+// grammar it is bounded: string literals use the streaming
+// optional-closing-quote rule (the CSV trick of RQ1) and block comments
+// are omitted, giving max-TND 3 (from scientific-notation numbers).
+func SQLInserts() Spec {
+	return Spec{
+		Name: "sql-inserts",
+		Rules: []string{
+			`INSERT|INTO|VALUES|NULL|DEFAULT`,
+			`[A-Za-z_][A-Za-z0-9_]*`,
+			`-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?`,
+			`'([^'\n]|'')*'?`,
+			`--[^\n]*`,
+			`[(),;.=*]`,
+			`[ \t\n\r]+`,
+		},
+		RuleNames: []string{"KEYWORD", "IDENT", "NUMBER", "STRING", "COMMENT", "OP", "WS"},
+		WantTND:   3,
+	}
+}
+
+// SQL is a SQL-like lexical grammar; unbounded via the ” escape in string
+// literals ('a' extends to 'a”b', 'a”bc', ...) and via block comments.
+func SQL() Spec {
+	return Spec{
+		Name: "sql",
+		Rules: []string{
+			`SELECT|FROM|WHERE|INSERT|INTO|VALUES|UPDATE|SET|DELETE|CREATE|TABLE|DROP|ALTER|INDEX|JOIN|INNER|LEFT|RIGHT|OUTER|ON|AS|AND|OR|NOT|NULL|IS|IN|LIKE|BETWEEN|ORDER|BY|GROUP|HAVING|LIMIT|OFFSET|UNION|ALL|DISTINCT|PRIMARY|KEY|FOREIGN|REFERENCES|DEFAULT|CHECK|UNIQUE|CONSTRAINT`,
+			`[A-Za-z_][A-Za-z0-9_]*`,
+			`[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?`,
+			`'([^']|'')*'`,
+			`"[^"]*"`,
+			`--[^\n]*`,
+			`/\*([^*]|\*+[^*/])*\*+/`,
+			`<=|>=|<>|!=|\|\||[-+*/%=<>(),;.]`,
+			`[ \t\n\r]+`,
+		},
+		RuleNames: []string{"KEYWORD", "IDENT", "NUMBER", "STRING", "QUOTEDID", "LINECOMMENT", "COMMENT", "OP", "WS"},
+		WantTND:   Unbounded,
+	}
+}

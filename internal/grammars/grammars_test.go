@@ -1,0 +1,118 @@
+package grammars_test
+
+import (
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/grammars"
+	"streamtok/internal/reference"
+	"streamtok/internal/tokdfa"
+)
+
+// TestCatalogTND pins every catalog grammar's max-TND to the paper's
+// Table 1 / RQ3 value.
+func TestCatalogTND(t *testing.T) {
+	for _, s := range grammars.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m := s.Machine()
+			res := analysis.Analyze(m)
+			switch {
+			case s.WantTND == grammars.Unbounded && res.Bounded():
+				t.Errorf("%s: MaxTND = %d, want unbounded", s.Name, res.MaxTND)
+			case s.WantTND >= 0 && (!res.Bounded() || res.MaxTND != s.WantTND):
+				t.Errorf("%s: MaxTND = %s, want %d (NFA %d, DFA %d)",
+					s.Name, res.String(), s.WantTND, res.NFASize, res.DFASize)
+			}
+		})
+	}
+}
+
+// TestCatalogTokenizes smoke-tests each grammar on a representative
+// document: the whole input must tokenize (rest == len).
+func TestCatalogTokenizes(t *testing.T) {
+	samples := map[string]string{
+		"json":        `{"a": [1, 2.5, -3e+7], "b": {"t": true, "n": null}, "s": "x\"y"}`,
+		"csv":         "a,b,\"c,d\",\"e\"\"f\"\n1,2,3,4\n",
+		"csv-rfc4180": "a,b,\"c,d\"\n1,2,3\n",
+		"tsv":         "name\tage\tscore\nalice\t30\t99.5\n",
+		"xml":         `<doc id="1"><item a="x"/>text &amp; &#955; more<!-- note --></doc>`,
+		"yaml":        "key: value\nnum: -3.25\nlist:\n  - \"quoted\"\n  - 'single'\n# comment\n",
+		"fasta":       ">seq1 description\nACGTACGT\nNNNN-ACG\n>seq2\nMKVL*\n",
+		"dns":         "example.com. 3600 IN SOA ns.example.com. admin.example.com. (\n 2024010101 ; serial\n)\n",
+		"log":         "Jun 14 15:16:01 combo sshd(pam_unix)[19939]: authentication failure; rhost=218.188.2.4\n",
+		"c":           "int main(void) { /* hi */ int x = 0x1F + 2.5e-3; return x >= 1 ? 0 : 1; } // done\n",
+		"r":           "f <- function(x) { y <- x %in% c(1, 2); if (y) \"yes\" else 'no' } # cmt\n",
+		"sql":         "SELECT a, 'it''s' FROM t WHERE x <= 3.5 -- c\n/* block */ ORDER BY a;\n",
+		"sql-inserts": "INSERT INTO t VALUES (1, 'a''b', -2.5, NULL); -- x\n",
+	}
+	for _, s := range grammars.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			doc, ok := samples[s.Name]
+			if !ok {
+				t.Fatalf("no sample document for %s", s.Name)
+			}
+			m := s.Machine()
+			toks, rest := reference.Tokens(m, []byte(doc))
+			if rest != len(doc) {
+				t.Fatalf("%s: tokenization stopped at %d/%d (%q...)", s.Name, rest, len(doc), doc[rest:min(rest+10, len(doc))])
+			}
+			if len(toks) == 0 {
+				t.Fatalf("%s: no tokens", s.Name)
+			}
+		})
+	}
+}
+
+// TestRuleNamesCover checks each catalog entry names all its rules.
+func TestRuleNamesCover(t *testing.T) {
+	for _, s := range grammars.All() {
+		if len(s.RuleNames) != len(s.Rules) {
+			t.Errorf("%s: %d rule names for %d rules", s.Name, len(s.RuleNames), len(s.Rules))
+		}
+		g := s.Grammar()
+		for i := range s.Rules {
+			if g.RuleName(i) != s.RuleNames[i] {
+				t.Errorf("%s: rule %d named %q, want %q", s.Name, i, g.RuleName(i), s.RuleNames[i])
+			}
+		}
+	}
+}
+
+// TestLookup checks catalog lookup and the DataFormats subset.
+func TestLookup(t *testing.T) {
+	if _, err := grammars.Lookup("json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grammars.Lookup("nope"); err == nil {
+		t.Fatal("Lookup(nope) should fail")
+	}
+	for _, s := range grammars.DataFormats() {
+		if s.WantTND == grammars.Unbounded {
+			t.Errorf("%s is in DataFormats but unbounded", s.Name)
+		}
+	}
+	if n := len(grammars.Names()); n != len(grammars.All()) {
+		t.Errorf("Names() has %d entries, want %d", n, len(grammars.All()))
+	}
+}
+
+// TestMinimizedSmaller: minimization should not grow any catalog DFA.
+func TestMinimizedSmaller(t *testing.T) {
+	for _, s := range grammars.All() {
+		g := s.Grammar()
+		plain := tokdfa.MustCompile(g, tokdfa.Options{})
+		mini := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+		if mini.DFA.NumStates() > plain.DFA.NumStates() {
+			t.Errorf("%s: minimized %d > plain %d states", s.Name, mini.DFA.NumStates(), plain.DFA.NumStates())
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package lexgen_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamtok/internal/lexgen"
+	"streamtok/internal/reference"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+)
+
+// buildGenerated writes a temp module containing the generated lexer and
+// a driver that scans a file and prints "start end rule" per token plus
+// "rest N", returning the built binary's path.
+func buildGenerated(t *testing.T, g *tokdfa.Grammar) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+	var gen bytes.Buffer
+	if err := lexgen.Generate(&gen, "main", g); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("gen.go", gen.String())
+	write("go.mod", "module genlexer\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	input, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		panic(err)
+	}
+	rest := Scan(input, func(start, end, rule int) {
+		fmt.Printf("%d %d %d\n", start, end, rule)
+	})
+	fmt.Printf("rest %d\n", rest)
+}
+`)
+	bin := filepath.Join(dir, "lexer.bin")
+	cmd := exec.Command(goTool, "build", "-o", bin, ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runGenerated scans input with the generated binary.
+func runGenerated(t *testing.T, bin string, input []byte) (toks []reference.Token, rest int) {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "input")
+	if err := os.WriteFile(f, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, f).Output()
+	if err != nil {
+		t.Fatalf("generated lexer failed: %v", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "rest ") {
+			fmt.Sscanf(line, "rest %d", &rest)
+			continue
+		}
+		var tk reference.Token
+		if _, err := fmt.Sscanf(line, "%d %d %d", &tk.Start, &tk.End, &tk.Rule); err != nil {
+			t.Fatalf("bad output line %q", line)
+		}
+		toks = append(toks, tk)
+	}
+	return toks, rest
+}
+
+// TestGeneratedLexers builds real binaries for grammars covering K = 0,
+// 1, and 3 and differentially tests them against the reference.
+func TestGeneratedLexers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cases := []struct {
+		name     string
+		rules    []string
+		alphabet []byte
+	}{
+		{"k0", []string{`[0-9]`, `[ ]`}, []byte("04 x")},
+		{"k1", []string{`[0-9]+`, `[a-z]+`, `[ ]+`}, []byte("a0 b9z")},
+		{"k3", []string{`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`}, []byte("12eE+- 9")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			g := tokdfa.MustParseGrammar(c.rules...)
+			m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+			bin := buildGenerated(t, g)
+			rng := newRng(c.name)
+			inputs := [][]byte{nil, c.alphabet}
+			for i := 0; i < 12; i++ {
+				inputs = append(inputs, testutil.RandomInput(rng, c.alphabet, 5+i*17))
+			}
+			for _, in := range inputs {
+				want, wantRest := reference.Tokens(m, in)
+				got, rest := runGenerated(t, bin, in)
+				if !reference.Equal(got, want) || rest != wantRest {
+					t.Fatalf("on %q: generated %v/%d, want %v/%d", in, got, rest, want, wantRest)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateRejectsUnbounded: unbounded grammars cannot be generated.
+func TestGenerateRejectsUnbounded(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`a`, `b`, `(a|b)*c`)
+	var buf bytes.Buffer
+	if err := lexgen.Generate(&buf, "main", g); err == nil {
+		t.Fatal("Generate accepted an unbounded grammar")
+	}
+}
+
+// TestGeneratedSourceShape: sanity checks on the emitted source.
+func TestGeneratedSourceShape(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`).Named("NUM", "WS")
+	var buf bytes.Buffer
+	if err := lexgen.Generate(&buf, "mylexer", g); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{
+		"package mylexer", "Code generated", `"NUM"`, `"WS"`,
+		"const MaxTND = 1", "func Scan(", "lexTrans", "lexAct",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	if strings.Contains(src, "import") {
+		t.Error("generated lexer should be dependency-free")
+	}
+}
+
+func newRng(seed string) *rand.Rand {
+	var h int64
+	for _, c := range seed {
+		h = h*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(h))
+}

@@ -1,0 +1,224 @@
+// Package machinefile serializes compiled tokenization machines so a
+// grammar can be compiled once (analysis included) and shipped as tables
+// — the deployment mode of generated lexers, without code generation.
+//
+// The format is a versioned little-endian binary:
+//
+//	magic "STOKDFA1" | ruleCount | rules (name, regex source) |
+//	nfaSize | dfaStates | trans[dfaStates*256] | accept[dfaStates] |
+//	maxTND (-1 = unbounded) | crc32 of everything before it
+//
+// Rule regexes are stored as re-parsable source, so the machine can be
+// fully rebuilt (and re-verified) on load; the tables make loading
+// cheap — no determinization on the hot path.
+package machinefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+	"streamtok/internal/tokdfa"
+)
+
+var magic = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '1'}
+
+// ErrFormat is wrapped by all decoding errors caused by malformed input.
+var ErrFormat = errors.New("machinefile: invalid or corrupted file")
+
+// Machine bundles a compiled machine with its analysis result for
+// round-tripping.
+type Machine struct {
+	Machine *tokdfa.Machine
+	// MaxTND is the stored analysis result (analysis.Infinite if
+	// unbounded).
+	MaxTND int
+}
+
+// Encode writes m (with its known max-TND) to w.
+func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+
+	if _, err := out.Write(magic[:]); err != nil {
+		return err
+	}
+	wr := func(vals ...int64) error {
+		for _, v := range vals {
+			if err := binary.Write(out, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeString := func(s string) error {
+		if err := wr(int64(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(out, s)
+		return err
+	}
+
+	g := m.Grammar
+	if err := wr(int64(len(g.Rules))); err != nil {
+		return err
+	}
+	for i, r := range g.Rules {
+		if err := writeString(g.RuleName(i)); err != nil {
+			return err
+		}
+		if err := writeString(regex.String(r.Expr)); err != nil {
+			return err
+		}
+	}
+	d := m.DFA
+	if err := wr(int64(m.NFASize), int64(d.NumStates())); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, d.Trans); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, d.Accept); err != nil {
+		return err
+	}
+	tnd := int64(maxTND)
+	if maxTND == analysis.Infinite {
+		tnd = -1
+	}
+	if err := wr(tnd); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Decode reads a machine written by Encode, verifying the checksum and
+// rebuilding the derived analyses (co-accessibility, dead state).
+func Decode(r io.Reader) (*Machine, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(br, crc)
+
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(in, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, gotMagic[:])
+	}
+	rd := func() (int64, error) {
+		var v int64
+		err := binary.Read(in, binary.LittleEndian, &v)
+		return v, err
+	}
+	readString := func(limit int64) (string, error) {
+		n, err := rd()
+		if err != nil {
+			return "", err
+		}
+		if n < 0 || n > limit {
+			return "", fmt.Errorf("%w: string length %d", ErrFormat, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(in, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	ruleCount, err := rd()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if ruleCount <= 0 || ruleCount > 1<<20 {
+		return nil, fmt.Errorf("%w: rule count %d", ErrFormat, ruleCount)
+	}
+	g := &tokdfa.Grammar{}
+	for i := int64(0); i < ruleCount; i++ {
+		name, err := readString(1 << 16)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		src, err := readString(1 << 24)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		expr, err := regex.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("%w: rule %d: %v", ErrFormat, i, err)
+		}
+		g.Rules = append(g.Rules, tokdfa.Rule{Name: name, Expr: expr})
+	}
+
+	nfaSize, err := rd()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	states, err := rd()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if states <= 0 || states > 1<<24 || nfaSize < 0 {
+		return nil, fmt.Errorf("%w: %d states", ErrFormat, states)
+	}
+	trans := make([]int32, states*256)
+	if err := binary.Read(in, binary.LittleEndian, trans); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	accept := make([]int32, states)
+	if err := binary.Read(in, binary.LittleEndian, accept); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for _, t := range trans {
+		if t < 0 || int64(t) >= states {
+			return nil, fmt.Errorf("%w: transition target %d", ErrFormat, t)
+		}
+	}
+	for _, a := range accept {
+		if a < -1 || int64(a) >= ruleCount {
+			return nil, fmt.Errorf("%w: accept label %d", ErrFormat, a)
+		}
+	}
+	tnd, err := rd()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+
+	sum := crc.Sum32()
+	var gotSum uint32
+	if err := binary.Read(br, binary.LittleEndian, &gotSum); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if gotSum != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
+	}
+
+	dfa := &automata.DFA{Trans: trans, Accept: accept, Start: 0}
+	coacc := dfa.CoAccessible()
+	dead := -1
+	for q := 0; q < dfa.NumStates(); q++ {
+		if !coacc[q] {
+			dead = q
+			break
+		}
+	}
+	out := &Machine{
+		Machine: &tokdfa.Machine{
+			Grammar: g,
+			DFA:     dfa,
+			NFASize: int(nfaSize),
+			CoAcc:   coacc,
+			Dead:    dead,
+		},
+		MaxTND: int(tnd),
+	}
+	if tnd < 0 {
+		out.MaxTND = analysis.Infinite
+	}
+	return out, nil
+}

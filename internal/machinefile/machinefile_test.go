@@ -1,0 +1,132 @@
+package machinefile_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/automata"
+	"streamtok/internal/grammars"
+	"streamtok/internal/machinefile"
+	"streamtok/internal/reference"
+	"streamtok/internal/testutil"
+)
+
+// TestRoundTrip: every catalog grammar encodes and decodes to an
+// equivalent machine with the same analysis result.
+func TestRoundTrip(t *testing.T) {
+	for _, spec := range grammars.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Machine()
+			res := analysis.Analyze(m)
+			var buf bytes.Buffer
+			if err := machinefile.Encode(&buf, m, res.MaxTND); err != nil {
+				t.Fatal(err)
+			}
+			got, err := machinefile.Decode(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MaxTND != res.MaxTND {
+				t.Errorf("MaxTND %d, want %d", got.MaxTND, res.MaxTND)
+			}
+			if !automata.Equivalent(m.DFA, got.Machine.DFA) {
+				t.Error("decoded DFA not equivalent")
+			}
+			if got.Machine.NFASize != m.NFASize {
+				t.Errorf("NFASize %d, want %d", got.Machine.NFASize, m.NFASize)
+			}
+			for i := range spec.Rules {
+				if got.Machine.Grammar.RuleName(i) != m.Grammar.RuleName(i) {
+					t.Errorf("rule %d name %q, want %q", i, got.Machine.Grammar.RuleName(i), m.Grammar.RuleName(i))
+				}
+			}
+			// Tokenization behaviour identical.
+			rng := rand.New(rand.NewSource(3))
+			in := testutil.RandomInput(rng, []byte(" ab,09.\n\te+"), 512)
+			a, ar := reference.Tokens(m, in)
+			b, br := reference.Tokens(got.Machine, in)
+			if !reference.Equal(a, b) || ar != br {
+				t.Error("decoded machine tokenizes differently")
+			}
+		})
+	}
+}
+
+// TestDecodeErrors: truncation, corruption, and garbage all fail with
+// ErrFormat — never a panic, never silent misparsing.
+func TestDecodeErrors(t *testing.T) {
+	m := grammars.JSON().Machine()
+	var buf bytes.Buffer
+	if err := machinefile.Encode(&buf, m, 3); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		_, err := machinefile.Decode(bytes.NewReader(data))
+		if !errors.Is(err, machinefile.ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", append([]byte("NOTAFILE"), full[8:]...))
+	for _, cut := range []int{4, 12, len(full) / 2, len(full) - 2} {
+		check("truncated", full[:cut])
+	}
+	// Flip a byte in the middle: the checksum must catch it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	check("corrupted", corrupt)
+}
+
+// TestDecodeFuzzResilience: random byte soup never panics.
+func TestDecodeFuzzResilience(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		if i%3 == 0 {
+			copy(data, "STOKDFA1") // valid magic, garbage body
+		}
+		if _, err := machinefile.Decode(bytes.NewReader(data)); err == nil {
+			t.Fatalf("garbage decoded successfully (len %d)", len(data))
+		}
+	}
+}
+
+// failWriter fails after n bytes, exercising Encode's error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errShort
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errShort = errors.New("short write")
+
+// TestEncodeWriterErrors: every write failure surfaces.
+func TestEncodeWriterErrors(t *testing.T) {
+	m := grammars.CSV().Machine()
+	var full bytes.Buffer
+	if err := machinefile.Encode(&full, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 4, 16, 100, full.Len() - 1} {
+		if err := machinefile.Encode(&failWriter{n: budget}, m, 1); !errors.Is(err, errShort) {
+			t.Errorf("budget %d: err = %v, want short write", budget, err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package parallel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/parallel"
+	"streamtok/internal/reference"
+	"streamtok/internal/tepath"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+func tokenizer(t *testing.T, m *tokdfa.Machine) *core.Tokenizer {
+	t.Helper()
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		t.Fatal("unbounded grammar")
+	}
+	tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func runParallel(t *testing.T, tok *core.Tokenizer, input []byte, workers, minSeg int) ([]token.Token, int, parallel.Stats) {
+	t.Helper()
+	var got []token.Token
+	rest, stats := parallel.Tokenize(tok, input, parallel.Options{Workers: workers, MinSegment: minSeg},
+		func(tk token.Token, text []byte) {
+			if tk.Start < 0 || tk.End > len(input) || string(text) != string(input[tk.Start:tk.End]) {
+				t.Fatalf("bad token %+v text %q", tk, text)
+			}
+			got = append(got, tk)
+		})
+	return got, rest, stats
+}
+
+// TestParallelMatchesSequentialFormats: parallel output equals the
+// reference on every data format, for several worker counts and segment
+// sizes (including adversarially tiny segments).
+func TestParallelMatchesSequentialFormats(t *testing.T) {
+	for _, format := range []string{"json", "csv", "xml", "log", "fasta"} {
+		spec, err := grammars.Lookup(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := spec.Machine()
+		tok := tokenizer(t, m)
+		input, err := workload.Generate(format, 5, 256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantRest := reference.Tokens(m, input)
+		for _, workers := range []int{2, 3, 8} {
+			for _, minSeg := range []int{1, 4096} {
+				got, rest, stats := runParallel(t, tok, input, workers, minSeg)
+				if !reference.Equal(got, want) || rest != wantRest {
+					t.Fatalf("%s workers=%d minSeg=%d: %d tokens rest %d, want %d rest %d (stats %+v)",
+						format, workers, minSeg, len(got), rest, len(want), wantRest, stats)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSynchronizes: on self-synchronizing input (TSV — no quoted
+// constructs), speculation should be adopted for most segments. CSV's
+// quoted fields are the classic counterexample: a segment starting inside
+// a quoted field misparses until the closing quote, so only correctness —
+// not speedup — is guaranteed there.
+func TestParallelSynchronizes(t *testing.T) {
+	spec, err := grammars.Lookup("tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := tokenizer(t, spec.Machine())
+	input, err := workload.Generate("tsv", 6, 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats := runParallel(t, tok, input, 8, 1)
+	if stats.Segments < 8 {
+		t.Fatalf("only %d segments", stats.Segments)
+	}
+	if stats.Synchronized < stats.Segments/2 {
+		t.Errorf("only %d/%d segments synchronized", stats.Synchronized, stats.Segments)
+	}
+	if stats.ReScanned > len(input)/4 {
+		t.Errorf("re-scanned %d of %d bytes", stats.ReScanned, len(input))
+	}
+}
+
+// TestParallelRandomGrammars: differential test over random bounded
+// grammars and inputs with awkward segment boundaries.
+func TestParallelRandomGrammars(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	tried := 0
+	for trial := 0; trial < 200 && tried < 60; trial++ {
+		g := testutil.RandomGrammar(rng)
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := analysis.Analyze(m)
+		if !res.Bounded() {
+			continue
+		}
+		tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tried++
+		in := testutil.RandomInput(rng, []byte("abcx"), 2000+rng.Intn(3000))
+		want, wantRest := reference.Tokens(m, in)
+		got, rest, _ := runParallel(t, tok, in, 2+rng.Intn(6), 1)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("grammar %v: %d tokens rest %d, want %d rest %d", g, len(got), rest, len(want), wantRest)
+		}
+	}
+	if tried < 20 {
+		t.Fatalf("too few bounded grammars: %d", tried)
+	}
+}
+
+// TestParallelLongToken: a single token spanning several segments (FASTA
+// sequence run) must still come out right.
+func TestParallelLongToken(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[A-Z]+`, `\n`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	input := make([]byte, 200*1024)
+	for i := range input {
+		input[i] = 'G'
+	}
+	input[len(input)-1] = '\n'
+	want, wantRest := reference.Tokens(m, input)
+	got, rest, _ := runParallel(t, tok, input, 8, 1)
+	if !reference.Equal(got, want) || rest != wantRest {
+		t.Fatalf("%d tokens rest %d, want %d rest %d", len(got), rest, len(want), wantRest)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want one giant token + newline, got %d", len(got))
+	}
+}
+
+// TestParallelUntokenizable: the stop offset matches the sequential run
+// wherever the bad byte falls relative to segment boundaries.
+func TestParallelUntokenizable(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	base := make([]byte, 100*1024)
+	for i := range base {
+		if i%4 == 3 {
+			base[i] = ' '
+		} else {
+			base[i] = '5'
+		}
+	}
+	for _, badAt := range []int{0, 1, 50 * 1024, 99 * 1024, len(base) - 1} {
+		in := append([]byte(nil), base...)
+		in[badAt] = 'x'
+		want, wantRest := reference.Tokens(m, in)
+		got, rest, _ := runParallel(t, tok, in, 8, 1)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("badAt=%d: %d tokens rest %d, want %d rest %d", badAt, len(got), rest, len(want), wantRest)
+		}
+	}
+}
+
+// TestSequentialFallback: tiny inputs bypass the parallel machinery.
+func TestSequentialFallback(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	in := []byte("12 34")
+	got, rest, stats := runParallel(t, tok, in, 8, 64*1024)
+	if stats.Segments != 0 {
+		t.Errorf("tiny input used %d segments", stats.Segments)
+	}
+	want, wantRest := reference.Tokens(m, in)
+	if !reference.Equal(got, want) || rest != wantRest {
+		t.Fatal("fallback output differs")
+	}
+}

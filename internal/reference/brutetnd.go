@@ -1,0 +1,135 @@
+package reference
+
+import "streamtok/internal/tokdfa"
+
+// Infinite is the value BruteMaxTND reports when it witnesses a
+// token-extension chain longer than the requested bound; together with
+// Lemma 11 a caller that picks bound ≥ |DFA|+2 may read it as ∞.
+const Infinite = int(^uint(0) >> 1)
+
+// BruteMaxTND computes the maximum token neighbor distance of the grammar
+// behind m by direct search, independently of the Fig. 3 frontier
+// algorithm: for every final state q reachable by a nonempty string, it
+// runs a BFS that follows paths through non-final states (a path ends at
+// the first final state reached — Definition 7(3)) and takes the maximum
+// path length that ends in a final state.
+//
+// If some path reaches depth > bound while its end state is still
+// co-accessible, the search reports Infinite (by Lemma 11 this is exact
+// whenever bound ≥ |DFA|+1).
+func BruteMaxTND(m *tokdfa.Machine, bound int) int {
+	d := m.DFA
+	numStates := d.NumStates()
+	reach := d.ReachableNonEmpty()
+
+	// Start frontier: all final states reachable by Σ⁺.
+	cur := make([]bool, numStates)
+	any := false
+	for q := 0; q < numStates; q++ {
+		if reach[q] && d.IsFinal(q) {
+			cur[q] = true
+			any = true
+		}
+	}
+	if !any {
+		return 0 // no tokens at all: the neighbor relation is empty
+	}
+
+	best := 0
+	for depth := 1; depth <= bound+1; depth++ {
+		next := make([]bool, numStates)
+		reachedFinal := false
+		alive := false
+		for q := 0; q < numStates; q++ {
+			if !cur[q] {
+				continue
+			}
+			for b := 0; b < 256; b++ {
+				t := d.Step(q, byte(b))
+				if d.IsFinal(t) {
+					reachedFinal = true
+					continue // path ends here; do not extend past a final
+				}
+				if m.CoAcc[t] && !next[t] {
+					next[t] = true
+					alive = true
+				}
+			}
+		}
+		if reachedFinal {
+			best = depth
+		}
+		if !alive {
+			return best
+		}
+		if depth == bound+1 {
+			return Infinite
+		}
+		cur = next
+	}
+	return best
+}
+
+// NeighborPairsUpTo enumerates token neighbor pairs (u, v) of Definition 7
+// by exhaustive string enumeration over the given alphabet, up to strings
+// of length maxLen. It returns the maximum distance seen. This is the most
+// literal reading of the definition and is used to validate small cases.
+func NeighborPairsUpTo(m *tokdfa.Machine, alphabet []byte, maxLen int) (maxDist int, pairs int) {
+	d := m.DFA
+	// DFS over all strings u with |u| ≤ maxLen; at every final state,
+	// search for the nearest extensions.
+	var walk func(q int, depth int)
+	walk = func(q int, depth int) {
+		if d.IsFinal(q) && depth > 0 {
+			// Find neighbors of this u: BFS through non-final states.
+			// u → u with distance 0 always holds: Definition 7
+			// allows u = v (≤ is reflexive, condition 3 vacuous).
+			pairs++
+			dist := neighborSearch(m, q, maxLen-depth)
+			if dist >= 0 {
+				pairs++
+				if dist > maxDist {
+					maxDist = dist
+				}
+			}
+		}
+		if depth == maxLen {
+			return
+		}
+		for _, b := range alphabet {
+			t := d.Step(q, b)
+			if m.CoAcc[t] {
+				walk(t, depth+1)
+			}
+		}
+	}
+	walk(d.Start, 0)
+	return maxDist, pairs
+}
+
+// neighborSearch returns the maximum k ≤ budget such that some extension of
+// length k from final state q reaches a final state with all intermediate
+// states non-final, or -1 if there is none.
+func neighborSearch(m *tokdfa.Machine, q int, budget int) int {
+	d := m.DFA
+	cur := map[int]bool{q: true}
+	best := -1
+	for k := 1; k <= budget; k++ {
+		next := map[int]bool{}
+		for s := range cur {
+			for b := 0; b < 256; b++ {
+				t := d.Step(s, byte(b))
+				if d.IsFinal(t) {
+					best = k
+				} else if m.CoAcc[t] {
+					next[t] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return best
+}

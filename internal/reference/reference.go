@@ -1,0 +1,93 @@
+// Package reference implements Definition 1 of the paper directly: the
+// token and tokens functions under maximal-munch disambiguation. It is the
+// executable specification every tokenizer in this repository is tested
+// against. It favours obviousness over speed (worst case O(n²)).
+package reference
+
+import (
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Token is the shared token value; see package token.
+type Token = token.Token
+
+// Next computes token(r̄)(u) for the suffix u = input[from:]: the longest
+// nonempty prefix of u matching some rule, with least-rule-id tie-breaking.
+// ok is false when no nonempty prefix matches any rule (Definition 1's
+// None case).
+func Next(m *tokdfa.Machine, input []byte, from int) (tok Token, ok bool) {
+	d := m.DFA
+	q := d.Start
+	bestEnd, bestRule := -1, automata.NoRule
+	for pos := from; pos < len(input); pos++ {
+		q = d.Step(q, input[pos])
+		if d.IsFinal(q) {
+			bestEnd, bestRule = pos+1, d.Rule(q)
+		}
+		if m.IsDead(q) {
+			break
+		}
+	}
+	if bestEnd < 0 {
+		return Token{}, false
+	}
+	return Token{Start: from, End: bestEnd, Rule: bestRule}, true
+}
+
+// Tokens computes tokens(r̄)(input): the maximal-munch tokenization of the
+// whole input. rest is the offset of the first untokenized byte
+// (len(input) when the input tokenizes completely; Definition 1 stops at
+// the first position where no rule matches).
+func Tokens(m *tokdfa.Machine, input []byte) (toks []Token, rest int) {
+	pos := 0
+	for pos < len(input) {
+		tok, ok := Next(m, input, pos)
+		if !ok {
+			return toks, pos
+		}
+		toks = append(toks, tok)
+		pos = tok.End
+	}
+	return toks, pos
+}
+
+// TokensNFA recomputes tokens(r̄)(input) using only NFA simulation — no
+// determinization — as an independent cross-check of the DFA pipeline.
+func TokensNFA(g *tokdfa.Grammar, input []byte) (toks []Token, rest int) {
+	exprs := make([]regex.Node, len(g.Rules))
+	for i, r := range g.Rules {
+		exprs[i] = r.Expr
+	}
+	nfa := automata.BuildNFA(exprs)
+	pos := 0
+	for pos < len(input) {
+		bestEnd, bestRule := -1, automata.NoRule
+		for end := pos + 1; end <= len(input); end++ {
+			if rule, ok := nfa.Match(input[pos:end]); ok {
+				bestEnd, bestRule = end, rule
+			}
+		}
+		if bestEnd < 0 {
+			return toks, pos
+		}
+		toks = append(toks, Token{Start: pos, End: bestEnd, Rule: bestRule})
+		pos = bestEnd
+	}
+	return toks, pos
+}
+
+// Equal reports whether two token sequences are identical.
+func Equal(a, b []Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

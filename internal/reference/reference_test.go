@@ -1,0 +1,114 @@
+package reference_test
+
+import (
+	"testing"
+
+	"streamtok/internal/reference"
+	"streamtok/internal/tokdfa"
+)
+
+func machine(t *testing.T, rules ...string) *tokdfa.Machine {
+	t.Helper()
+	return tokdfa.MustCompile(tokdfa.MustParseGrammar(rules...), tokdfa.Options{})
+}
+
+// TestExample2 reproduces the paper's Example 2: grammar [a, ba*, c[ab]*]
+// on w = abaabacabaa gives tokens [(a,0), (baa,1), (ba,1), (cabaa,2)].
+func TestExample2(t *testing.T) {
+	m := machine(t, `a`, `ba*`, `c[ab]*`)
+	w := []byte("abaabacabaa")
+	toks, rest := reference.Tokens(m, w)
+	if rest != len(w) {
+		t.Fatalf("rest = %d, want %d", rest, len(w))
+	}
+	want := []struct {
+		text string
+		rule int
+	}{
+		{"a", 0}, {"baa", 1}, {"ba", 1}, {"cabaa", 2},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, w0 := range want {
+		if string(toks[i].Text(w)) != w0.text || toks[i].Rule != w0.rule {
+			t.Errorf("token %d = (%q, %d), want (%q, %d)",
+				i, toks[i].Text(w), toks[i].Rule, w0.text, w0.rule)
+		}
+	}
+}
+
+// TestNextNone: token(r̄)(u) = None when no nonempty prefix matches.
+func TestNextNone(t *testing.T) {
+	m := machine(t, `a+`, `b`)
+	if _, ok := reference.Next(m, []byte("xab"), 0); ok {
+		t.Error("Next should fail on x")
+	}
+	if tok, ok := reference.Next(m, []byte("xab"), 1); !ok || tok.Start != 1 || tok.End != 2 {
+		t.Errorf("Next from 1 = %+v, %v", tok, ok)
+	}
+	// Definition 1: tokens() stops at the first unmatched position.
+	toks, rest := reference.Tokens(m, []byte("abxab"))
+	if len(toks) != 2 || rest != 2 {
+		t.Errorf("tokens = %v, rest %d; want 2 tokens, rest 2", toks, rest)
+	}
+}
+
+// TestMaximalMunchPreference: longest match wins over rule order.
+func TestMaximalMunchPreference(t *testing.T) {
+	m := machine(t, `a`, `aa`)
+	toks, _ := reference.Tokens(m, []byte("aaa"))
+	if len(toks) != 2 || toks[0].Rule != 1 || toks[0].Len() != 2 || toks[1].Rule != 0 {
+		t.Errorf("tokens = %v; want (aa,1)(a,0)", toks)
+	}
+}
+
+// TestTieBreakEarliestRule: equal-length matches go to the least index.
+func TestTieBreakEarliestRule(t *testing.T) {
+	m := machine(t, `[ab]`, `a`)
+	toks, _ := reference.Tokens(m, []byte("a"))
+	if len(toks) != 1 || toks[0].Rule != 0 {
+		t.Errorf("tokens = %v; want rule 0", toks)
+	}
+	m2 := machine(t, `a`, `[ab]`)
+	toks2, _ := reference.Tokens(m2, []byte("a"))
+	if len(toks2) != 1 || toks2[0].Rule != 0 {
+		t.Errorf("tokens = %v; want rule 0 (declared first)", toks2)
+	}
+}
+
+// TestEmptyInput and ε-matching rules produce no tokens.
+func TestEmptyInput(t *testing.T) {
+	m := machine(t, `a*`)
+	toks, rest := reference.Tokens(m, nil)
+	if len(toks) != 0 || rest != 0 {
+		t.Errorf("tokens(ε) = %v, %d", toks, rest)
+	}
+	// a* still emits nonempty maximal tokens.
+	toks, rest = reference.Tokens(m, []byte("aaa"))
+	if len(toks) != 1 || toks[0].Len() != 3 || rest != 3 {
+		t.Errorf("tokens(aaa) = %v, %d", toks, rest)
+	}
+}
+
+// TestBruteMaxTNDSmall pins the brute-force TND on Example 9 rows.
+func TestBruteMaxTNDSmall(t *testing.T) {
+	cases := []struct {
+		rules []string
+		want  int
+	}{
+		{[]string{`[0-9]`, `[ ]`}, 0},
+		{[]string{`[0-9]+`, `[ ]+`}, 1},
+		{[]string{`[0-9]+(\.[0-9]+)?`, `[ .]`}, 2},
+	}
+	for _, c := range cases {
+		m := machine(t, c.rules...)
+		if got := reference.BruteMaxTND(m, m.DFA.NumStates()+2); got != c.want {
+			t.Errorf("%v: brute TND %d, want %d", c.rules, got, c.want)
+		}
+	}
+	inf := machine(t, `[0-9]*0`, `[ ]+`)
+	if got := reference.BruteMaxTND(inf, inf.DFA.NumStates()+2); got != reference.Infinite {
+		t.Errorf("unbounded grammar: brute TND %d, want Infinite", got)
+	}
+}

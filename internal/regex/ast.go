@@ -1,0 +1,243 @@
+// Package regex implements the regular-expression syntax of §2 of the
+// paper: ε, character classes, choice, concatenation, Kleene star, and the
+// PCRE-style abbreviations r+, r?, r{n}, r{m,n}, r{m,}. Expressions denote
+// languages over the byte alphabet Σ = {0, ..., 255}.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"streamtok/internal/charclass"
+)
+
+// Node is a node of a regular-expression abstract syntax tree.
+type Node interface {
+	// Nullable reports whether the denoted language contains ε.
+	Nullable() bool
+	// writeTo renders the node back to source syntax; prec is the
+	// precedence of the context (0 = alternation, 1 = concatenation,
+	// 2 = repetition operand).
+	writeTo(sb *strings.Builder, prec int)
+}
+
+// Epsilon denotes the language {ε}.
+type Epsilon struct{}
+
+// Char denotes a character class σ ⊆ Σ: the language of all single-byte
+// strings whose byte is in the class.
+type Char struct {
+	Class charclass.Class
+}
+
+// Concat denotes the concatenation of its factors, in order. An empty
+// factor list denotes {ε}.
+type Concat struct {
+	Factors []Node
+}
+
+// Alt denotes the union of its alternatives. An empty alternative list
+// denotes the empty language ∅.
+type Alt struct {
+	Alternatives []Node
+}
+
+// Star denotes the Kleene closure of its operand.
+type Star struct {
+	Inner Node
+}
+
+// Repeat denotes bounded repetition Inner{Min,Max}. Max < 0 means
+// unbounded (Inner{Min,}). Repeat{0,-1} is equivalent to Star.
+type Repeat struct {
+	Inner    Node
+	Min, Max int
+}
+
+// Nullable implementations.
+
+// Nullable always reports true for Epsilon.
+func (Epsilon) Nullable() bool { return true }
+
+// Nullable always reports false for Char: a class matches exactly one byte.
+func (Char) Nullable() bool { return false }
+
+// Nullable reports whether every factor is nullable.
+func (c Concat) Nullable() bool {
+	for _, f := range c.Factors {
+		if !f.Nullable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Nullable reports whether some alternative is nullable.
+func (a Alt) Nullable() bool {
+	for _, alt := range a.Alternatives {
+		if alt.Nullable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Nullable always reports true for Star.
+func (Star) Nullable() bool { return true }
+
+// Nullable reports whether zero repetitions are allowed or the operand is
+// nullable.
+func (r Repeat) Nullable() bool { return r.Min == 0 || r.Inner.Nullable() }
+
+// Convenience constructors.
+
+// Lit returns a node matching exactly the string s.
+func Lit(s string) Node {
+	if s == "" {
+		return Epsilon{}
+	}
+	factors := make([]Node, len(s))
+	for i := 0; i < len(s); i++ {
+		factors[i] = Char{charclass.Single(s[i])}
+	}
+	if len(factors) == 1 {
+		return factors[0]
+	}
+	return Concat{factors}
+}
+
+// Class returns a node matching one byte of the class.
+func Class(c charclass.Class) Node { return Char{c} }
+
+// Seq concatenates nodes.
+func Seq(ns ...Node) Node {
+	switch len(ns) {
+	case 0:
+		return Epsilon{}
+	case 1:
+		return ns[0]
+	}
+	return Concat{ns}
+}
+
+// Or unions nodes.
+func Or(ns ...Node) Node {
+	if len(ns) == 1 {
+		return ns[0]
+	}
+	return Alt{ns}
+}
+
+// Kleene returns n*.
+func Kleene(n Node) Node { return Star{n} }
+
+// Plus returns n+ = n·n*.
+func Plus(n Node) Node { return Repeat{n, 1, -1} }
+
+// Opt returns n? = n | ε.
+func Opt(n Node) Node { return Repeat{n, 0, 1} }
+
+// Times returns n{min,max}; max < 0 means no upper bound.
+func Times(n Node, min, max int) Node { return Repeat{n, min, max} }
+
+// String rendering.
+
+func (Epsilon) writeTo(sb *strings.Builder, _ int) { sb.WriteString("()") }
+
+func (c Char) writeTo(sb *strings.Builder, _ int) {
+	if n := c.Class.Len(); n == 1 {
+		b, _ := c.Class.Min()
+		if b == ' ' {
+			sb.WriteString("[ ]") // a bare space renders ambiguously
+			return
+		}
+		writeLiteralByte(sb, b)
+		return
+	}
+	sb.WriteString(c.Class.String())
+}
+
+func (c Concat) writeTo(sb *strings.Builder, prec int) {
+	if len(c.Factors) == 0 {
+		sb.WriteString("()")
+		return
+	}
+	paren := prec > 1
+	if paren {
+		sb.WriteByte('(')
+	}
+	for _, f := range c.Factors {
+		f.writeTo(sb, 1)
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+func (a Alt) writeTo(sb *strings.Builder, prec int) {
+	if len(a.Alternatives) == 0 {
+		sb.WriteString("[]") // empty class: the empty language
+		return
+	}
+	paren := prec > 0
+	if paren {
+		sb.WriteByte('(')
+	}
+	for i, alt := range a.Alternatives {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		alt.writeTo(sb, 0)
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+func (s Star) writeTo(sb *strings.Builder, _ int) {
+	s.Inner.writeTo(sb, 2)
+	sb.WriteByte('*')
+}
+
+func (r Repeat) writeTo(sb *strings.Builder, _ int) {
+	r.Inner.writeTo(sb, 2)
+	switch {
+	case r.Min == 0 && r.Max == 1:
+		sb.WriteByte('?')
+	case r.Min == 1 && r.Max < 0:
+		sb.WriteByte('+')
+	case r.Min == 0 && r.Max < 0:
+		sb.WriteByte('*')
+	case r.Max < 0:
+		fmt.Fprintf(sb, "{%d,}", r.Min)
+	case r.Min == r.Max:
+		fmt.Fprintf(sb, "{%d}", r.Min)
+	default:
+		fmt.Fprintf(sb, "{%d,%d}", r.Min, r.Max)
+	}
+}
+
+// String renders n in a syntax ParseRegex accepts.
+func String(n Node) string {
+	var sb strings.Builder
+	n.writeTo(&sb, 0)
+	return sb.String()
+}
+
+func writeLiteralByte(sb *strings.Builder, b byte) {
+	switch {
+	case strings.IndexByte(`\|()[]{}*+?.^$`, b) >= 0 && b != 0:
+		sb.WriteByte('\\')
+		sb.WriteByte(b)
+	case b == '\n':
+		sb.WriteString(`\n`)
+	case b == '\t':
+		sb.WriteString(`\t`)
+	case b == '\r':
+		sb.WriteString(`\r`)
+	case b >= 0x20 && b < 0x7f:
+		sb.WriteByte(b)
+	default:
+		fmt.Fprintf(sb, `\x%02x`, b)
+	}
+}

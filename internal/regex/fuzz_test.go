@@ -1,0 +1,25 @@
+package regex
+
+import "testing"
+
+// FuzzParse: the parser must never panic; any expression it accepts must
+// render with String and reparse successfully.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`a`, `a|b`, `a*`, `(ab)+c?`, `[0-9]+(\.[0-9]+)?`, `[^ab]{2,3}`,
+		`a{0,4}b|a`, `\w+\s*=\s*\d+`, `"([^"]|"")*"?`, `(((`, `[z-a]`,
+		`a{9999999999}`, `\x`, `{`, `a{1,`, `[]`, `[^]`, `.`, `\0`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := String(n)
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("String(%q) = %q does not reparse: %v", src, printed, err)
+		}
+	})
+}

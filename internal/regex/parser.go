@@ -1,0 +1,361 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+
+	"streamtok/internal/charclass"
+)
+
+// SyntaxError reports a malformed regular expression.
+type SyntaxError struct {
+	Pos int    // byte offset in the source
+	Msg string // what went wrong
+	Src string // the full source text
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+// Parse parses a regular expression in the paper's PCRE-ish syntax:
+//
+//	r ::= ε (empty source or "()") | literal | class | r r | r "|" r
+//	    | r "*" | r "+" | r "?" | r "{" n "}" | r "{" m "," n "}"
+//	    | r "{" m ",}" | "(" r ")"
+//
+// Classes support ranges, negation ("[^...]"), and escapes; "." matches any
+// byte. Escapes: \n \t \r \0 \xHH \d \D \w \W \s \S plus any escaped
+// punctuation byte.
+func Parse(src string) (Node, error) {
+	p := &parser{src: src}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.src[p.pos])
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static tables.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.pos, Msg: fmt.Sprintf(format, args...), Src: p.src}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return Alt{alts}, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	var factors []Node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		f, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	switch len(factors) {
+	case 0:
+		return Epsilon{}, nil
+	case 1:
+		return factors[0], nil
+	}
+	return Concat{factors}, nil
+}
+
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = Star{atom}
+		case '+':
+			p.pos++
+			atom = Repeat{atom, 1, -1}
+		case '?':
+			p.pos++
+			atom = Repeat{atom, 0, 1}
+		case '{':
+			rep, ok, err := p.parseBounds()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// Not a bound; '{' is a literal.
+				return atom, nil
+			}
+			atom = Repeat{atom, rep[0], rep[1]}
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+// parseBounds parses "{n}", "{m,n}", or "{m,}". It reports ok=false without
+// consuming input when the text after '{' is not a repetition bound (then
+// the brace is treated as a literal by the caller).
+func (p *parser) parseBounds() ([2]int, bool, error) {
+	start := p.pos
+	p.pos++ // '{'
+	m, ok := p.parseInt()
+	if !ok {
+		p.pos = start
+		return [2]int{}, false, nil
+	}
+	n := m
+	if !p.eof() && p.peek() == ',' {
+		p.pos++
+		if !p.eof() && p.peek() == '}' {
+			n = -1
+		} else {
+			v, ok := p.parseInt()
+			if !ok {
+				p.pos = start
+				return [2]int{}, false, nil
+			}
+			n = v
+		}
+	}
+	if p.eof() || p.peek() != '}' {
+		p.pos = start
+		return [2]int{}, false, nil
+	}
+	p.pos++
+	if n >= 0 && n < m {
+		p.pos = start
+		return [2]int{}, false, &SyntaxError{Pos: start, Msg: fmt.Sprintf("invalid bound {%d,%d}", m, n), Src: p.src}
+	}
+	return [2]int{m, n}, true, nil
+}
+
+func (p *parser) parseInt() (int, bool) {
+	start := p.pos
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.pos++
+	}
+	if p.pos == start || p.pos-start > 9 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of expression")
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return Char{charclass.Any()}, nil
+	case '\\':
+		cls, err := p.parseEscape()
+		if err != nil {
+			return nil, err
+		}
+		return Char{cls}, nil
+	case '*', '+', '?':
+		return nil, p.errf("repetition operator %q with nothing to repeat", c)
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	default:
+		p.pos++
+		return Char{charclass.Single(c)}, nil
+	}
+}
+
+func (p *parser) parseClass() (Node, error) {
+	p.pos++ // '['
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	cls := charclass.Empty()
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errf("missing ']'")
+		}
+		if p.peek() == ']' && !first {
+			p.pos++
+			break
+		}
+		// An immediate ']' denotes the empty class "[]": the empty
+		// language (and "[^]" the full class). The paper's space class
+		// is written "[ ]" with an explicit space byte.
+		if p.peek() == ']' && first {
+			p.pos++
+			if negate {
+				return Char{charclass.Any()}, nil
+			}
+			return Alt{nil}, nil // empty language
+		}
+		first = false
+		lo, isSet, err := p.parseClassAtom()
+		if err != nil {
+			return nil, err
+		}
+		if !isSet.IsEmpty() {
+			cls = cls.Union(isSet)
+			continue
+		}
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // '-'
+			hi, hiSet, err := p.parseClassAtom()
+			if err != nil {
+				return nil, err
+			}
+			if !hiSet.IsEmpty() {
+				return nil, p.errf("invalid range endpoint")
+			}
+			if hi < lo {
+				return nil, p.errf("invalid range %q-%q", lo, hi)
+			}
+			cls = cls.Union(charclass.Range(lo, hi))
+		} else {
+			cls.Add(lo)
+		}
+	}
+	if negate {
+		cls = cls.Negate()
+	}
+	return Char{cls}, nil
+}
+
+// parseClassAtom returns either a single byte (set empty) or a multi-byte
+// set from a class escape like \d.
+func (p *parser) parseClassAtom() (byte, charclass.Class, error) {
+	if p.eof() {
+		return 0, charclass.Empty(), p.errf("missing ']'")
+	}
+	c := p.peek()
+	if c != '\\' {
+		p.pos++
+		return c, charclass.Empty(), nil
+	}
+	cls, err := p.parseEscape()
+	if err != nil {
+		return 0, charclass.Empty(), err
+	}
+	if cls.Len() == 1 {
+		b, _ := cls.Min()
+		return b, charclass.Empty(), nil
+	}
+	return 0, cls, nil
+}
+
+// Named escape classes, PCRE-style.
+var (
+	digit = charclass.Range('0', '9')
+	word  = charclass.Range('a', 'z').Union(charclass.Range('A', 'Z')).Union(digit).Union(charclass.Single('_'))
+	space = charclass.Of(' ', '\t', '\n', '\r', '\v', '\f')
+)
+
+func (p *parser) parseEscape() (charclass.Class, error) {
+	p.pos++ // '\'
+	if p.eof() {
+		return charclass.Empty(), p.errf("trailing backslash")
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'n':
+		return charclass.Single('\n'), nil
+	case 't':
+		return charclass.Single('\t'), nil
+	case 'r':
+		return charclass.Single('\r'), nil
+	case 'v':
+		return charclass.Single('\v'), nil
+	case 'f':
+		return charclass.Single('\f'), nil
+	case '0':
+		return charclass.Single(0), nil
+	case 'd':
+		return digit, nil
+	case 'D':
+		return digit.Negate(), nil
+	case 'w':
+		return word, nil
+	case 'W':
+		return word.Negate(), nil
+	case 's':
+		return space, nil
+	case 'S':
+		return space.Negate(), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return charclass.Empty(), p.errf(`\x needs two hex digits`)
+		}
+		v, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return charclass.Empty(), p.errf(`bad \x escape`)
+		}
+		p.pos += 2
+		return charclass.Single(byte(v)), nil
+	default:
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '1' && c <= '9' {
+			p.pos--
+			return charclass.Empty(), p.errf(`unknown escape \%c`, c)
+		}
+		return charclass.Single(c), nil
+	}
+}

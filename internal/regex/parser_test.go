@@ -1,0 +1,217 @@
+package regex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamtok/internal/charclass"
+)
+
+// match is a tiny reference matcher over the AST (backtracking, for
+// small tests only): it returns the set of suffix offsets reachable after
+// matching a prefix of s.
+func match(n Node, s string) map[int]bool {
+	out := map[int]bool{}
+	var walk func(n Node, pos int, k func(int))
+	walk = func(n Node, pos int, k func(int)) {
+		switch t := n.(type) {
+		case Epsilon:
+			k(pos)
+		case Char:
+			if pos < len(s) && t.Class.Contains(s[pos]) {
+				k(pos + 1)
+			}
+		case Concat:
+			var seq func(i, p int)
+			seq = func(i, p int) {
+				if i == len(t.Factors) {
+					k(p)
+					return
+				}
+				walk(t.Factors[i], p, func(np int) { seq(i+1, np) })
+			}
+			seq(0, pos)
+		case Alt:
+			for _, a := range t.Alternatives {
+				walk(a, pos, k)
+			}
+		case Star:
+			seen := map[int]bool{}
+			var rep func(p int)
+			rep = func(p int) {
+				if seen[p] {
+					return
+				}
+				seen[p] = true
+				k(p)
+				walk(t.Inner, p, rep)
+			}
+			rep(pos)
+		case Repeat:
+			var rep func(cnt, p int)
+			seen := map[[2]int]bool{}
+			rep = func(cnt, p int) {
+				if seen[[2]int{cnt, p}] {
+					return
+				}
+				seen[[2]int{cnt, p}] = true
+				if cnt >= t.Min {
+					k(p)
+				}
+				if t.Max < 0 || cnt < t.Max {
+					walk(t.Inner, p, func(np int) { rep(cnt+1, np) })
+				}
+			}
+			rep(0, pos)
+		}
+	}
+	walk(n, 0, func(p int) { out[p] = true })
+	return out
+}
+
+func accepts(n Node, s string) bool { return match(n, s)[len(s)] }
+
+func TestParseAccepts(t *testing.T) {
+	cases := []struct {
+		src string
+		yes []string
+		no  []string
+	}{
+		{`a`, []string{"a"}, []string{"", "b", "aa"}},
+		{`abc`, []string{"abc"}, []string{"ab", "abcd"}},
+		{`a|b`, []string{"a", "b"}, []string{"", "ab"}},
+		{`a*`, []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{`a+`, []string{"a", "aa"}, []string{""}},
+		{`a?b`, []string{"b", "ab"}, []string{"aab", ""}},
+		{`[0-9]+`, []string{"0", "42"}, []string{"", "a", "4a"}},
+		{`[^ab]`, []string{"c", "0"}, []string{"a", "b", ""}},
+		{`(ab)+`, []string{"ab", "abab"}, []string{"a", "aba"}},
+		{`a{3}`, []string{"aaa"}, []string{"aa", "aaaa"}},
+		{`a{2,4}`, []string{"aa", "aaa", "aaaa"}, []string{"a", "aaaaa"}},
+		{`a{2,}`, []string{"aa", "aaaaaa"}, []string{"a"}},
+		{`\.`, []string{"."}, []string{"a"}},
+		{`\d+\.\d+`, []string{"3.14"}, []string{"3.", ".14"}},
+		{`\w+`, []string{"abc_1"}, []string{"-"}},
+		{`\s`, []string{" ", "\t", "\n"}, []string{"x"}},
+		{`.`, []string{"a", " ", "\x00"}, []string{"", "ab"}},
+		{`()`, []string{""}, []string{"a"}},
+		{`[]`, nil, []string{"", "a"}},
+		{`(a|)b`, []string{"ab", "b"}, []string{"a"}},
+		{`\x41`, []string{"A"}, []string{"B"}},
+		{`[\x00-\x02]`, []string{"\x00", "\x02"}, []string{"\x03"}},
+		{`a{1}{2}`, []string{"aa"}, []string{"a"}}, // nested bounds compose
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		for _, s := range c.yes {
+			if !accepts(n, s) {
+				t.Errorf("%q should accept %q", c.src, s)
+			}
+		}
+		for _, s := range c.no {
+			if accepts(n, s) {
+				t.Errorf("%q should reject %q", c.src, s)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`(`, `)`, `a)`, `(a`, `[a`, `*`, `+a`, `?`, `a\`, `\q`, `\x1`, `\xgg`, `[z-a]`, `a{3,1}`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	// Braces that are not bounds are literals.
+	for _, src := range []string{`a{`, `a{}`, `a{x}`, `{2}`} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) should treat braces literally: %v", src, err)
+		}
+	}
+	n := MustParse(`a{b}`)
+	if !accepts(n, "a{b}") {
+		t.Error("literal brace text should match itself")
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`ab(cd`)
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T", err)
+	}
+	if se.Src != `ab(cd` || !strings.Contains(se.Error(), "offset") {
+		t.Errorf("unhelpful error: %v", se)
+	}
+}
+
+// TestPrintParseRoundTrip: String() output reparses to an equivalent
+// expression (checked by sampling strings).
+func TestPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	srcs := []string{
+		`a`, `a|b`, `a*`, `(ab)+c?`, `[0-9]+(\.[0-9]+)?`, `[^ab]{2,3}`,
+		`(a|b)*c`, `a{0,4}b|a`, `\w+\s*=\s*\d+`,
+	}
+	for _, src := range srcs {
+		n1 := MustParse(src)
+		printed := String(n1)
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of String(%q) = %q failed: %v", src, printed, err)
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			var sb strings.Builder
+			for l := rng.Intn(8); l > 0; l-- {
+				sb.WriteByte("ab0c=.9 "[rng.Intn(8)])
+			}
+			s := sb.String()
+			if accepts(n1, s) != accepts(n2, s) {
+				t.Errorf("%q vs %q disagree on %q", src, printed, s)
+			}
+		}
+	}
+}
+
+// TestNullable matches the reference matcher on ε.
+func TestNullable(t *testing.T) {
+	for _, src := range []string{`a`, `a*`, `a?`, `a|`, `()`, `[]`, `a{0,3}`, `a{1,3}`, `(a*)(b?)`} {
+		n := MustParse(src)
+		if n.Nullable() != accepts(n, "") {
+			t.Errorf("%q: Nullable = %v, matcher says %v", src, n.Nullable(), accepts(n, ""))
+		}
+	}
+}
+
+// TestConstructors exercises the programmatic builders.
+func TestConstructors(t *testing.T) {
+	n := Seq(Lit("if"), Opt(Class(charclass.Range('0', '9'))))
+	for _, s := range []string{"if", "if3"} {
+		if !accepts(n, s) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+	if accepts(n, "if33") {
+		t.Error("should reject if33")
+	}
+	if !accepts(Times(Lit("x"), 2, -1), "xxx") || accepts(Times(Lit("x"), 2, -1), "x") {
+		t.Error("Times wrong")
+	}
+	if !accepts(Or(Lit("a"), Lit("bb")), "bb") {
+		t.Error("Or wrong")
+	}
+	if !accepts(Kleene(Lit("ab")), "abab") || !accepts(Plus(Lit("a")), "a") {
+		t.Error("Kleene/Plus wrong")
+	}
+	if !accepts(Lit(""), "") {
+		t.Error("empty Lit should accept ε")
+	}
+}

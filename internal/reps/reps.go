@@ -1,0 +1,78 @@
+// Package reps implements the linear-time maximal-munch tokenizer of
+// Reps (TOPLAS 1998): the Fig. 2 backtracking algorithm augmented with a
+// memoization table of (state, position) pairs known not to lead to a
+// longer match. Time is O(M·n); memory is O(M·n) as well — the table is
+// the cost the paper contrasts against.
+package reps
+
+import (
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Stats reports the work and table-size counters.
+type Stats struct {
+	// Steps is the number of DFA transitions taken.
+	Steps int
+	// Memoized is the number of (state, position) pairs recorded.
+	Memoized int
+}
+
+// Tokenize runs the memoized scan over an in-memory input (the algorithm
+// is not streaming: its table is indexed by absolute position). It returns
+// the offset of the first untokenized byte.
+func Tokenize(m *tokdfa.Machine, input []byte, emit func(tok token.Token, text []byte)) (rest int, stats Stats) {
+	d := m.DFA
+	// failed is the memo table: bit q*(n+1)+i records that running the
+	// DFA from state q at position i reaches no further final state.
+	// This is the O(M·n)-space tabulation of Reps'98 (the memory cost
+	// the paper contrasts with StreamTok's).
+	n := len(input)
+	words := (d.NumStates()*(n+1) + 63) / 64
+	failed := make([]uint64, words)
+	key := func(q, i int) int { return q*(n+1) + i }
+	isFailed := func(k int) bool { return failed[k>>6]&(1<<(k&63)) != 0 }
+
+	var trail []int
+	startP := 0
+	for startP < len(input) {
+		q := d.Start
+		bestEnd, bestRule := -1, -1
+		pos := startP
+		// trail records the (state, position) pairs visited since the
+		// last final state; they are marked failed when the scan ends
+		// without reaching another final.
+		trail = trail[:0]
+		for pos < len(input) {
+			k := key(q, pos)
+			if isFailed(k) {
+				break
+			}
+			trail = append(trail, k)
+			q = d.Step(q, input[pos])
+			stats.Steps++
+			pos++
+			if d.IsFinal(q) {
+				bestEnd, bestRule = pos, d.Rule(q)
+				trail = trail[:0]
+			}
+			if m.IsDead(q) {
+				break
+			}
+		}
+		for _, k := range trail {
+			if !isFailed(k) {
+				failed[k>>6] |= 1 << (k & 63)
+				stats.Memoized++
+			}
+		}
+		if bestEnd < 0 {
+			return startP, stats
+		}
+		if emit != nil {
+			emit(token.Token{Start: startP, End: bestEnd, Rule: bestRule}, input[startP:bestEnd])
+		}
+		startP = bestEnd
+	}
+	return startP, stats
+}

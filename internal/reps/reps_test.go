@@ -1,0 +1,93 @@
+package reps_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/backtrack"
+	"streamtok/internal/reference"
+	"streamtok/internal/reps"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// TestRepsCorpus: the memoized tokenizer equals the reference everywhere.
+func TestRepsCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		for i := 0; i < 50; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(96))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest, _ := reps.Tokenize(m, in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%s on %q: got %v/%d want %v/%d", c.Name, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestRepsRandomGrammars: differential test on random grammars, including
+// unbounded ones.
+func TestRepsRandomGrammars(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 200; trial++ {
+		g := testutil.RandomGrammar(rng)
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			in := testutil.RandomInput(rng, []byte("abcx"), rng.Intn(64))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest, _ := reps.Tokenize(m, in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%v on %q: got %v/%d want %v/%d", g, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestRepsLinearWhereFlexIsQuadratic: on the grammar [abc, (abc)*d] and
+// input (abc)^n, plain backtracking rescans the whole remaining input for
+// every token (Θ(n²)); memoization caches the failed (state, position)
+// pairs, so Reps stays linear. This is the canonical case from Reps'98.
+func TestRepsLinearWhereFlexIsQuadratic(t *testing.T) {
+	n := 600 // repetitions of "abc"
+	in := bytes.Repeat([]byte("abc"), n)
+	g := tokdfa.MustParseGrammar(`abc`, `(abc)*d`)
+	m := tokdfa.MustCompile(g, tokdfa.Options{})
+
+	_, flexStats := backtrack.Scan(m, in, nil)
+	if flexStats.Steps < len(in)*n/4 {
+		t.Errorf("flex steps %d: expected Θ(n²) on this family", flexStats.Steps)
+	}
+
+	_, repsStats := reps.Tokenize(m, in, nil)
+	if repsStats.Steps > 8*len(in) {
+		t.Errorf("reps steps %d on %d bytes: memoization is not linear", repsStats.Steps, len(in))
+	}
+	if repsStats.Memoized == 0 {
+		t.Error("no pairs memoized on a backtracking-heavy input")
+	}
+}
+
+// TestRepsSameAsymptoteOnRkFamily documents the Fig. 8 observation: on
+// r_k = a{0,k}b | a with all-a input the memo table never hits (the DFA
+// state at a given position differs across scans), so Reps is Θ(k·n) like
+// flex — only StreamTok and ExtOracle are Θ(1) per symbol there.
+func TestRepsSameAsymptoteOnRkFamily(t *testing.T) {
+	n := 4096
+	k := 32
+	in := bytes.Repeat([]byte("a"), n)
+	g := tokdfa.MustParseGrammar(`a{0,32}b`, `a`)
+	m := tokdfa.MustCompile(g, tokdfa.Options{})
+	_, stats := reps.Tokenize(m, in, nil)
+	if stats.Steps < k*(n-k)/2 {
+		t.Errorf("reps steps %d: expected Θ(k·n) on r_k (no memo hits)", stats.Steps)
+	}
+}

@@ -1,0 +1,65 @@
+package tepath
+
+import (
+	"fmt"
+
+	"streamtok/internal/tokdfa"
+)
+
+// K1Table is the Fig. 5 specialization of the token-extension machinery
+// for grammars with TkDist(r̄) ≤ 1: a table indexed by DFA state and next
+// input byte. T[q][a] is true iff q is final and δ(q, a) is not final —
+// i.e. the token ending at q is maximal given that a follows.
+//
+// The table is stored as a fused action table so the tokenizer's hot loop
+// does a single lookup per byte after the DFA step.
+type K1Table struct {
+	// act[q*256+a] encodes the Fig. 5 decision at state q with
+	// lookahead a: ActContinue, ActDead, or rule+ActEmitBase.
+	act   []int32
+	final []bool
+}
+
+// Action-table encodings shared by the K ≤ 1 fast paths.
+const (
+	ActContinue int32 = 0
+	ActDead     int32 = 1
+	ActEmitBase int32 = 2
+)
+
+// BuildK1 precomputes the Fig. 5 token-extension table. It requires the
+// grammar to have max-TND ≤ 1 (not checked here; the static analysis
+// guards it in the public API).
+func BuildK1(m *tokdfa.Machine) *K1Table {
+	d := m.DFA
+	n := d.NumStates()
+	t := &K1Table{act: make([]int32, n*256), final: make([]bool, n)}
+	for q := 0; q < n; q++ {
+		t.final[q] = d.IsFinal(q)
+		for b := 0; b < 256; b++ {
+			var act int32
+			switch {
+			case m.IsDead(q):
+				act = ActDead
+			case d.IsFinal(q) && !d.IsFinal(d.Step(q, byte(b))):
+				act = int32(d.Rule(q)) + ActEmitBase
+			}
+			t.act[q<<8|b] = act
+		}
+	}
+	return t
+}
+
+// Action returns the fused decision for state q with lookahead a.
+func (t *K1Table) Action(q int, a byte) int32 { return t.act[q<<8|int(a)] }
+
+// Maximal implements T[q][a]: whether the token ending at state q is
+// maximal when byte a follows.
+func (t *K1Table) Maximal(q int, a byte) bool {
+	return t.act[q<<8|int(a)] >= ActEmitBase
+}
+
+// String summarizes the table size for diagnostics.
+func (t *K1Table) String() string {
+	return fmt.Sprintf("tepath.K1Table{%d states}", len(t.final))
+}

@@ -1,0 +1,174 @@
+package tepath
+
+import (
+	"sort"
+
+	"streamtok/internal/tokdfa"
+)
+
+// The eager construction materializes the whole TeDFA up front, which can
+// be exponential in K (e.g. on the paper's Fig. 8 family r_k the
+// powerstate must remember every b-position in the last k symbols:
+// 2^(k+1)-2 states). On real streams only a tiny fraction of powerstates
+// is ever visited — on the all-a worst-case input, k+2 of them — so the
+// fallback is a lazily determinized TeDFA: transitions are computed on
+// first use and cached in dense rows, making the steady-state cost the
+// same three array lookups per symbol as the eager table.
+
+// Lazy is the immutable, shareable part of a lazily determinized
+// token-extension DFA: the TeNFA and its metadata. Each stream creates its
+// own Evaluator (the mutable transition cache), so no locking is needed.
+type Lazy struct {
+	K       int
+	nfa     *teNFA
+	machine *tokdfa.Machine
+	words   int
+	initial []int32  // sorted initial NFA state set
+	finals  []uint64 // bitset of A's final states
+	limits  Limits
+}
+
+// BuildLazy prepares the lazy token-extension machinery for a machine
+// with TkDist = k ≥ 1.
+func BuildLazy(m *tokdfa.Machine, k int, limits Limits) (*Lazy, error) {
+	limits = limits.withDefaults()
+	nfa, err := buildTeNFA(m, k, limits)
+	if err != nil {
+		return nil, err
+	}
+	init := append([]int32(nil), nfa.initial...)
+	sort.Slice(init, func(i, j int) bool { return init[i] < init[j] })
+	words := (m.DFA.NumStates() + 63) / 64
+	finals := make([]uint64, words)
+	for q := 0; q < m.DFA.NumStates(); q++ {
+		if m.DFA.IsFinal(q) {
+			finals[q>>6] |= 1 << (q & 63)
+		}
+	}
+	return &Lazy{
+		K:       k,
+		nfa:     nfa,
+		machine: m,
+		words:   words,
+		initial: init,
+		finals:  finals,
+		limits:  limits,
+	}, nil
+}
+
+// NFASize returns the TeNFA size.
+func (l *Lazy) NFASize() int { return len(l.nfa.acceptLabel) }
+
+// Evaluator is a per-stream lazily populated TeDFA. It is not safe for
+// concurrent use; create one per stream via NewEvaluator.
+type Evaluator struct {
+	lazy       *Lazy
+	ids        map[string]int32
+	sets       [][]int32
+	rows       [][]int32 // rows[s][b] = successor, or -1 if not computed
+	extendable [][]uint64
+	emitOK     [][]uint64
+	start      int32
+}
+
+// NewEvaluator starts a fresh evaluator sharing l's TeNFA.
+func (l *Lazy) NewEvaluator() *Evaluator {
+	e := &Evaluator{lazy: l, ids: map[string]int32{}}
+	e.start = e.intern(l.initial)
+	return e
+}
+
+// Start returns the initial TeDFA state.
+func (e *Evaluator) Start() int { return int(e.start) }
+
+// NumStates returns how many powerstates have been materialized so far.
+func (e *Evaluator) NumStates() int { return len(e.sets) }
+
+func (e *Evaluator) intern(set []int32) int32 {
+	key := setKey(set)
+	if id, ok := e.ids[key]; ok {
+		return id
+	}
+	id := int32(len(e.sets))
+	e.ids[key] = id
+	e.sets = append(e.sets, set)
+	row := make([]int32, 256)
+	for i := range row {
+		row[i] = -1
+	}
+	e.rows = append(e.rows, row)
+	bits := make([]uint64, e.lazy.words)
+	for _, s := range set {
+		if lbl := e.lazy.nfa.acceptLabel[s]; lbl >= 0 {
+			bits[lbl>>6] |= 1 << (lbl & 63)
+		}
+	}
+	e.extendable = append(e.extendable, bits)
+	ok := make([]uint64, e.lazy.words)
+	for w := range ok {
+		ok[w] = e.lazy.finals[w] &^ bits[w]
+	}
+	e.emitOK = append(e.emitOK, ok)
+	return id
+}
+
+// Step advances the TeDFA, computing and caching the transition on first
+// use.
+func (e *Evaluator) Step(s int, b byte) int {
+	if t := e.rows[s][b]; t >= 0 {
+		return int(t)
+	}
+	return int(e.computeStep(s, b))
+}
+
+func (e *Evaluator) computeStep(s int, b byte) int32 {
+	nfa := e.lazy.nfa
+	set := e.sets[s]
+	seen := map[int32]bool{}
+	next := make([]int32, 0, len(set)+len(e.lazy.initial))
+	for _, st := range set {
+		t := nfa.succ[int(st)<<8|int(b)]
+		if t >= 0 && !seen[t] {
+			seen[t] = true
+			next = append(next, t)
+		}
+	}
+	for _, st := range e.lazy.initial {
+		if !seen[st] {
+			seen[st] = true
+			next = append(next, st)
+		}
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	id := e.intern(next)
+	e.rows[s][b] = id
+	return id
+}
+
+// Maximal is the token-maximality check T[q][S] (q must be final).
+func (e *Evaluator) Maximal(q, s int) bool {
+	return e.extendable[s][q>>6]&(1<<(q&63)) == 0
+}
+
+// MaximalFinal is Maximal with the finality test fused in (false for
+// non-final q).
+func (e *Evaluator) MaximalFinal(q, s int) bool {
+	return e.emitOK[s][q>>6]&(1<<(q&63)) != 0
+}
+
+// ExtendsWithinTail mirrors Table.ExtendsWithinTail for end-of-stream
+// draining.
+func (e *Evaluator) ExtendsWithinTail(q int, tail []byte) bool {
+	d := e.lazy.machine.DFA
+	p := q
+	for _, b := range tail {
+		p = d.Step(p, b)
+		if d.IsFinal(p) {
+			return true
+		}
+		if e.lazy.machine.IsDead(p) {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+// Package tokdfa builds the tokenization DFA of Definition 3 from a
+// tokenization grammar (a nonempty list of regular-expression rules).
+package tokdfa
+
+import (
+	"errors"
+	"fmt"
+
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+)
+
+// Rule is one tokenization rule: a regular expression with an optional
+// human-readable name (e.g. "INT", "WS").
+type Rule struct {
+	Name string
+	Expr regex.Node
+}
+
+// Grammar is a tokenization grammar r̄ = [r_0, ..., r_{κ-1}]. Rule order is
+// significant: ties between equally long tokens go to the least index.
+type Grammar struct {
+	Rules []Rule
+}
+
+// ErrEmptyGrammar is returned when a grammar has no rules.
+var ErrEmptyGrammar = errors.New("tokdfa: grammar must have at least one rule")
+
+// ParseGrammar parses each source string into a rule. Rule β's name
+// defaults to "rule-β".
+func ParseGrammar(sources ...string) (*Grammar, error) {
+	if len(sources) == 0 {
+		return nil, ErrEmptyGrammar
+	}
+	g := &Grammar{Rules: make([]Rule, len(sources))}
+	for i, src := range sources {
+		n, err := regex.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i, err)
+		}
+		g.Rules[i] = Rule{Name: fmt.Sprintf("rule-%d", i), Expr: n}
+	}
+	return g, nil
+}
+
+// MustParseGrammar is ParseGrammar that panics on error.
+func MustParseGrammar(sources ...string) *Grammar {
+	g, err := ParseGrammar(sources...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Named sets rule names in order; extra names are ignored.
+func (g *Grammar) Named(names ...string) *Grammar {
+	for i := range g.Rules {
+		if i < len(names) {
+			g.Rules[i] = Rule{Name: names[i], Expr: g.Rules[i].Expr}
+		}
+	}
+	return g
+}
+
+// RuleName returns the name of rule β, or "rule-β" when out of range.
+func (g *Grammar) RuleName(beta int) string {
+	if beta >= 0 && beta < len(g.Rules) && g.Rules[beta].Name != "" {
+		return g.Rules[beta].Name
+	}
+	return fmt.Sprintf("rule-%d", beta)
+}
+
+// String renders the grammar as the single regex r_0 | r_1 | ... used by
+// the paper's examples.
+func (g *Grammar) String() string {
+	s := ""
+	for i, r := range g.Rules {
+		if i > 0 {
+			s += " | "
+		}
+		s += regex.String(r.Expr)
+	}
+	return s
+}
+
+// Machine is a compiled tokenization DFA together with the analyses needed
+// by the tokenizers: co-accessibility (dead-state detection) and the
+// explicit dead state, if any.
+type Machine struct {
+	Grammar *Grammar
+	DFA     *automata.DFA
+	// NFASize is the number of states of the Thompson NFA before
+	// determinization (Table 1's "NFA/Grammar Size").
+	NFASize int
+	// CoAcc[q] reports whether q can reach a final state.
+	CoAcc []bool
+	// Dead is the id of a canonical dead state, or -1 if the DFA has no
+	// dead state (every state is co-accessible).
+	Dead int
+}
+
+// Options configures Compile.
+type Options struct {
+	// Minimize applies DFA minimization after determinization. Table 1
+	// reports minimized DFA sizes.
+	Minimize bool
+	// MaxNFAStates bounds the Thompson construction (0 = the default,
+	// 1<<22); bounded repetition is expanded by duplication, so an
+	// adversarial r{100000000} would otherwise exhaust memory.
+	MaxNFAStates int
+}
+
+// Compile builds the tokenization DFA for g.
+func Compile(g *Grammar, opts Options) (*Machine, error) {
+	if g == nil || len(g.Rules) == 0 {
+		return nil, ErrEmptyGrammar
+	}
+	exprs := make([]regex.Node, len(g.Rules))
+	for i, r := range g.Rules {
+		exprs[i] = r.Expr
+	}
+	limit := opts.MaxNFAStates
+	if limit == 0 {
+		limit = 1 << 22
+	}
+	nfa, err := automata.BuildNFALimited(exprs, limit)
+	if err != nil {
+		return nil, err
+	}
+	dfa := automata.Determinize(nfa)
+	if opts.Minimize {
+		dfa = automata.Minimize(dfa)
+	}
+	coacc := dfa.CoAccessible()
+	dead := -1
+	for q := 0; q < dfa.NumStates(); q++ {
+		if !coacc[q] {
+			dead = q
+			break
+		}
+	}
+	return &Machine{
+		Grammar: g,
+		DFA:     dfa,
+		NFASize: nfa.NumStates(),
+		CoAcc:   coacc,
+		Dead:    dead,
+	}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(g *Grammar, opts Options) *Machine {
+	m, err := Compile(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IsDead reports whether q is a reject/failure state.
+func (m *Machine) IsDead(q int) bool { return !m.CoAcc[q] }

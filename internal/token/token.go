@@ -1,0 +1,19 @@
+// Package token defines the token value emitted by every tokenizer in this
+// repository.
+package token
+
+// Token is one output item of tokens(r̄): the location of the matched
+// substring and the rule id β that produced it (Definition 1). Offsets are
+// absolute positions in the input stream.
+type Token struct {
+	Start int // byte offset of the token in the input
+	End   int // byte offset one past the token
+	Rule  int // rule id β (least index among longest matches)
+}
+
+// Len returns the token's length in bytes.
+func (t Token) Len() int { return t.End - t.Start }
+
+// Text returns the token's substring of input (valid when the whole input
+// is in memory).
+func (t Token) Text(input []byte) []byte { return input[t.Start:t.End] }

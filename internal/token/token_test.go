@@ -1,0 +1,14 @@
+package token
+
+import "testing"
+
+func TestToken(t *testing.T) {
+	tok := Token{Start: 3, End: 8, Rule: 2}
+	if tok.Len() != 5 {
+		t.Errorf("Len = %d", tok.Len())
+	}
+	input := []byte("abcdefghij")
+	if got := string(tok.Text(input)); got != "defgh" {
+		t.Errorf("Text = %q", got)
+	}
+}

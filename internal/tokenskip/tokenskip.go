@@ -1,0 +1,95 @@
+// Package tokenskip implements the TokenSkip algorithm of Li & Mamouras
+// (OOPSLA 2025) — the second of the paper's two offline linear-time
+// tokenizers (RQ6; ExtOracle is the other). A right-to-left pass computes,
+// for every position i, the length and rule of the *maximal token starting
+// at i* (the "skip table"); the forward pass then just hops from token to
+// token: pos += skip[pos].
+//
+// The backward pass maintains, per forward-DFA state q, the longest j such
+// that δ(q, input[i..i+j)) is final — an O(M) vector updated per input
+// byte (O(M·n) time) — and materializes only the start-state entry per
+// position (Θ(n) memory: the skip tape plus the buffered input). Like
+// ExtOracle it is inherently offline: the pass starts at the stream's end.
+package tokenskip
+
+import (
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Skipper is a reusable TokenSkip tokenizer for one machine.
+type Skipper struct {
+	m *tokdfa.Machine
+}
+
+// New prepares a TokenSkip tokenizer.
+func New(m *tokdfa.Machine) *Skipper { return &Skipper{m: m} }
+
+// TapeBytes returns the memory the skip tape occupies for n input bytes
+// (length and rule per position).
+func TapeBytes(n int) int { return 8 * n }
+
+// Tokenize runs the two passes over an in-memory input. It returns the
+// offset of the first untokenized byte.
+func (s *Skipper) Tokenize(input []byte, emit func(tok token.Token, text []byte)) (rest int) {
+	d := s.m.DFA
+	numStates := d.NumStates()
+	n := len(input)
+	if n == 0 {
+		return 0
+	}
+
+	// skipLen[i] is the length of the maximal token starting at i (0 if
+	// none); skipRule[i] its rule id.
+	skipLen := make([]int32, n)
+	skipRule := make([]int32, n)
+
+	// cur[q] = longest j ≥ 0 such that δ(q, input[i..i+j)) is final for
+	// some j ≥ 1, else -1; rule[q] the rule of that longest match.
+	cur := make([]int32, numStates)
+	next := make([]int32, numStates)
+	curRule := make([]int32, numStates)
+	nextRule := make([]int32, numStates)
+	for q := range next {
+		next[q] = -1
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		b := input[i]
+		for q := 0; q < numStates; q++ {
+			t := d.Trans[q<<8|int(b)]
+			best := int32(-1)
+			bestRule := int32(-1)
+			if nl := next[t]; nl >= 0 {
+				best = nl + 1
+				bestRule = nextRule[t]
+			}
+			if best < 0 && d.Accept[t] >= 0 {
+				best = 1
+				bestRule = d.Accept[t]
+			}
+			cur[q] = best
+			curRule[q] = bestRule
+		}
+		if l := cur[d.Start]; l > 0 {
+			skipLen[i] = l
+			skipRule[i] = curRule[d.Start]
+		}
+		cur, next = next, cur
+		curRule, nextRule = nextRule, curRule
+	}
+
+	// Forward pass: hop.
+	pos := 0
+	for pos < n {
+		l := int(skipLen[pos])
+		if l == 0 {
+			return pos
+		}
+		if emit != nil {
+			emit(token.Token{Start: pos, End: pos + l, Rule: int(skipRule[pos])}, input[pos:pos+l])
+		}
+		pos += l
+	}
+	return pos
+}

@@ -1,0 +1,72 @@
+package tokenskip_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/reference"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+	"streamtok/internal/tokenskip"
+)
+
+// TestTokenSkipCorpus: TokenSkip equals the reference on every corpus
+// grammar (it handles unbounded max-TND too).
+func TestTokenSkipCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, c := range testutil.Corpus() {
+		m := c.Compile(false)
+		sk := tokenskip.New(m)
+		for i := 0; i < 40; i++ {
+			in := testutil.RandomInput(rng, c.Alphabet, rng.Intn(96))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest := sk.Tokenize(in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%s on %q: got %v/%d want %v/%d", c.Name, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestTokenSkipRandomGrammars: differential on random grammars.
+func TestTokenSkipRandomGrammars(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		g := testutil.RandomGrammar(rng)
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk := tokenskip.New(m)
+		for i := 0; i < 8; i++ {
+			in := testutil.RandomInput(rng, []byte("abcx"), rng.Intn(64))
+			want, wantRest := reference.Tokens(m, in)
+			var got []token.Token
+			rest := sk.Tokenize(in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+			if !reference.Equal(got, want) || rest != wantRest {
+				t.Fatalf("%v on %q: got %v/%d want %v/%d", g, in, got, rest, want, wantRest)
+			}
+		}
+	}
+}
+
+// TestTokenSkipUnbounded: the Lemma 6 grammar works offline.
+func TestTokenSkipUnbounded(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`a`, `b`, `(a|b)*c`), tokdfa.Options{})
+	sk := tokenskip.New(m)
+	in := []byte("ababababc")
+	var got []token.Token
+	rest := sk.Tokenize(in, func(tk token.Token, _ []byte) { got = append(got, tk) })
+	if rest != len(in) || len(got) != 1 || got[0].Rule != 2 {
+		t.Fatalf("got %v rest %d; want one (a|b)*c token", got, rest)
+	}
+}
+
+// TestTapeBytes documents the Θ(n) memory.
+func TestTapeBytes(t *testing.T) {
+	if tokenskip.TapeBytes(1000) != 8000 {
+		t.Error("TapeBytes wrong")
+	}
+}

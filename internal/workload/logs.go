@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LogFormats lists the twelve log formats of Table 2, in the paper's order.
+var LogFormats = []string{
+	"android", "apache", "bgl", "hadoop", "hdfs", "linux",
+	"mac", "nginx", "openssh", "proxifier", "spark", "windows",
+}
+
+// Log generates about n bytes of the named log format (LogHub/Kaggle-style
+// lines). The lines tokenize fully under the catalog "log" grammar.
+func Log(format string, seed int64, n int) ([]byte, error) {
+	gen, ok := logLine[format]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown log format %q", format)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 256)
+	for sb.Len() < n {
+		gen(rng, &sb)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}
+
+var months = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+var hosts = []string{"combo", "node-12", "web01", "db-3", "worker-7", "gateway"}
+var users = []string{"root", "alice", "bob", "daemon", "svc_app", "guest"}
+var levels = []string{"INFO", "WARN", "ERROR", "DEBUG", "FATAL"}
+
+func ts(rng *rand.Rand) string {
+	return fmt.Sprintf("%s %2d %02d:%02d:%02d", months[rng.Intn(12)], 1+rng.Intn(28),
+		rng.Intn(24), rng.Intn(60), rng.Intn(60))
+}
+
+func isoTS(rng *rand.Rand) string {
+	return fmt.Sprintf("2024-%02d-%02d %02d:%02d:%02d,%03d", 1+rng.Intn(12), 1+rng.Intn(28),
+		rng.Intn(24), rng.Intn(60), rng.Intn(60), rng.Intn(1000))
+}
+
+func ip(rng *rand.Rand) string {
+	return fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(223), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+var logLine = map[string]func(*rand.Rand, *strings.Builder){
+	"android": func(rng *rand.Rand, sb *strings.Builder) {
+		sev := rng.Intn(3)
+		fmt.Fprintf(sb, "%02d-%02d %02d:%02d:%02d.%03d %d %d %s %s: %s %s=%d",
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60), rng.Intn(1000),
+			1000+rng.Intn(30000), 1000+rng.Intn(30000), "DIV"[sev:sev+1],
+			word(rng)+"Manager", word(rng), word(rng), rng.Intn(100))
+	},
+	"apache": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s - - [%s] \"GET /%s/%s HTTP/1.1\" %d %d",
+			ip(rng), ts(rng), word(rng), word(rng), []int{200, 301, 404, 500}[rng.Intn(4)], rng.Intn(100000))
+	},
+	"bgl": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "- %d 2024.%02d.%02d R%02d-M%d-N%d-C:J%02d-U%02d RAS KERNEL %s %s %s",
+			1100000000+rng.Intn(100000000), 1+rng.Intn(12), 1+rng.Intn(28),
+			rng.Intn(64), rng.Intn(2), rng.Intn(16), rng.Intn(32), rng.Intn(16),
+			levels[rng.Intn(len(levels))], word(rng), word(rng))
+	},
+	"hadoop": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s [%s] org.apache.hadoop.%s.%s: %s %s %d",
+			isoTS(rng), levels[rng.Intn(len(levels))], word(rng)+"-thread",
+			word(rng), word(rng)+"Handler", word(rng), word(rng), rng.Intn(10000))
+	},
+	"hdfs": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%02d%02d%02d %02d%02d%02d %d %s dfs.DataNode: Receiving block blk_%d src: /%s:%d dest: /%s:%d",
+			24, 1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			rng.Intn(100000), levels[rng.Intn(len(levels))], rng.Int63n(1e15),
+			ip(rng), 1024+rng.Intn(60000), ip(rng), 1024+rng.Intn(60000))
+	},
+	"linux": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s sshd(pam_unix)[%d]: authentication failure; logname= uid=%d euid=%d tty=NODEVssh ruser= rhost=%s user=%s",
+			ts(rng), hosts[rng.Intn(len(hosts))], rng.Intn(32768), rng.Intn(1000), rng.Intn(1000),
+			ip(rng), users[rng.Intn(len(users))])
+	},
+	"mac": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s %s[%d]: (%s.%s) %s: %s %d",
+			ts(rng), hosts[rng.Intn(len(hosts))], word(rng)+"d", rng.Intn(32768),
+			"com.apple", word(rng), word(rng), word(rng), rng.Intn(100))
+	},
+	"nginx": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s - %s [%s] \"POST /api/%s HTTP/1.1\" %d %d \"-\" \"Mozilla/5.0\" %d.%03d",
+			ip(rng), users[rng.Intn(len(users))], ts(rng), word(rng),
+			[]int{200, 201, 403, 502}[rng.Intn(4)], rng.Intn(100000), rng.Intn(3), rng.Intn(1000))
+	},
+	"openssh": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s sshd[%d]: Failed password for invalid user %s from %s port %d ssh2",
+			ts(rng), hosts[rng.Intn(len(hosts))], rng.Intn(32768),
+			users[rng.Intn(len(users))], ip(rng), 1024+rng.Intn(60000))
+	},
+	"proxifier": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "[%02d.%02d %02d:%02d:%02d] %s.exe - %s.com:%d close, %d bytes sent, %d bytes received, lifetime %02d:%02d",
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			word(rng), word(rng), 443, rng.Intn(100000), rng.Intn(1000000), rng.Intn(60), rng.Intn(60))
+	},
+	"spark": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s Executor: Finished task %d.%d in stage %d.%d (TID %d). %d bytes result sent to driver",
+			isoTS(rng), levels[rng.Intn(len(levels))], rng.Intn(1000), rng.Intn(3),
+			rng.Intn(100), rng.Intn(3), rng.Intn(100000), rng.Intn(10000))
+	},
+	"windows": func(rng *rand.Rand, sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s, %s CBS Loaded Servicing Stack v%d.%d.%d.%d with Core: %s.dll",
+			isoTS(rng), levels[rng.Intn(len(levels))],
+			6+rng.Intn(5), rng.Intn(4), 9600+rng.Intn(3000), rng.Intn(30), word(rng))
+	},
+}

@@ -1,0 +1,365 @@
+// Package workload synthesizes format-faithful input streams for the
+// evaluation: JSON, CSV, TSV, XML, YAML, FASTA, and DNS zone documents,
+// twelve system-log formats, the all-a worst-case input of Fig. 8, and
+// token-length-parameterized CSV/JSON (Fig. 11b). All generators are
+// deterministic in their seed, and every generated stream tokenizes fully
+// under the matching catalog grammar (pinned by tests).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generate produces approximately n bytes of the named format (a catalog
+// grammar name from internal/grammars).
+func Generate(format string, seed int64, n int) ([]byte, error) {
+	switch format {
+	case "json":
+		return JSON(seed, n), nil
+	case "csv", "csv-rfc4180":
+		return CSV(seed, n), nil
+	case "tsv":
+		return TSV(seed, n), nil
+	case "xml":
+		return XML(seed, n), nil
+	case "yaml":
+		return YAML(seed, n), nil
+	case "fasta":
+		return FASTA(seed, n), nil
+	case "dns":
+		return DNSZone(seed, n), nil
+	case "log":
+		return Log("linux", seed, n)
+	default:
+		return nil, fmt.Errorf("workload: unknown format %q", format)
+	}
+}
+
+// WorstCase returns the Fig. 8 input: n bytes of the letter a, on which
+// the grammar r_k = a{0,k}b | a forces flex to backtrack k positions per
+// token.
+func WorstCase(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 'a'
+	}
+	return out
+}
+
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+	"victor", "whiskey", "xray", "yankee", "zulu", "status", "value",
+	"count", "error", "warning", "request", "response", "latency",
+}
+
+func word(rng *rand.Rand) string { return words[rng.Intn(len(words))] }
+
+func number(rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", rng.Intn(100000))
+	case 1:
+		return fmt.Sprintf("%d.%d", rng.Intn(1000), rng.Intn(1000))
+	case 2:
+		return fmt.Sprintf("-%d", rng.Intn(1000))
+	default:
+		return fmt.Sprintf("%d.%de%c%d", rng.Intn(10), rng.Intn(100), "+-"[rng.Intn(2)], rng.Intn(30))
+	}
+}
+
+// JSON generates a stream of newline-separated JSON objects (NDJSON-style,
+// realistic for streaming workloads) totaling about n bytes.
+func JSON(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 256)
+	for sb.Len() < n {
+		writeJSONValue(rng, &sb, 3)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+func writeJSONValue(rng *rand.Rand, sb *strings.Builder, depth int) {
+	if depth == 0 {
+		writeJSONScalar(rng, sb)
+		return
+	}
+	switch rng.Intn(6) {
+	case 0: // object
+		sb.WriteByte('{')
+		for i, k := 0, 1+rng.Intn(4); i < k; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%q: ", word(rng))
+			writeJSONValue(rng, sb, depth-1)
+		}
+		sb.WriteByte('}')
+	case 1: // array
+		sb.WriteByte('[')
+		for i, k := 0, 1+rng.Intn(5); i < k; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeJSONValue(rng, sb, depth-1)
+		}
+		sb.WriteByte(']')
+	default:
+		writeJSONScalar(rng, sb)
+	}
+}
+
+func writeJSONScalar(rng *rand.Rand, sb *strings.Builder) {
+	switch rng.Intn(5) {
+	case 0:
+		fmt.Fprintf(sb, "%q", word(rng))
+	case 1:
+		sb.WriteString(number(rng))
+	case 2:
+		sb.WriteString("true")
+	case 3:
+		sb.WriteString("null")
+	default:
+		fmt.Fprintf(sb, "%q", word(rng)+" "+word(rng))
+	}
+}
+
+// CSV generates about n bytes of comma-separated records with occasional
+// quoted fields (including escaped quotes).
+func CSV(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	for sb.Len() < n {
+		cols := 3 + rng.Intn(5)
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				sb.WriteByte(',')
+			}
+			switch rng.Intn(5) {
+			case 0:
+				fmt.Fprintf(&sb, "\"%s, %s\"", word(rng), word(rng))
+			case 1:
+				fmt.Fprintf(&sb, "\"say \"\"%s\"\"\"", word(rng))
+			case 2:
+				sb.WriteString(number(rng))
+			default:
+				sb.WriteString(word(rng))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// TSV generates typed tab-separated records (words and numbers) matching
+// the schema-aware TSV grammar.
+func TSV(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	for sb.Len() < n {
+		cols := 3 + rng.Intn(4)
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				sb.WriteByte('\t')
+			}
+			if rng.Intn(2) == 0 {
+				if rng.Intn(2) == 0 {
+					fmt.Fprintf(&sb, "%d", rng.Intn(100000))
+				} else {
+					fmt.Fprintf(&sb, "%d.%d", rng.Intn(1000), rng.Intn(100))
+				}
+			} else {
+				sb.WriteString(word(rng))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// XML generates about n bytes of nested elements with attributes, text,
+// entities, numeric character references, and comments.
+func XML(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 256)
+	for sb.Len() < n {
+		writeXMLElement(rng, &sb, 3)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+func writeXMLElement(rng *rand.Rand, sb *strings.Builder, depth int) {
+	name := word(rng)
+	sb.WriteByte('<')
+	sb.WriteString(name)
+	for i, k := 0, rng.Intn(3); i < k; i++ {
+		fmt.Fprintf(sb, " %s=\"%s\"", word(rng), word(rng))
+	}
+	if depth == 0 || rng.Intn(4) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	for i, k := 0, 1+rng.Intn(3); i < k; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			writeXMLElement(rng, sb, depth-1)
+		case 1:
+			fmt.Fprintf(sb, "<!-- %s -->", word(rng))
+		case 2:
+			sb.WriteString("&amp;")
+		case 3:
+			fmt.Fprintf(sb, "&#%d;", 32+rng.Intn(9000))
+		default:
+			sb.WriteString(word(rng))
+			sb.WriteByte(' ')
+		}
+	}
+	fmt.Fprintf(sb, "</%s>", name)
+}
+
+// YAML generates about n bytes of simple key/value and list documents.
+func YAML(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	for sb.Len() < n {
+		switch rng.Intn(5) {
+		case 0:
+			// The YAML grammar's NUMBER has no exponent form; stick to
+			// plain ints and decimals.
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "%s: %d\n", word(rng), rng.Intn(100000))
+			} else {
+				fmt.Fprintf(&sb, "%s: -%d.%d\n", word(rng), rng.Intn(100), rng.Intn(1000))
+			}
+		case 1:
+			fmt.Fprintf(&sb, "%s: \"%s %s\"\n", word(rng), word(rng), word(rng))
+		case 2:
+			fmt.Fprintf(&sb, "  - %s\n", word(rng))
+		case 3:
+			fmt.Fprintf(&sb, "# %s %s\n", word(rng), word(rng))
+		default:
+			fmt.Fprintf(&sb, "%s: '%s'\n", word(rng), word(rng))
+		}
+	}
+	return []byte(sb.String())
+}
+
+// FASTA generates about n bytes of sequence records: a header line then
+// 60-column sequence lines.
+func FASTA(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	const bases = "ACGT"
+	for sb.Len() < n {
+		fmt.Fprintf(&sb, ">%s_%d %s\n", word(rng), rng.Intn(10000), word(rng))
+		for l, lines := 0, 2+rng.Intn(6); l < lines; l++ {
+			for i := 0; i < 60; i++ {
+				sb.WriteByte(bases[rng.Intn(4)])
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return []byte(sb.String())
+}
+
+// DNSZone generates about n bytes of zone-file records.
+func DNSZone(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	types := []string{"A", "AAAA", "NS", "MX", "CNAME", "TXT"}
+	for sb.Len() < n {
+		switch rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(&sb, "; %s zone data %d\n", word(rng), rng.Intn(100))
+		case 1:
+			fmt.Fprintf(&sb, "%s.example.com. %d IN MX %d mail.%s.com.\n",
+				word(rng), 300*(1+rng.Intn(12)), 10*rng.Intn(5), word(rng))
+		default:
+			fmt.Fprintf(&sb, "%s.example.com. %d IN %s 192.0.2.%d\n",
+				word(rng), 300*(1+rng.Intn(12)), types[rng.Intn(len(types))], rng.Intn(255))
+		}
+	}
+	return []byte(sb.String())
+}
+
+// SQLInserts generates about n bytes of INSERT INTO migration statements
+// for the RQ5 "SQL loads" task (matching the sql-inserts grammar).
+func SQLInserts(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 256)
+	tables := []string{"users", "events", "orders", "metrics"}
+	for sb.Len() < n {
+		if rng.Intn(10) == 0 {
+			fmt.Fprintf(&sb, "-- batch %d\n", rng.Intn(1000))
+		}
+		fmt.Fprintf(&sb, "INSERT INTO %s VALUES (%d, '%s', %d.%d, '%s''s %s'",
+			tables[rng.Intn(len(tables))], rng.Intn(100000), word(rng),
+			rng.Intn(1000), rng.Intn(100), word(rng), word(rng))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, ", NULL")
+		}
+		sb.WriteString(");\n")
+	}
+	return []byte(sb.String())
+}
+
+// CSVWithTokenLen generates CSV whose fields are all exactly tokenLen
+// bytes (Fig. 11b: the token-length sweep).
+func CSVWithTokenLen(seed int64, n, tokenLen int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	field := make([]byte, tokenLen)
+	var sb strings.Builder
+	sb.Grow(n + tokenLen + 8)
+	for sb.Len() < n {
+		for c := 0; c < 6; c++ {
+			if c > 0 {
+				sb.WriteByte(',')
+			}
+			for i := range field {
+				field[i] = byte('a' + rng.Intn(26))
+			}
+			sb.Write(field)
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// JSONWithTokenLen generates flat JSON arrays of strings of exactly
+// tokenLen content bytes (Fig. 11b).
+func JSONWithTokenLen(seed int64, n, tokenLen int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	field := make([]byte, tokenLen)
+	var sb strings.Builder
+	sb.Grow(n + tokenLen + 8)
+	for sb.Len() < n {
+		sb.WriteByte('[')
+		for c := 0; c < 6; c++ {
+			if c > 0 {
+				sb.WriteString(", ")
+			}
+			for i := range field {
+				field[i] = byte('a' + rng.Intn(26))
+			}
+			sb.WriteByte('"')
+			sb.Write(field)
+			sb.WriteByte('"')
+		}
+		sb.WriteString("]\n")
+	}
+	return []byte(sb.String())
+}

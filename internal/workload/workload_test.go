@@ -1,0 +1,141 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"streamtok/internal/grammars"
+	"streamtok/internal/reference"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/workload"
+)
+
+// TestGeneratedStreamsTokenize: every generator's output must tokenize
+// fully under its catalog grammar.
+func TestGeneratedStreamsTokenize(t *testing.T) {
+	for _, format := range []string{"json", "csv", "tsv", "xml", "yaml", "fasta", "dns", "log"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			spec, err := grammars.Lookup(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := spec.Machine()
+			in, err := workload.Generate(format, 1, 64*1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks, rest := reference.Tokens(m, in)
+			if rest != len(in) {
+				lo := rest - 20
+				if lo < 0 {
+					lo = 0
+				}
+				hi := rest + 20
+				if hi > len(in) {
+					hi = len(in)
+				}
+				t.Fatalf("%s: stopped at %d/%d near %q", format, rest, len(in), in[lo:hi])
+			}
+			if len(toks) < 100 {
+				t.Fatalf("%s: only %d tokens in 64 KB", format, len(toks))
+			}
+		})
+	}
+}
+
+// TestLogFormatsTokenize: all twelve Table 2 log formats tokenize under
+// the log grammar.
+func TestLogFormatsTokenize(t *testing.T) {
+	m := mustMachine(t, "log")
+	for _, f := range workload.LogFormats {
+		f := f
+		t.Run(f, func(t *testing.T) {
+			in, err := workload.Log(f, 2, 32*1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rest := reference.Tokens(m, in)
+			if rest != len(in) {
+				lo := rest - 20
+				if lo < 0 {
+					lo = 0
+				}
+				hi := rest + 20
+				if hi > len(in) {
+					hi = len(in)
+				}
+				t.Fatalf("%s: stopped at %d/%d near %q", f, rest, len(in), in[lo:hi])
+			}
+		})
+	}
+}
+
+// TestDeterminism: same seed, same bytes; different seed, different bytes.
+func TestDeterminism(t *testing.T) {
+	a, _ := workload.Generate("json", 7, 4096)
+	b, _ := workload.Generate("json", 7, 4096)
+	c, _ := workload.Generate("json", 8, 4096)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different output")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+// TestTokenLenControls: the Fig. 11b generators produce fields of the
+// requested length, shifting the average token length.
+func TestTokenLenControls(t *testing.T) {
+	m := mustMachine(t, "csv")
+	for _, fl := range []int{2, 16, 128} {
+		in := workload.CSVWithTokenLen(3, 32*1024, fl)
+		toks, rest := reference.Tokens(m, in)
+		if rest != len(in) {
+			t.Fatalf("len %d: stopped at %d/%d", fl, rest, len(in))
+		}
+		// Average over field tokens only (rule 1 = FIELD).
+		sum, cnt := 0, 0
+		for _, tk := range toks {
+			if tk.Rule == 1 {
+				sum += tk.Len()
+				cnt++
+			}
+		}
+		if cnt == 0 || sum/cnt != fl {
+			t.Errorf("len %d: average field length %d over %d fields", fl, sum/max(cnt, 1), cnt)
+		}
+	}
+	mj := mustMachine(t, "json")
+	in := workload.JSONWithTokenLen(3, 32*1024, 8)
+	if _, rest := reference.Tokens(mj, in); rest != len(in) {
+		t.Fatalf("json token-len stream stopped at %d/%d", rest, len(in))
+	}
+}
+
+// TestWorstCase: the Fig. 8 input is all a's of the exact length.
+func TestWorstCase(t *testing.T) {
+	in := workload.WorstCase(1000)
+	if len(in) != 1000 || bytes.ContainsFunc(in, func(r rune) bool { return r != 'a' }) {
+		t.Fatal("WorstCase malformed")
+	}
+}
+
+// TestUnknownFormats error cleanly.
+func TestUnknownFormats(t *testing.T) {
+	if _, err := workload.Generate("nope", 1, 10); err == nil {
+		t.Error("Generate(nope) should fail")
+	}
+	if _, err := workload.Log("nope", 1, 10); err == nil {
+		t.Error("Log(nope) should fail")
+	}
+}
+
+func mustMachine(t *testing.T, name string) *tokdfa.Machine {
+	t.Helper()
+	spec, err := grammars.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Machine()
+}

@@ -1,0 +1,32 @@
+package streamtok
+
+import (
+	"streamtok/internal/parallel"
+)
+
+// ParallelStats reports how well speculative parallel tokenization
+// synchronized.
+type ParallelStats struct {
+	// Segments is how many segments were processed in parallel (0 when
+	// the input was small enough to run sequentially).
+	Segments int
+	// Synchronized counts segments whose speculative tokenization was
+	// adopted at a token boundary.
+	Synchronized int
+	// ReScanned is the number of bytes the stitching pass re-tokenized.
+	ReScanned int
+}
+
+// TokenizeParallel tokenizes an in-memory input using multiple CPU cores
+// (the paper's §8 future-work direction): segments are tokenized
+// speculatively in parallel and stitched at token boundaries. Output is
+// identical to the sequential engine. workers ≤ 0 uses GOMAXPROCS.
+//
+// Speculation synchronizes quickly on self-delimiting formats (logs, TSV,
+// JSON); on formats with parity-modal constructs (CSV quoted fields) some
+// segments degrade to sequential re-scanning — still correct, just less
+// parallel.
+func (t *Tokenizer) TokenizeParallel(input []byte, workers int, emit EmitFunc) (rest int, stats ParallelStats) {
+	r, s := parallel.Tokenize(t.inner, input, parallel.Options{Workers: workers}, emit)
+	return r, ParallelStats{Segments: s.Segments, Synchronized: s.Synchronized, ReScanned: s.ReScanned}
+}

@@ -1,0 +1,247 @@
+// Package streamtok is a streaming maximal-munch tokenizer with static
+// grammar analysis, implementing Li, Yang & Mamouras, "Static Analysis for
+// Efficient Streaming Tokenization" (ASPLOS 2026).
+//
+// A tokenization grammar is a list of regular expressions (rules); the
+// tokenizer splits an input stream into tokens under the maximal-munch
+// (longest match, earliest rule) policy. The package provides:
+//
+//   - a static analysis (Analyze) computing the grammar's maximum token
+//     neighbor distance (max-TND), the semantic quantity that determines
+//     whether bounded-memory streaming tokenization is possible;
+//   - StreamTok (New/Tokenizer), a backtracking-free O(n) streaming
+//     tokenizer for grammars with finite max-TND, with memory use
+//     independent of the stream length;
+//   - the baselines the paper evaluates against: the flex-style
+//     backtracking algorithm, Reps' memoized tokenizer, and the offline
+//     two-pass ExtOracle;
+//   - a catalog of grammars for common data formats (JSON, CSV, TSV, XML,
+//     YAML, FASTA, DNS zones, system logs).
+//
+// Quick start:
+//
+//	g, _ := streamtok.ParseGrammar(`[0-9]+`, `[a-z]+`, `[ \t\n]+`)
+//	tok, _ := streamtok.New(g)
+//	tok.Tokenize(os.Stdin, 0, func(t streamtok.Token, text []byte) {
+//	    fmt.Printf("%d: %q\n", t.Rule, text)
+//	})
+package streamtok
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+// Token is one output token: its location in the stream and the rule id
+// that matched it (the least index among the longest matches).
+type Token = token.Token
+
+// EmitFunc receives each token as it is confirmed maximal. text holds the
+// token's bytes and is valid only until the next tokenizer call.
+type EmitFunc = core.EmitFunc
+
+// Grammar is a tokenization grammar: an ordered, nonempty list of rules.
+type Grammar struct {
+	g *tokdfa.Grammar
+}
+
+// ParseGrammar parses one regular expression per rule, in PCRE-ish syntax
+// (classes, ranges, negation, ., escapes, |, *, +, ?, {m,n}).
+func ParseGrammar(rules ...string) (*Grammar, error) {
+	g, err := tokdfa.ParseGrammar(rules...)
+	if err != nil {
+		return nil, err
+	}
+	return &Grammar{g: g}, nil
+}
+
+// MustParseGrammar is ParseGrammar that panics on error.
+func MustParseGrammar(rules ...string) *Grammar {
+	g, err := ParseGrammar(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Named assigns names to the rules, in order, and returns the grammar.
+func (g *Grammar) Named(names ...string) *Grammar {
+	g.g.Named(names...)
+	return g
+}
+
+// RuleName returns the name of rule id beta.
+func (g *Grammar) RuleName(beta int) string { return g.g.RuleName(beta) }
+
+// NumRules returns the number of rules.
+func (g *Grammar) NumRules() int { return len(g.g.Rules) }
+
+// String renders the grammar as r_0 | r_1 | ... .
+func (g *Grammar) String() string { return g.g.String() }
+
+// Catalog lists the built-in grammar names (json, csv, tsv, xml, yaml,
+// fasta, dns, log, sql-inserts, and the unbounded c, r, sql,
+// csv-rfc4180).
+func Catalog() []string { return grammars.Names() }
+
+// CatalogGrammar returns a built-in grammar by name.
+func CatalogGrammar(name string) (*Grammar, error) {
+	spec, err := grammars.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Grammar{g: spec.Grammar()}, nil
+}
+
+// Analysis is the result of the static analysis of a grammar.
+type Analysis struct {
+	// MaxTND is the maximum token neighbor distance; valid only when
+	// Bounded is true.
+	MaxTND int
+	// Bounded reports whether MaxTND is finite — i.e. whether StreamTok
+	// applies to the grammar.
+	Bounded bool
+	// NFASize and DFASize are the automaton sizes (DFASize is of the
+	// minimized tokenization DFA).
+	NFASize int
+	DFASize int
+	// WitnessU and WitnessV, when Bounded and MaxTND > 0, are a token
+	// neighbor pair realizing the maximum distance: both are tokens,
+	// WitnessU is a strict prefix of WitnessV, nothing between them is
+	// a token, and len(WitnessV)-len(WitnessU) == MaxTND.
+	WitnessU []byte
+	WitnessV []byte
+}
+
+// String renders the distance ("inf" when unbounded).
+func (a Analysis) String() string {
+	if !a.Bounded {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", a.MaxTND)
+}
+
+// Analyze runs the Fig. 3 static analysis: it compiles the grammar to its
+// tokenization DFA (minimized) and computes the max-TND.
+func Analyze(g *Grammar) (Analysis, error) {
+	m, err := tokdfa.Compile(g.g, tokdfa.Options{Minimize: true})
+	if err != nil {
+		return Analysis{}, err
+	}
+	res := analysis.Analyze(m)
+	out := Analysis{
+		MaxTND:  res.MaxTND,
+		Bounded: res.Bounded(),
+		NFASize: res.NFASize,
+		DFASize: res.DFASize,
+	}
+	if u, v, ok := analysis.WitnessStrings(m, res); ok {
+		out.WitnessU, out.WitnessV = u, v
+	}
+	return out, nil
+}
+
+// ErrUnbounded is reported (wrapped) by New when the grammar's max-TND is
+// infinite and StreamTok therefore cannot tokenize it in bounded memory.
+var ErrUnbounded = errors.New("streamtok: grammar has unbounded max token neighbor distance")
+
+// Options configures tokenizer construction.
+type Options struct {
+	// Minimize minimizes the tokenization DFA (default true via New;
+	// set by NewWithOptions callers explicitly).
+	Minimize bool
+	// MaxTeDFAStates caps the token-extension DFA size (0 = default).
+	MaxTeDFAStates int
+}
+
+// Tokenizer is a compiled StreamTok tokenizer. It is immutable and safe
+// for concurrent use; each concurrent stream needs its own Streamer.
+type Tokenizer struct {
+	inner *core.Tokenizer
+	an    Analysis
+}
+
+// New compiles g, runs the static analysis, and builds the StreamTok
+// tokenizer. It fails with an error wrapping ErrUnbounded when the
+// grammar's max-TND is infinite.
+func New(g *Grammar) (*Tokenizer, error) {
+	return NewWithOptions(g, Options{Minimize: true})
+}
+
+// NewWithOptions is New with explicit options.
+func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
+	m, err := tokdfa.Compile(g.g, tokdfa.Options{Minimize: opts.Minimize})
+	if err != nil {
+		return nil, err
+	}
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		return nil, fmt.Errorf("%w (grammar %s)", ErrUnbounded, g.g.String())
+	}
+	inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates})
+	if err != nil {
+		return nil, err
+	}
+	return &Tokenizer{
+		inner: inner,
+		an: Analysis{
+			MaxTND:  res.MaxTND,
+			Bounded: true,
+			NFASize: res.NFASize,
+			DFASize: res.DFASize,
+		},
+	}, nil
+}
+
+// Analysis returns the static-analysis result the tokenizer was built
+// from.
+func (t *Tokenizer) Analysis() Analysis { return t.an }
+
+// K returns the lookahead bound (the grammar's max-TND).
+func (t *Tokenizer) K() int { return t.inner.K() }
+
+// Tokenize reads the stream block-by-block (bufSize bytes per read; 0
+// means the 64 KB default) and calls emit for every maximal token. It
+// returns the offset of the first untokenized byte — the stream length
+// when the whole stream tokenized — and any read error.
+func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	return t.inner.Tokenize(r, bufSize, emit)
+}
+
+// TokenizeBytes tokenizes an in-memory input and returns the tokens and
+// the offset of the first untokenized byte.
+func (t *Tokenizer) TokenizeBytes(input []byte) ([]Token, int) {
+	return t.inner.TokenizeBytes(input)
+}
+
+// Streamer is a push-mode tokenizer for one stream: call Feed with chunks
+// as they arrive and Close at end of stream.
+type Streamer struct {
+	inner *core.Streamer
+}
+
+// NewStreamer starts a fresh stream.
+func (t *Tokenizer) NewStreamer() *Streamer {
+	return &Streamer{inner: t.inner.NewStreamer()}
+}
+
+// Feed pushes a chunk through the tokenizer, emitting any tokens whose
+// maximality the chunk confirms. Each byte is examined O(1) times; no
+// backtracking occurs.
+func (s *Streamer) Feed(chunk []byte, emit EmitFunc) { s.inner.Feed(chunk, emit) }
+
+// Close signals end of stream, drains the delayed lookahead bytes, and
+// returns the offset of the first untokenized byte.
+func (s *Streamer) Close(emit EmitFunc) int { return s.inner.Close(emit) }
+
+// Stopped reports whether tokenization terminated early because the
+// remaining input matches no rule.
+func (s *Streamer) Stopped() bool { return s.inner.Stopped() }
