@@ -113,6 +113,29 @@ func BenchmarkFig7dAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7dAnalysisNoWitness is BenchmarkFig7dAnalysis without the
+// per-generation witness bookkeeping (AnalyzeOpts{Witness: false}), the
+// configuration corpus sweeps and grammarlint subset probes use.
+func BenchmarkFig7dAnalysisNoWitness(b *testing.B) {
+	entries := ghdataset.Corpus(2026)
+	for _, idx := range []int{0, 100, 500, 1500, 2500} {
+		e := entries[idx]
+		g, err := tokdfa.ParseGrammar(e.Rules...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := tokdfa.Compile(g, tokdfa.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nfa%d", m.NFASize), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.AnalyzeWith(m, analysis.AnalyzeOpts{})
+			}
+		})
+	}
+}
+
 // BenchmarkFig8 is the worst-case microbenchmark: r_k = a{0,k}b | a on an
 // all-a input. StreamTok and ExtOracle should be flat in k; flex, Reps,
 // and the in-memory scan degrade linearly.

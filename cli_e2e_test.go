@@ -1,6 +1,7 @@
 package streamtok_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -76,6 +77,72 @@ func TestCLITnd(t *testing.T) {
 
 	if _, code = run(t, bin, "", "-catalog", "nope"); code != 2 {
 		t.Errorf("tnd bad catalog: code %d, want 2", code)
+	}
+}
+
+// TestCLITndLint: the diagnostic suite end to end — human and JSON
+// output, and the three-way exit code (0 clean, 1 unbounded, 3 defects).
+func TestCLITndLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "tnd")
+
+	out, code := run(t, bin, "", "-lint", `[0-9]*0`, `[ ]+`)
+	if code != 1 {
+		t.Errorf("lint unbounded: code %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"error[unbounded-tnd]", "pump:", "culprits:", "error-trap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint unbounded output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, code = run(t, bin, "", "-lint", `ab`, `a`, `ab`)
+	if code != 3 || !strings.Contains(out, "shadowed-rule") {
+		t.Errorf("lint shadowed: code %d, want 3\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "", "-lint", `.`)
+	if code != 0 || !strings.Contains(out, "clean") || !strings.Contains(out, "total") {
+		t.Errorf("lint clean total grammar: code %d\n%s", code, out)
+	}
+
+	out, code = run(t, bin, "", "-lint", "-json", `[0-9]*0`, `[ ]+`)
+	if code != 1 {
+		t.Errorf("lint -json: code %d, want 1\n%s", code, out)
+	}
+	var rep struct {
+		MaxTND      string `json:"maxTND"`
+		Diagnostics []struct {
+			Code string          `json:"code"`
+			Pump json.RawMessage `json:"pump"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("lint -json not parseable: %v\n%s", err, out)
+	}
+	if rep.MaxTND != "inf" || len(rep.Diagnostics) == 0 {
+		t.Errorf("lint -json content: %+v", rep)
+	}
+	if rep.Diagnostics[0].Code != "unbounded-tnd" || len(rep.Diagnostics[0].Pump) == 0 {
+		t.Errorf("lint -json first diagnostic should be unbounded-tnd with a pump: %+v", rep.Diagnostics[0])
+	}
+}
+
+// TestCLILexgenWarnings: lint warnings reach stderr while generation
+// still succeeds.
+func TestCLILexgenWarnings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "lexgen")
+	out, code := run(t, bin, "", "-pkg", "x", `a*`, `b`)
+	if code != 0 {
+		t.Fatalf("lexgen nullable grammar: code %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "warning: nullable-rule") {
+		t.Errorf("lexgen output missing nullable warning:\n%s", out[:min(len(out), 400)])
 	}
 }
 

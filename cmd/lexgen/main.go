@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"streamtok/internal/grammarfile"
 	"streamtok/internal/grammars"
@@ -36,7 +37,11 @@ func main() {
 	exitOn(err)
 
 	var buf bytes.Buffer
-	exitOn(lexgen.Generate(&buf, *pkg, g))
+	warnings, err := lexgen.GenerateWithWarnings(&buf, *pkg, g)
+	exitOn(err)
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "lexgen: warning:", w)
+	}
 
 	if *out == "" {
 		_, err = os.Stdout.Write(buf.Bytes())
@@ -71,7 +76,7 @@ func load(catalog, file string, args []string) (*tokdfa.Grammar, error) {
 
 func exitOn(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lexgen:", err)
+		fmt.Fprintln(os.Stderr, "lexgen:", strings.TrimPrefix(err.Error(), "lexgen: "))
 		os.Exit(1)
 	}
 }

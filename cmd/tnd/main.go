@@ -8,13 +8,18 @@
 //	tnd '[0-9]+' '[ ]+'             # analyze rules given as arguments
 //	tnd -f grammar.txt              # one rule per line
 //	tnd -table1                     # print the paper's Table 1
+//	tnd -lint '[0-9]*0' '[ ]+'      # full diagnostics with witnesses
+//	tnd -lint -json -catalog csv    # machine-readable lint report
 //
 // Exit status 0 when the grammar has bounded max-TND (StreamTok applies),
-// 1 when unbounded, 2 on usage errors.
+// 1 when unbounded, 2 on usage errors. With -lint, additionally 3 when
+// the linter finds error-severity defects (shadowed or unmatchable rules)
+// in a grammar whose max-TND is bounded.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +29,7 @@ import (
 	"streamtok/internal/analysis"
 	"streamtok/internal/bench"
 	"streamtok/internal/grammarfile"
+	"streamtok/internal/grammarlint"
 	"streamtok/internal/grammars"
 	"streamtok/internal/machinefile"
 	"streamtok/internal/tokdfa"
@@ -37,6 +43,8 @@ func main() {
 	witness := flag.Bool("witness", false, "print a witnessing token-extension path")
 	emitMachine := flag.String("emit", "", "write the compiled machine (tables + analysis) to a file")
 	dot := flag.Bool("dot", false, "print the tokenization DFA as Graphviz DOT and exit")
+	lint := flag.Bool("lint", false, "run the full diagnostic suite (unbounded-TND root cause, shadowed rules, overlaps, ε-rules, error traps)")
+	jsonOut := flag.Bool("json", false, "with -lint: print the report as JSON")
 	flag.Parse()
 
 	if *listGrammars {
@@ -54,6 +62,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnd:", err)
 		os.Exit(2)
+	}
+	if *lint {
+		runLint(g, *jsonOut)
+		return
 	}
 	m, err := tokdfa.Compile(g, tokdfa.Options{Minimize: true})
 	if err != nil {
@@ -93,6 +105,37 @@ func main() {
 	if !res.Bounded() {
 		os.Exit(1)
 	}
+}
+
+// runLint prints the diagnostic report and exits: 0 when StreamTok
+// applies and no error-severity defects were found, 1 for unbounded
+// max-TND, 3 for other error-severity defects.
+func runLint(g *tokdfa.Grammar, jsonOut bool) {
+	rep, err := grammarlint.Run(g, grammarlint.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnd:", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnd:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(blob))
+	} else {
+		fmt.Print(rep.Format())
+	}
+	exit := 0
+	for _, d := range rep.Diags {
+		if d.Code == grammarlint.CodeUnboundedTND {
+			os.Exit(1)
+		}
+		if d.Severity == grammarlint.SeverityError {
+			exit = 3
+		}
+	}
+	os.Exit(exit)
 }
 
 func writeMachine(path string, m *tokdfa.Machine, maxTND int) error {

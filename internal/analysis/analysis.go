@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"streamtok/internal/automata"
 	"streamtok/internal/tokdfa"
 )
 
@@ -46,14 +47,33 @@ func (r Result) String() string {
 // TkDist(r̄), Infinite if unbounded.
 func MaxTND(m *tokdfa.Machine) int { return Analyze(m).MaxTND }
 
-// Analyze runs the Fig. 3 frontier algorithm.
+// AnalyzeOpts configures AnalyzeWith.
+type AnalyzeOpts struct {
+	// Witness enables the per-generation parent bookkeeping needed to
+	// fill Result.Witness. Callers that only want the distance (corpus
+	// sweeps, lint subset probes) should leave it false: the analysis
+	// then skips one O(M) snapshot per iteration.
+	Witness bool
+}
+
+// Analyze runs the Fig. 3 frontier algorithm with witness extraction.
+func Analyze(m *tokdfa.Machine) Result {
+	return AnalyzeWith(m, AnalyzeOpts{Witness: true})
+}
+
+// AnalyzeWith runs the Fig. 3 frontier algorithm.
 //
 // Loop invariant (Theorem 15): after `dist` iterations, S contains exactly
 // the states q for which there are a token u ∈ L ∩ Σ⁺ and v ∈ Σ^dist with
 // δ(uv) = q and no w with u < w ≤ uv in L. The algorithm returns dist as
 // soon as the successor set T of S has no co-accessible state, and ∞ once
 // dist exceeds |A|+1 (Lemma 11 dichotomy).
-func Analyze(m *tokdfa.Machine) Result {
+//
+// Successors are enumerated per byte-equivalence class rather than per
+// byte: two bytes with identical transition columns move every frontier
+// identically, so one representative per class suffices (typically 10–30
+// representatives instead of 256).
+func AnalyzeWith(m *tokdfa.Machine, opts AnalyzeOpts) Result {
 	d := m.DFA
 	numStates := d.NumStates()
 	res := Result{NFASize: m.NFASize, DFASize: numStates}
@@ -78,24 +98,57 @@ func Analyze(m *tokdfa.Machine) Result {
 	// generations[g] is the frontier S after g iterations; parents[g]
 	// maps each state first discovered in generation g to its
 	// predecessor in generation g-1 (for witness extraction).
-	generations := [][]bool{cloneBools(s)}
-	parents := []map[int]int{nil}
+	var generations [][]bool
+	var parents []map[int]int
+	if opts.Witness {
+		generations = [][]bool{cloneBools(s)}
+		parents = []map[int]int{nil}
+	}
+
+	// Byte-class representatives, computed lazily: building the classes
+	// costs two O(256·M) passes, so it only pays once the dense loop has
+	// expanded enough frontier states that the remaining iterations (an
+	// unbounded grammar runs |A|+2 of them) dominate. Short analyses —
+	// most real corpora have max-TND ≤ a few — never pay for it.
+	var reps []byte
+	expanded := 0
 
 	dist := 0
 	for dist < numStates+2 {
 		res.Iterations++
+		if reps == nil && expanded > 4*numStates {
+			_, reps = automata.ByteClasses(numStates, d.Step)
+		}
 		// Line 7: T ← successors of S.
 		t := make([]bool, numStates)
-		parent := make(map[int]int)
+		var parent map[int]int
+		if opts.Witness {
+			parent = make(map[int]int)
+		}
 		for q := 0; q < numStates; q++ {
 			if !s[q] {
 				continue
 			}
-			for b := 0; b < 256; b++ {
-				tgt := d.Step(q, byte(b))
-				if !t[tgt] {
-					t[tgt] = true
-					parent[tgt] = q
+			expanded++
+			if reps != nil {
+				for _, b := range reps {
+					tgt := d.Step(q, b)
+					if !t[tgt] {
+						t[tgt] = true
+						if parent != nil {
+							parent[tgt] = q
+						}
+					}
+				}
+			} else {
+				for b := 0; b < 256; b++ {
+					tgt := d.Step(q, byte(b))
+					if !t[tgt] {
+						t[tgt] = true
+						if parent != nil {
+							parent[tgt] = q
+						}
+					}
 				}
 			}
 		}
@@ -109,7 +162,9 @@ func Analyze(m *tokdfa.Machine) Result {
 		}
 		if !hit {
 			res.MaxTND = dist
-			res.Witness = extractWitness(m, generations, parents)
+			if opts.Witness {
+				res.Witness = extractWitness(m, generations, parents)
+			}
 			return res
 		}
 		// Line 12: S ← non-final states of T; dist++.
@@ -121,8 +176,10 @@ func Analyze(m *tokdfa.Machine) Result {
 		}
 		s = next
 		dist++
-		generations = append(generations, cloneBools(s))
-		parents = append(parents, parent)
+		if opts.Witness {
+			generations = append(generations, cloneBools(s))
+			parents = append(parents, parent)
+		}
 	}
 	res.MaxTND = Infinite
 	return res

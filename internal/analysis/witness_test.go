@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"streamtok/internal/reference"
 	"streamtok/internal/testutil"
 	"streamtok/internal/tokdfa"
 )
@@ -75,6 +76,68 @@ func TestWitnessStringsRandom(t *testing.T) {
 	}
 	if checked < 30 {
 		t.Fatalf("only %d grammars checked", checked)
+	}
+}
+
+// TestWitnessCrossGenerationPaths guards extractWitness's per-generation
+// parent maps on grammars whose extension paths reconverge: a DFA state
+// shared by two branches of different lengths enters the Fig. 3 frontier
+// in one generation and is crossed by the *maximal* path in a later one.
+// A single global parent map would walk back along the earlier (shorter)
+// discovery and produce a broken or short witness; the per-generation
+// maps must yield a full-length, step-consistent path.
+func TestWitnessCrossGenerationPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []string
+		want  int
+	}{
+		// After token "q", the branches (aa|b)·ac reconverge in the
+		// state expecting the final c: reached via "ba" in generation 2
+		// and via "aaa" in generation 3. The maximum distance 4 runs
+		// through the later crossing.
+		{"reconverge-2-3", []string{`q`, `q(aa|b)ac`}, 4},
+		// Mirrored branch lengths: (a|bb)·bc shares the pre-c state at
+		// generations 2 (via "ab") and 3 (via "bbb").
+		{"reconverge-mirrored", []string{`q`, `q(a|bb)bc`}, 4},
+		// Shortest reconvergence: (a|ba)·c shares the pre-c state at
+		// generations 1 and 2.
+		{"reconverge-1-2", []string{`q`, `q(a|ba)c`}, 3},
+		// Three branches of pairwise different lengths into one tail.
+		{"reconverge-3way", []string{`q`, `q(aaa|ba|b)cd`}, 5},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, minimize := range []bool{false, true} {
+				m := compile(t, minimize, c.rules...)
+				res := Analyze(m)
+				if res.MaxTND != c.want {
+					t.Fatalf("minimize=%v: MaxTND = %d, want %d", minimize, res.MaxTND, c.want)
+				}
+				if brute := reference.BruteMaxTND(m, c.want+3); brute != c.want {
+					t.Fatalf("brute-force says %d, fixture wants %d", brute, c.want)
+				}
+				if len(res.Witness) != res.MaxTND+1 {
+					t.Fatalf("minimize=%v: witness path has %d states, want %d: %v",
+						minimize, len(res.Witness), res.MaxTND+1, res.Witness)
+				}
+				d := m.DFA
+				if !d.IsFinal(res.Witness[0]) || !d.IsFinal(res.Witness[len(res.Witness)-1]) {
+					t.Fatalf("witness endpoints not final: %v", res.Witness)
+				}
+				for _, q := range res.Witness[1 : len(res.Witness)-1] {
+					if d.IsFinal(q) {
+						t.Fatalf("witness interior state %d is final: %v", q, res.Witness)
+					}
+				}
+				u, v, ok := WitnessStrings(m, res)
+				if !ok {
+					t.Fatalf("witness path %v is not step-consistent", res.Witness)
+				}
+				checkNeighborPair(t, m, u, v, res.MaxTND)
+			}
+		})
 	}
 }
 

@@ -8,10 +8,25 @@ package automata
 //
 // step must be a pure function of (state, byte). The returned classOf maps
 // each byte to its class id; reps holds one representative byte per class.
+//
+// Each byte's column is hashed first so a byte is only compared against
+// representatives whose columns hash equally: O(256·M) expected instead of
+// O(256·C·M). The full comparison stays as a collision guard, so the
+// partition never depends on hash quality.
 func ByteClasses(numStates int, step func(q int, b byte) int) (classOf [256]uint8, reps []byte) {
+	var hashes [256]uint64
+	for b := 0; b < 256; b++ {
+		h := uint64(14695981039346656037) // FNV-1a over the column
+		for q := 0; q < numStates; q++ {
+			h ^= uint64(step(q, byte(b)))
+			h *= 1099511628211
+		}
+		hashes[b] = h
+	}
+	byHash := make(map[uint64][]byte, 64) // hash → representatives
 	for b := 0; b < 256; b++ {
 		found := -1
-		for ci, rep := range reps {
+		for _, rep := range byHash[hashes[b]] {
 			same := true
 			for q := 0; q < numStates; q++ {
 				if step(q, byte(b)) != step(q, rep) {
@@ -20,7 +35,7 @@ func ByteClasses(numStates int, step func(q int, b byte) int) (classOf [256]uint
 				}
 			}
 			if same {
-				found = ci
+				found = int(classOf[rep])
 				break
 			}
 		}
@@ -31,6 +46,7 @@ func ByteClasses(numStates int, step func(q int, b byte) int) (classOf [256]uint
 				found = 255
 			} else {
 				found = len(reps)
+				byHash[hashes[b]] = append(byHash[hashes[b]], byte(b))
 				reps = append(reps, byte(b))
 			}
 		}

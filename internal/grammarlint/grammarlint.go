@@ -1,0 +1,241 @@
+// Package grammarlint is a static-analysis lint suite over tokenization
+// grammars. Where internal/analysis answers the single yes/no question
+// the paper cares about — is max-TND finite, so StreamTok applies? — this
+// package explains *why* a grammar misbehaves and what to do about it.
+// Every diagnostic carries a concrete, machine-checkable witness:
+//
+//   - unbounded-tnd: a pump certificate (u·s·yⁿ·z is a token for every n,
+//     with no intermediate token) extracted from the frontier lasso that
+//     keeps the Fig. 3 loop alive, plus a minimal culprit rule subset
+//     found by delta-debugging (removing the subset makes max-TND finite;
+//     keeping any one culprit does not).
+//   - shadowed-rule: a string the rule matches in full that an earlier
+//     rule steals under least-index tie-breaking.
+//   - unmatchable-rule: the rule matches no nonempty string at all.
+//   - rule-overlap: a shortest nonempty string in the language
+//     intersection of a rule pair (via the product automaton).
+//   - nullable-rule: the rule matches ε, which tokenization ignores.
+//   - error-trap: a shortest input on which every engine stops with no
+//     token, or — when absent — a totality verdict (Report.Total).
+//
+// Witness correctness is enforced by tests against internal/reference,
+// the executable specification.
+package grammarlint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/automata"
+	"streamtok/internal/regex"
+	"streamtok/internal/tokdfa"
+)
+
+// Severity classifies how strongly a diagnostic should be acted on.
+type Severity string
+
+const (
+	// SeverityError marks defects that break StreamTok applicability or
+	// make a rule dead weight (unbounded max-TND, shadowed rules).
+	SeverityError Severity = "error"
+	// SeverityWarning marks hazards that change tokenization in ways
+	// users rarely intend (ε-matching rules, error traps).
+	SeverityWarning Severity = "warning"
+	// SeverityInfo marks observations that are often deliberate
+	// (rule overlaps resolved by priority).
+	SeverityInfo Severity = "info"
+)
+
+func severityRank(s Severity) int {
+	switch s {
+	case SeverityError:
+		return 0
+	case SeverityWarning:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Code identifies a lint pass.
+type Code string
+
+// The diagnostic codes, one per pass.
+const (
+	CodeUnboundedTND Code = "unbounded-tnd"
+	CodeShadowedRule Code = "shadowed-rule"
+	CodeUnmatchable  Code = "unmatchable-rule"
+	CodeRuleOverlap  Code = "rule-overlap"
+	CodeNullableRule Code = "nullable-rule"
+	CodeErrorTrap    Code = "error-trap"
+)
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	// Rules lists the rule indices the diagnostic is about (the culprit
+	// set for unbounded-tnd, the pair for rule-overlap, a single index
+	// otherwise). Empty for grammar-wide findings (error-trap).
+	Rules     []int    `json:"rules,omitempty"`
+	RuleNames []string `json:"ruleNames,omitempty"`
+	// Message is the human-readable one-line finding.
+	Message string `json:"message"`
+	// Witness is the quoted witness string ("" when the pass proves a
+	// property with no single witness). WitnessBytes is the raw form,
+	// for machine verification.
+	Witness      string `json:"witness,omitempty"`
+	WitnessBytes []byte `json:"-"`
+	// Pump is the unbounded-tnd certificate, nil for other codes.
+	Pump *Pump `json:"pump,omitempty"`
+	// Detail lines render indented under the message in human output.
+	Detail []string `json:"detail,omitempty"`
+}
+
+// Report is the result of linting one grammar.
+type Report struct {
+	Grammar *tokdfa.Grammar `json:"-"`
+	// Source is the grammar rendered as r_0 | r_1 | ... .
+	Source  string `json:"grammar"`
+	NFASize int    `json:"nfaSize"`
+	DFASize int    `json:"dfaSize"`
+	// MaxTND is the analysis verdict ("inf" when unbounded).
+	MaxTND string `json:"maxTND"`
+	// Total reports grammar totality: every input tokenizes completely
+	// (no error-trap diagnostic is possible).
+	Total bool         `json:"total"`
+	Diags []Diagnostic `json:"diagnostics"`
+}
+
+// Options configures Run.
+type Options struct {
+	// NoCulprits skips the delta-debugging culprit search for unbounded
+	// grammars (the lasso pump is still extracted). Corpus sweeps that
+	// only want diagnostic counts can set it to avoid the subset
+	// re-analyses.
+	NoCulprits bool
+}
+
+// Run compiles g and runs every lint pass.
+func Run(g *tokdfa.Grammar, opts Options) (*Report, error) {
+	m, err := tokdfa.Compile(g, tokdfa.Options{Minimize: true})
+	if err != nil {
+		return nil, err
+	}
+	res := analysis.AnalyzeWith(m, analysis.AnalyzeOpts{})
+	rep := &Report{
+		Grammar: g,
+		Source:  g.String(),
+		NFASize: res.NFASize,
+		DFASize: res.DFASize,
+		MaxTND:  res.String(),
+	}
+
+	rules := buildRuleDFAs(g)
+	rep.Diags = append(rep.Diags, lintInfinite(g, m, res, opts)...)
+	rep.Diags = append(rep.Diags, lintShadowed(g, m, rules)...)
+	rep.Diags = append(rep.Diags, lintOverlap(g, rules)...)
+	rep.Diags = append(rep.Diags, lintNullable(g)...)
+	trap, total := lintTrap(m)
+	rep.Total = total
+	if !total {
+		rep.Diags = append(rep.Diags, trap)
+	}
+
+	sort.SliceStable(rep.Diags, func(i, j int) bool {
+		a, b := rep.Diags[i], rep.Diags[j]
+		if ra, rb := severityRank(a.Severity), severityRank(b.Severity); ra != rb {
+			return ra < rb
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return lessIntSlices(a.Rules, b.Rules)
+	})
+	return rep, nil
+}
+
+func lessIntSlices(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Counts returns the number of diagnostics per severity.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, d := range r.Diags {
+		switch d.Severity {
+		case SeverityError:
+			errors++
+		case SeverityWarning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Format renders the report for terminals.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "grammar:  %s\n", r.Source)
+	fmt.Fprintf(&sb, "size:     NFA %d, DFA %d\n", r.NFASize, r.DFASize)
+	fmt.Fprintf(&sb, "max-TND:  %s\n", r.MaxTND)
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "%s[%s]: %s\n", d.Severity, d.Code, d.Message)
+		for _, line := range d.Detail {
+			fmt.Fprintf(&sb, "    %s\n", line)
+		}
+	}
+	errs, warns, infos := r.Counts()
+	if len(r.Diags) == 0 {
+		sb.WriteString("clean: no diagnostics")
+	} else {
+		fmt.Fprintf(&sb, "%d diagnostics: %d errors, %d warnings, %d info",
+			len(r.Diags), errs, warns, infos)
+	}
+	if r.Total {
+		sb.WriteString("; grammar is total (every input tokenizes completely)\n")
+	} else {
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ruleDFA is the standalone automaton of a single rule's language, used by
+// the shadow and overlap passes.
+type ruleDFA struct {
+	d     *automata.DFA
+	coacc []bool
+	// shortest is a shortest nonempty string in the rule's language, nil
+	// when the rule matches no nonempty string.
+	shortest []byte
+}
+
+// buildRuleDFAs compiles each rule in isolation. The whole grammar
+// compiled within the NFA budget, so every single-rule subset does too.
+func buildRuleDFAs(g *tokdfa.Grammar) []ruleDFA {
+	out := make([]ruleDFA, len(g.Rules))
+	for i, r := range g.Rules {
+		nfa, err := automata.BuildNFALimited([]regex.Node{r.Expr}, 1<<22)
+		if err != nil {
+			continue // leave a zero ruleDFA; passes skip nil DFAs
+		}
+		d := automata.Minimize(automata.Determinize(nfa))
+		out[i] = ruleDFA{
+			d:        d,
+			coacc:    d.CoAccessible(),
+			shortest: shortestPath(d, d.Start, d.IsFinal, alwaysVia),
+		}
+	}
+	return out
+}
+
+func quote(b []byte) string { return strconv.Quote(string(b)) }

@@ -1,0 +1,421 @@
+package grammarlint
+
+import (
+	"encoding/json"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/automata"
+	"streamtok/internal/ghdataset"
+	"streamtok/internal/reference"
+	"streamtok/internal/regex"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+)
+
+// matchesRule reports whether w is in the language of rule beta alone,
+// checked by NFA simulation (independent of the lint's own rule DFAs).
+func matchesRule(g *tokdfa.Grammar, beta int, w []byte) bool {
+	nfa := automata.BuildNFA([]regex.Node{g.Rules[beta].Expr})
+	_, ok := nfa.Match(w)
+	return ok
+}
+
+// verifyReport machine-checks every witness in a report against the
+// reference oracle. It returns the number of checked witnesses.
+func verifyReport(t *testing.T, g *tokdfa.Grammar, rep *Report) int {
+	t.Helper()
+	m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+	checked := 0
+	for _, diag := range rep.Diags {
+		switch diag.Code {
+		case CodeUnboundedTND:
+			if diag.Pump == nil {
+				t.Errorf("unbounded-tnd diagnostic without a pump: %+v", diag)
+				continue
+			}
+			if err := diag.Pump.Verify(m, 5); err != nil {
+				t.Errorf("pump does not verify: %v", err)
+			}
+			checked++
+		case CodeShadowedRule:
+			beta := diag.Rules[0]
+			w := diag.WitnessBytes
+			if !matchesRule(g, beta, w) {
+				t.Errorf("shadow witness %s does not match rule %d", diag.Witness, beta)
+			}
+			tok, ok := reference.Next(m, w, 0)
+			if !ok || tok.End != len(w) {
+				t.Errorf("shadow witness %s does not tokenize in full", diag.Witness)
+				continue
+			}
+			if tok.Rule >= beta {
+				t.Errorf("shadow witness %s tokenizes as rule %d, want an earlier rule than %d",
+					diag.Witness, tok.Rule, beta)
+			}
+			checked++
+		case CodeUnmatchable:
+			beta := diag.Rules[0]
+			// Spot-check shortness: no string of length ≤ 3 over a small
+			// probe alphabet matches (the rule DFA proof is exhaustive;
+			// this is an independent sanity probe).
+			for _, w := range [][]byte{{'a'}, {'b'}, {'0'}, {' '}} {
+				if matchesRule(g, beta, w) {
+					t.Errorf("rule %d flagged unmatchable but matches %q", beta, w)
+				}
+			}
+			checked++
+		case CodeRuleOverlap:
+			i, j := diag.Rules[0], diag.Rules[1]
+			w := diag.WitnessBytes
+			if len(w) == 0 {
+				t.Errorf("empty overlap witness for rules %d,%d", i, j)
+				continue
+			}
+			if !matchesRule(g, i, w) || !matchesRule(g, j, w) {
+				t.Errorf("overlap witness %s does not match both rules %d and %d", diag.Witness, i, j)
+			}
+			checked++
+		case CodeNullableRule:
+			beta := diag.Rules[0]
+			if !matchesRule(g, beta, nil) {
+				t.Errorf("rule %d flagged nullable but does not match ε", beta)
+			}
+			checked++
+		case CodeErrorTrap:
+			w := diag.WitnessBytes
+			if len(w) != 1 {
+				t.Errorf("error-trap witness %s should be a single byte (shortest)", diag.Witness)
+			}
+			toks, rest := reference.Tokens(m, w)
+			if len(toks) != 0 || rest != 0 {
+				t.Errorf("error-trap witness %s still tokenizes: %d tokens, rest %d",
+					diag.Witness, len(toks), rest)
+			}
+			checked++
+		}
+	}
+	return checked
+}
+
+// TestLintCorpusWitnesses lints every corpus grammar and machine-verifies
+// every emitted witness against the reference oracle.
+func TestLintCorpusWitnesses(t *testing.T) {
+	for _, c := range testutil.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			g := tokdfa.MustParseGrammar(c.Rules...)
+			rep, err := Run(g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyReport(t, g, rep)
+
+			hasUnbounded := false
+			for _, d := range rep.Diags {
+				if d.Code == CodeUnboundedTND {
+					hasUnbounded = true
+				}
+			}
+			// The analysis itself is the ground truth for the verdict
+			// (testutil's labels are engine-selection hints; the
+			// nullable-rule case is marked Unbounded there even though
+			// TkDist is 1, because ε-matching grammars are routed to
+			// the backtracking engine regardless).
+			m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+			if want := !analysis.Analyze(m).Bounded(); want != hasUnbounded {
+				t.Errorf("unbounded-tnd diagnostic presence = %v, want %v", hasUnbounded, want)
+			}
+		})
+	}
+}
+
+// TestLintTotality cross-checks the totality verdict against the reference
+// tokenizer on random inputs over each case's alphabet plus noise bytes.
+func TestLintTotality(t *testing.T) {
+	for _, c := range testutil.Corpus() {
+		g := tokdfa.MustParseGrammar(c.Rules...)
+		rep, err := Run(g, Options{NoCulprits: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Total {
+			continue
+		}
+		m := tokdfa.MustCompile(g, tokdfa.Options{})
+		for _, b := range []byte{0, 'a', 'Z', '5', ' ', 0xff} {
+			if _, rest := reference.Tokens(m, []byte{b}); rest != 1 {
+				t.Errorf("%s: reported total but input %q does not tokenize", c.Name, b)
+			}
+		}
+	}
+}
+
+// TestShadowedRule exercises the shadow pass on a grammar with a rule that
+// duplicates an earlier one.
+func TestShadowedRule(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`ab`, `a`, `ab`)
+	rep, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shadow *Diagnostic
+	for i := range rep.Diags {
+		if rep.Diags[i].Code == CodeShadowedRule {
+			shadow = &rep.Diags[i]
+		}
+	}
+	if shadow == nil {
+		t.Fatal("no shadowed-rule diagnostic for a duplicated rule")
+	}
+	if shadow.Rules[0] != 2 {
+		t.Errorf("shadowed rule = %d, want 2", shadow.Rules[0])
+	}
+	if string(shadow.WitnessBytes) != "ab" {
+		t.Errorf("shadow witness = %s, want \"ab\"", shadow.Witness)
+	}
+	if verifyReport(t, g, rep) == 0 {
+		t.Error("no witnesses checked")
+	}
+}
+
+// TestUnmatchableRule uses a{0,0}, whose language is {ε}: no nonempty
+// string, so the rule can never produce a token.
+func TestUnmatchableRule(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`b`, `a{0,0}`)
+	rep, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[Code]bool{}
+	for _, d := range rep.Diags {
+		found[d.Code] = true
+	}
+	if !found[CodeUnmatchable] {
+		t.Error("no unmatchable-rule diagnostic for a{0,0}")
+	}
+	if !found[CodeNullableRule] {
+		t.Error("no nullable-rule diagnostic for a{0,0}")
+	}
+}
+
+// TestErrorTrapAndClean checks both sides of the totality verdict.
+func TestErrorTrapAndClean(t *testing.T) {
+	rep, err := Run(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total {
+		t.Error("digits+spaces reported total; letters should trap")
+	}
+	trapped := false
+	for _, d := range rep.Diags {
+		if d.Code == CodeErrorTrap {
+			trapped = true
+			if len(d.WitnessBytes) != 1 {
+				t.Errorf("trap witness %s not a single byte", d.Witness)
+			}
+		}
+	}
+	if !trapped {
+		t.Error("no error-trap diagnostic")
+	}
+
+	rep, err = Run(tokdfa.MustParseGrammar(`.`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Total {
+		t.Error("the dot grammar accepts every byte; want total")
+	}
+	for _, d := range rep.Diags {
+		if d.Code == CodeErrorTrap {
+			t.Error("total grammar got an error-trap diagnostic")
+		}
+	}
+}
+
+// TestPumpVerifyRejectsBadCertificates guards the verifier: tampered
+// pumps must fail.
+func TestPumpVerifyRejectsBadCertificates(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`[0-9]*0`, `[ ]+`)
+	m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+	pump, ok := extractLasso(m)
+	if !ok {
+		t.Fatal("no lasso extracted for a known-unbounded grammar")
+	}
+	if err := pump.Verify(m, 8); err != nil {
+		t.Fatalf("genuine pump rejected: %v", err)
+	}
+	bad := *pump
+	bad.Cycle = []byte(" ") // a space closes the pending token early
+	if err := bad.Verify(m, 3); err == nil {
+		t.Error("tampered cycle accepted")
+	}
+	bad = *pump
+	bad.Prefix = []byte("x")
+	if err := bad.Verify(m, 3); err == nil {
+		t.Error("tampered prefix accepted")
+	}
+	bad = *pump
+	bad.Exit = nil
+	if err := bad.Verify(m, 3); err == nil {
+		t.Error("empty exit accepted")
+	}
+}
+
+// TestCulpritMinimality confirms the 1-minimality contract on the corpus
+// cases with several rules: removing the culprit set bounds the grammar,
+// while keeping any single culprit (removing only the others) does not.
+func TestCulpritMinimality(t *testing.T) {
+	for _, c := range testutil.Corpus() {
+		if c.KnownTND != testutil.Unbounded {
+			continue
+		}
+		g := tokdfa.MustParseGrammar(c.Rules...)
+		rep, err := Run(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range rep.Diags {
+			if d.Code == CodeUnboundedTND {
+				checkCulpritsMinimal(t, c.Name, g, d.Rules)
+			}
+		}
+	}
+}
+
+// checkCulpritsMinimal independently re-verifies the minimality contract
+// with direct analysis calls (not trusting the lint's own probes).
+func checkCulpritsMinimal(t *testing.T, name string, g *tokdfa.Grammar, culprits []int) {
+	t.Helper()
+	if len(culprits) == 0 {
+		t.Errorf("%s: unbounded grammar with empty culprit set", name)
+		return
+	}
+	in := func(set []int, r int) bool {
+		for _, c := range set {
+			if c == r {
+				return true
+			}
+		}
+		return false
+	}
+	tndWithout := func(drop []int) int {
+		var rules []tokdfa.Rule
+		for r := range g.Rules {
+			if !in(drop, r) {
+				rules = append(rules, g.Rules[r])
+			}
+		}
+		if len(rules) == 0 {
+			return 0
+		}
+		m := tokdfa.MustCompile(&tokdfa.Grammar{Rules: rules}, tokdfa.Options{})
+		return analysis.AnalyzeWith(m, analysis.AnalyzeOpts{}).MaxTND
+	}
+	if v := tndWithout(culprits); v == analysis.Infinite {
+		t.Errorf("%s: removing culprits %v does not bound max-TND", name, culprits)
+	}
+	for i, c := range culprits {
+		others := append(append([]int(nil), culprits[:i]...), culprits[i+1:]...)
+		if v := tndWithout(others); v != analysis.Infinite {
+			t.Errorf("%s: culprit %d is redundant (removing only %v already bounds max-TND)",
+				name, c, others)
+		}
+	}
+}
+
+// TestGHDatasetCulpritMinimality is the acceptance sweep: every unbounded
+// ghdataset grammar gets a confirmed-minimal culprit set and a verified
+// pump. In -short mode a deterministic sample is checked.
+func TestGHDatasetCulpritMinimality(t *testing.T) {
+	corpus := ghdataset.Corpus(2026)
+	stride := 1
+	if testing.Short() {
+		stride = 25
+	}
+	unbounded := 0
+	for idx := 0; idx < len(corpus); idx += stride {
+		e := corpus[idx]
+		if e.PlannedTND != ghdataset.Unbounded {
+			continue
+		}
+		unbounded++
+		g := tokdfa.MustParseGrammar(e.Rules...)
+		m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+		res := analysis.AnalyzeWith(m, analysis.AnalyzeOpts{})
+		if res.Bounded() {
+			t.Fatalf("grammar %d planned unbounded but analysis says %d", e.ID, res.MaxTND)
+		}
+		pump, ok := extractLasso(m)
+		if !ok {
+			t.Fatalf("grammar %d: no lasso extracted", e.ID)
+		}
+		if err := pump.Verify(m, 3); err != nil {
+			t.Fatalf("grammar %d: pump does not verify: %v", e.ID, err)
+		}
+		culprits, repairTND := minimizeCulprits(g, pump)
+		if repairTND == analysis.Infinite {
+			t.Fatalf("grammar %d: repair set %v does not bound max-TND", e.ID, culprits)
+		}
+		checkCulpritsMinimal(t, e.Rules[0], g, culprits)
+		if t.Failed() {
+			t.Fatalf("grammar %d (rules %v) failed minimality", e.ID, e.Rules)
+		}
+	}
+	if unbounded == 0 {
+		t.Fatal("sweep covered no unbounded grammars")
+	}
+	t.Logf("confirmed minimal culprit sets for %d unbounded grammars", unbounded)
+}
+
+// TestReportJSON ensures the JSON form round-trips the fields consumers
+// need and keeps witnesses printable.
+func TestReportJSON(t *testing.T) {
+	g := tokdfa.MustParseGrammar(`[0-9]*0`, `[ ]+`, `a*`)
+	rep, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"grammar", "maxTND", "diagnostics", "total"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+	diags := decoded["diagnostics"].([]any)
+	if len(diags) != len(rep.Diags) {
+		t.Errorf("JSON has %d diagnostics, report has %d", len(diags), len(rep.Diags))
+	}
+}
+
+// TestFormat smoke-tests the human rendering.
+func TestFormat(t *testing.T) {
+	rep, err := Run(tokdfa.MustParseGrammar(`[0-9]*0`, `[ ]+`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{"max-TND:  inf", "error[unbounded-tnd]", "pump:", "culprits:"} {
+		if !contains(out, want) {
+			t.Errorf("Format() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

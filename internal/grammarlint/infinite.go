@@ -1,0 +1,368 @@
+package grammarlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/automata"
+	"streamtok/internal/tokdfa"
+)
+
+// Pump is a machine-checkable certificate of unbounded max-TND: for every
+// n ≥ 0, Prefix·Stem·Cycleⁿ·Exit is a token whose only proper prefix in L
+// is Prefix itself. Prefix then has token neighbors at distance
+// |Stem| + n·|Cycle| + |Exit| for every n, so TkDist(r̄) = ∞.
+//
+// The certificate mirrors the Fig. 3 loop's non-termination: Prefix drives
+// the DFA to a Σ⁺-reachable final state, Stem enters the frontier lasso (a
+// cycle of non-final co-accessible states), Cycle goes around it, and Exit
+// escapes to the next final state.
+type Pump struct {
+	Prefix []byte
+	Stem   []byte
+	Cycle  []byte
+	Exit   []byte
+}
+
+// Token materializes the n-th pumped token Prefix·Stem·Cycleⁿ·Exit.
+func (p *Pump) Token(n int) []byte {
+	out := make([]byte, 0, len(p.Prefix)+len(p.Stem)+n*len(p.Cycle)+len(p.Exit))
+	out = append(out, p.Prefix...)
+	out = append(out, p.Stem...)
+	for i := 0; i < n; i++ {
+		out = append(out, p.Cycle...)
+	}
+	return append(out, p.Exit...)
+}
+
+// Verify checks the certificate against a machine for n = 0..maxN: Prefix
+// is a token, every pumped word is a token, and no token lies strictly
+// between them. A nil error means the pump is a genuine unboundedness
+// witness (each n adds |Cycle| ≥ 1 to the realized neighbor distance).
+func (p *Pump) Verify(m *tokdfa.Machine, maxN int) error {
+	if len(p.Prefix) == 0 || len(p.Stem) == 0 || len(p.Cycle) == 0 || len(p.Exit) == 0 {
+		return fmt.Errorf("grammarlint: pump has an empty component")
+	}
+	d := m.DFA
+	for n := 0; n <= maxN; n++ {
+		w := p.Token(n)
+		q := d.Start
+		for i, b := range w {
+			q = d.Step(q, b)
+			switch {
+			case i == len(p.Prefix)-1:
+				if !d.IsFinal(q) {
+					return fmt.Errorf("grammarlint: pump prefix %s is not a token", quote(p.Prefix))
+				}
+			case i == len(w)-1:
+				if !d.IsFinal(q) {
+					return fmt.Errorf("grammarlint: pumped word %s (n=%d) is not a token", quote(w), n)
+				}
+			case i >= len(p.Prefix):
+				if d.IsFinal(q) {
+					return fmt.Errorf("grammarlint: token strictly inside pumped word %s (n=%d) at byte %d", quote(w), n, i+1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders each component Go-quoted (like Diagnostic.Witness),
+// keeping arbitrary bytes printable.
+func (p *Pump) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Prefix string `json:"prefix"`
+		Stem   string `json:"stem"`
+		Cycle  string `json:"cycle"`
+		Exit   string `json:"exit"`
+	}{quote(p.Prefix), quote(p.Stem), quote(p.Cycle), quote(p.Exit)})
+}
+
+// lintInfinite emits the unbounded-tnd diagnostic: the lasso pump plus the
+// delta-debugged culprit rule set.
+func lintInfinite(g *tokdfa.Grammar, m *tokdfa.Machine, res analysis.Result, opts Options) []Diagnostic {
+	if res.Bounded() {
+		return nil
+	}
+	diag := Diagnostic{
+		Code:     CodeUnboundedTND,
+		Severity: SeverityError,
+		Message:  "max token neighbor distance is unbounded: StreamTok cannot bound its lookahead on this grammar",
+	}
+	pump, ok := extractLasso(m)
+	if ok {
+		diag.Pump = pump
+		diag.WitnessBytes = pump.Token(2)
+		diag.Witness = quote(diag.WitnessBytes)
+		diag.Detail = append(diag.Detail, fmt.Sprintf(
+			"pump: %s · %s · (%s)^n · %s is a token for every n, with no token in between",
+			quote(pump.Prefix), quote(pump.Stem), quote(pump.Cycle), quote(pump.Exit)))
+	}
+	if !opts.NoCulprits {
+		culprits, repairTND := minimizeCulprits(g, pump)
+		diag.Rules = culprits
+		for _, r := range culprits {
+			diag.RuleNames = append(diag.RuleNames, g.RuleName(r))
+		}
+		names := ""
+		for i, r := range culprits {
+			if i > 0 {
+				names += ", "
+			}
+			names += fmt.Sprintf("%d (%s)", r, g.RuleName(r))
+		}
+		diag.Detail = append(diag.Detail, fmt.Sprintf(
+			"culprits: removing rule(s) %s yields max-TND %d; keeping any one of them keeps it unbounded",
+			names, repairTND))
+	}
+	return []Diagnostic{diag}
+}
+
+// extractLasso finds the frontier lasso of an unbounded machine. By the
+// Fig. 3 invariant the loop runs forever exactly when a cycle of
+// non-final co-accessible states is reachable from a Σ⁺-reachable final
+// state through non-final co-accessible states; this function rebuilds
+// that structure explicitly and packages it as a Pump.
+func extractLasso(m *tokdfa.Machine) (*Pump, bool) {
+	d := m.DFA
+	numStates := d.NumStates()
+	reach := d.ReachableNonEmpty()
+	allowed := make([]bool, numStates)
+	for q := range allowed {
+		allowed[q] = !d.IsFinal(q) && m.CoAcc[q]
+	}
+
+	// BFS over allowed states from the allowed successors of every
+	// Σ⁺-reachable final. Seeds record the final that spawned them in
+	// src; interior states chain back through prev.
+	inLasso := make([]bool, numStates)
+	prev := make([]int32, numStates)
+	src := make([]int32, numStates)
+	by := make([]byte, numStates)
+	for i := range src {
+		src[i], prev[i] = -1, -1
+	}
+	var queue []int32
+	for q := 0; q < numStates; q++ {
+		if !reach[q] || !d.IsFinal(q) {
+			continue
+		}
+		for x := 0; x < 256; x++ {
+			t := d.Step(q, byte(x))
+			if allowed[t] && !inLasso[t] {
+				inLasso[t] = true
+				src[t] = int32(q)
+				by[t] = byte(x)
+				queue = append(queue, int32(t))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for x := 0; x < 256; x++ {
+			t := d.Step(int(q), byte(x))
+			if allowed[t] && !inLasso[t] {
+				inLasso[t] = true
+				prev[t] = q
+				by[t] = byte(x)
+				queue = append(queue, int32(t))
+			}
+		}
+	}
+
+	entry, cycle, ok := findCycle(d, inLasso)
+	if !ok {
+		return nil, false
+	}
+
+	// Stem: the BFS path from the seeding final to the cycle entry.
+	var stemRev []byte
+	cur := entry
+	for {
+		stemRev = append(stemRev, by[cur])
+		if prev[cur] < 0 {
+			break
+		}
+		cur = int(prev[cur])
+	}
+	anchor := int(src[cur])
+	stem := make([]byte, len(stemRev))
+	for i, b := range stemRev {
+		stem[len(stemRev)-1-i] = b
+	}
+
+	// Prefix: a shortest nonempty token reaching the anchor final. Exit:
+	// a shortest escape from the cycle entry to a final state (the BFS
+	// only ever enqueues non-final states — a final target returns
+	// immediately — so the escape path has no token strictly inside it).
+	prefix := shortestPath(d, d.Start, func(q int) bool { return q == anchor }, alwaysVia)
+	exit := shortestPath(d, entry, d.IsFinal, alwaysVia)
+	if prefix == nil || exit == nil {
+		return nil, false
+	}
+	return &Pump{Prefix: prefix, Stem: stem, Cycle: cycle, Exit: exit}, true
+}
+
+// findCycle locates a cycle within the induced subgraph of `in` states by
+// iterative DFS, returning the entry state and the cycle's byte labels
+// (the path entry → ... → entry).
+func findCycle(d *automata.DFA, in []bool) (entry int, cycle []byte, ok bool) {
+	numStates := d.NumStates()
+	color := make([]int8, numStates) // 0 white, 1 on stack, 2 done
+	type frame struct {
+		q  int32
+		b  int  // next byte to try
+		in byte // byte that entered q from the frame below
+	}
+	var stack []frame
+	for s := 0; s < numStates; s++ {
+		if !in[s] || color[s] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{q: int32(s)})
+		color[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.b >= 256 {
+				color[f.q] = 2
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			x := byte(f.b)
+			f.b++
+			t := d.Step(int(f.q), x)
+			if !in[t] {
+				continue
+			}
+			switch color[t] {
+			case 1:
+				// Back edge: the cycle runs t → ... → f.q → t.
+				i := len(stack) - 1
+				for int(stack[i].q) != t {
+					i--
+				}
+				for j := i + 1; j < len(stack); j++ {
+					cycle = append(cycle, stack[j].in)
+				}
+				return t, append(cycle, x), true
+			case 0:
+				color[t] = 1
+				stack = append(stack, frame{q: int32(t), in: x})
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// compileSubset compiles the sub-grammar keeping only the listed rule
+// indices. The full grammar compiled within the NFA budget, so every
+// subset does too; minimization is skipped because only the analysis
+// verdict is needed.
+func compileSubset(g *tokdfa.Grammar, keep []int) *tokdfa.Machine {
+	rules := make([]tokdfa.Rule, len(keep))
+	for i, r := range keep {
+		rules[i] = g.Rules[r]
+	}
+	return tokdfa.MustCompile(&tokdfa.Grammar{Rules: rules}, tokdfa.Options{})
+}
+
+// minimizeCulprits delta-debugs the rule list of an unbounded grammar to a
+// 1-minimal repair set: removing the returned rules makes max-TND finite
+// (repairTND), while putting any single one of them back leaves it
+// unbounded.
+//
+// The search is lasso-guided rather than ddmin-style bisection: each
+// unbounded round pumps the surviving sub-grammar's lasso once and removes
+// the rule that wins the pumped token — the rule whose repetition feeds
+// the cycle. That converges in a handful of rounds where naive greedy
+// removal needs O(κ) analyses. A 1-minimality fixpoint follows, because
+// boundedness is not monotone under rule removal ({a+, a*b} is bounded but
+// {a, a*b} is not), so the greedy phase can overshoot.
+func minimizeCulprits(g *tokdfa.Grammar, pump *Pump) (culprits []int, repairTND int) {
+	numRules := len(g.Rules)
+	memo := map[string]int{}
+	tndOf := func(keep []int) int {
+		if len(keep) == 0 {
+			return 0
+		}
+		key := fmt.Sprint(keep)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := analysis.AnalyzeWith(compileSubset(g, keep), analysis.AnalyzeOpts{}).MaxTND
+		memo[key] = v
+		return v
+	}
+
+	sub := make([]int, numRules)
+	for i := range sub {
+		sub[i] = i
+	}
+	var removed []int
+	for len(sub) > 0 {
+		sm := compileSubset(g, sub)
+		res := analysis.AnalyzeWith(sm, analysis.AnalyzeOpts{})
+		memo[fmt.Sprint(sub)] = res.MaxTND
+		if res.Bounded() {
+			break
+		}
+		victim := len(sub) - 1 // fallback: still guarantees progress
+		p, ok := pump, pump != nil
+		if !ok {
+			p, ok = extractLasso(sm)
+		}
+		pump = nil // only the first round can reuse the caller's pump
+		if ok {
+			if r := sm.DFA.Rule(sm.DFA.Run(p.Token(1))); r >= 0 && r < len(sub) {
+				victim = r
+			}
+		}
+		removed = append(removed, sub[victim])
+		sub = append(sub[:victim], sub[victim+1:]...)
+	}
+
+	// 1-minimality fixpoint: drop any culprit whose removal from the
+	// repair set keeps the grammar bounded, rescanning until stable
+	// (dropping one member can make another redundant). The loop
+	// invariant — grammar minus the current culprit set is bounded —
+	// holds because a member is only dropped after verifying exactly
+	// that for the shrunken set.
+	culprits = append([]int(nil), removed...)
+	sort.Ints(culprits)
+	inCulprits := func(r int) bool {
+		for _, c := range culprits {
+			if c == r {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(culprits); i++ {
+			keep := make([]int, 0, numRules)
+			for r := 0; r < numRules; r++ {
+				if !inCulprits(r) || r == culprits[i] {
+					keep = append(keep, r)
+				}
+			}
+			if tndOf(keep) != analysis.Infinite {
+				culprits = append(culprits[:i], culprits[i+1:]...)
+				changed = true
+				i--
+			}
+		}
+	}
+
+	keep := make([]int, 0, numRules)
+	for r := 0; r < numRules; r++ {
+		if !inCulprits(r) {
+			keep = append(keep, r)
+		}
+	}
+	return culprits, tndOf(keep)
+}

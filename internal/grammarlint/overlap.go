@@ -1,0 +1,95 @@
+package grammarlint
+
+import (
+	"fmt"
+
+	"streamtok/internal/tokdfa"
+)
+
+// maxProductStates caps the product-automaton size per rule pair; pairs
+// beyond it are skipped (real rule DFAs are tiny — the cap only guards
+// against adversarial inputs stalling the linter).
+const maxProductStates = 1 << 20
+
+// lintOverlap reports rule pairs whose languages share a nonempty string,
+// found by BFS over the product automaton (pruned to co-accessible pairs)
+// so the witness is shortest. Overlap is informational: priority resolves
+// the tie, but overlapping rules are where priority bugs live.
+func lintOverlap(g *tokdfa.Grammar, rules []ruleDFA) []Diagnostic {
+	var out []Diagnostic
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			a, b := rules[i], rules[j]
+			if a.d == nil || b.d == nil || a.shortest == nil || b.shortest == nil {
+				continue
+			}
+			w := shortestCommon(a, b)
+			if w == nil {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Code:         CodeRuleOverlap,
+				Severity:     SeverityInfo,
+				Rules:        []int{i, j},
+				RuleNames:    []string{g.RuleName(i), g.RuleName(j)},
+				WitnessBytes: w,
+				Witness:      quote(w),
+				Message: fmt.Sprintf("rules %d (%s) and %d (%s) overlap: %s matches both; equal-length ties go to rule %d",
+					i, g.RuleName(i), j, g.RuleName(j), quote(w), i),
+			})
+		}
+	}
+	return out
+}
+
+// shortestCommon returns a shortest nonempty string accepted by both rule
+// DFAs, or nil when the intersection of the nonempty languages is empty.
+func shortestCommon(a, b ruleDFA) []byte {
+	na, nb := a.d.NumStates(), b.d.NumStates()
+	if na*nb > maxProductStates {
+		return nil
+	}
+	seen := make([]bool, na*nb)
+	prev := make([]int32, na*nb)
+	by := make([]byte, na*nb)
+	start := int32(a.d.Start*nb + b.d.Start)
+	seen[start] = true
+	queue := []int32{start}
+
+	build := func(p int32, last byte) []byte {
+		var rev []byte
+		rev = append(rev, last)
+		for p != start {
+			rev = append(rev, by[p])
+			p = prev[p]
+		}
+		out := make([]byte, len(rev))
+		for i, x := range rev {
+			out[len(rev)-1-i] = x
+		}
+		return out
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		qa, qb := int(p)/nb, int(p)%nb
+		for x := 0; x < 256; x++ {
+			ta, tb := a.d.Step(qa, byte(x)), b.d.Step(qb, byte(x))
+			if a.d.IsFinal(ta) && b.d.IsFinal(tb) {
+				return build(p, byte(x))
+			}
+			if !a.coacc[ta] || !b.coacc[tb] {
+				continue
+			}
+			tp := int32(ta*nb + tb)
+			if !seen[tp] {
+				seen[tp] = true
+				prev[tp] = p
+				by[tp] = byte(x)
+				queue = append(queue, tp)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package grammarlint
+
+import "streamtok/internal/automata"
+
+// alwaysVia places no restriction on intermediate states.
+func alwaysVia(int) bool { return true }
+
+// shortestPath returns a shortest *nonempty* byte string driving d from
+// state `from` to a state satisfying goal, or nil when none exists. The
+// goal is tested on edge targets before the visited check, so paths whose
+// endpoint revisits an already-seen state (e.g. a self-loop back to
+// `from`) are found. Traversal only continues through states satisfying
+// via; goal targets themselves are exempt from the restriction.
+func shortestPath(d *automata.DFA, from int, goal, via func(int) bool) []byte {
+	numStates := d.NumStates()
+	prev := make([]int32, numStates)
+	by := make([]byte, numStates)
+	seen := make([]bool, numStates)
+	seen[from] = true
+
+	// build returns the path to q (walked back through prev/by) plus one
+	// final byte `last`.
+	build := func(q int, last byte) []byte {
+		var rev []byte
+		rev = append(rev, last)
+		for q != from {
+			rev = append(rev, by[q])
+			q = int(prev[q])
+		}
+		out := make([]byte, len(rev))
+		for i, b := range rev {
+			out[len(rev)-1-i] = b
+		}
+		return out
+	}
+
+	queue := []int32{int32(from)}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for b := 0; b < 256; b++ {
+			t := d.Step(int(q), byte(b))
+			if goal(t) {
+				return build(int(q), byte(b))
+			}
+			if !seen[t] && via(t) {
+				seen[t] = true
+				prev[t] = q
+				by[t] = byte(b)
+				queue = append(queue, int32(t))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package grammarlint
+
+import (
+	"fmt"
+
+	"streamtok/internal/tokdfa"
+)
+
+// lintShadowed flags rules that can never produce a token. A rule wins
+// some string iff its index appears as Λ on a final state reachable by
+// Σ⁺; a rule that never does is either unmatchable (its language has no
+// nonempty string) or shadowed (every string it matches is claimed by an
+// earlier rule under least-index tie-breaking).
+//
+// The shadow witness is a shortest nonempty w ∈ L(r_β). Since β never
+// wins, Λ(δ(w)) is a strictly earlier rule, and tokenizing the input w
+// yields exactly one full-length token carrying that stealing rule —
+// which is what the verification tests check against internal/reference.
+func lintShadowed(g *tokdfa.Grammar, m *tokdfa.Machine, rules []ruleDFA) []Diagnostic {
+	d := m.DFA
+	reach := d.ReachableNonEmpty()
+	wins := make([]bool, len(g.Rules))
+	for q := 0; q < d.NumStates(); q++ {
+		if reach[q] && d.IsFinal(q) {
+			if r := d.Rule(q); r < len(wins) {
+				wins[r] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for beta := range g.Rules {
+		if wins[beta] {
+			continue
+		}
+		rd := rules[beta]
+		if rd.d == nil || rd.shortest == nil {
+			out = append(out, Diagnostic{
+				Code:      CodeUnmatchable,
+				Severity:  SeverityError,
+				Rules:     []int{beta},
+				RuleNames: []string{g.RuleName(beta)},
+				Message: fmt.Sprintf("rule %d (%s) matches no nonempty string and can never produce a token",
+					beta, g.RuleName(beta)),
+			})
+			continue
+		}
+		w := rd.shortest
+		stealer := d.Rule(d.Run(w))
+		out = append(out, Diagnostic{
+			Code:         CodeShadowedRule,
+			Severity:     SeverityError,
+			Rules:        []int{beta},
+			RuleNames:    []string{g.RuleName(beta)},
+			WitnessBytes: w,
+			Witness:      quote(w),
+			Message: fmt.Sprintf("rule %d (%s) never wins a token: every string it matches is claimed by an earlier rule",
+				beta, g.RuleName(beta)),
+			Detail: []string{fmt.Sprintf("witness: %s matches rule %d but tokenizes as rule %d (%s)",
+				quote(w), beta, stealer, g.RuleName(stealer))},
+		})
+	}
+	return out
+}

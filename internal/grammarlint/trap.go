@@ -1,0 +1,68 @@
+package grammarlint
+
+import (
+	"fmt"
+
+	"streamtok/internal/charclass"
+	"streamtok/internal/tokdfa"
+)
+
+// lintTrap decides grammar totality and produces a shortest error-trap
+// witness when the grammar is not total.
+//
+// Tokenization only ever fails at a token boundary, on a suffix with no
+// matching nonempty prefix. If every byte b has δ(start, b) final, every
+// suffix has a 1-byte match, so every input tokenizes completely: the
+// grammar is total. Conversely, if some byte's first step is non-final,
+// the 1-byte input of just that byte fails immediately. Totality is
+// therefore decided by the 256 first steps, and when it fails the
+// shortest failing input always has length 1.
+func lintTrap(m *tokdfa.Machine) (Diagnostic, bool) {
+	d := m.DFA
+	var bad charclass.Class
+	for x := 0; x < 256; x++ {
+		if !d.IsFinal(d.Step(d.Start, byte(x))) {
+			bad.Add(byte(x))
+		}
+	}
+	if bad.IsEmpty() {
+		return Diagnostic{}, true
+	}
+	wb, _ := bad.Min()
+	for x := 0x20; x < 0x7f; x++ { // prefer a printable witness byte
+		if bad.Contains(byte(x)) {
+			wb = byte(x)
+			break
+		}
+	}
+	w := []byte{wb}
+	return Diagnostic{
+		Code:         CodeErrorTrap,
+		Severity:     SeverityWarning,
+		WitnessBytes: w,
+		Witness:      quote(w),
+		Message: fmt.Sprintf("grammar is not total: %d of 256 bytes start no token (%s); input %s stops every engine with no token",
+			bad.Len(), bad.String(), quote(w)),
+	}, false
+}
+
+// lintNullable flags rules matching the empty string. Tokens are nonempty
+// by Definition 1, so the ε-match can never fire; it usually indicates a
+// misplaced * or ? that also inflates the rule's language.
+func lintNullable(g *tokdfa.Grammar) []Diagnostic {
+	var out []Diagnostic
+	for i, r := range g.Rules {
+		if !r.Expr.Nullable() {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code:      CodeNullableRule,
+			Severity:  SeverityWarning,
+			Rules:     []int{i},
+			RuleNames: []string{g.RuleName(i)},
+			Message: fmt.Sprintf("rule %d (%s) matches the empty string; tokens are nonempty, so the ε-match is ignored — usually a misplaced * or ?",
+				i, g.RuleName(i)),
+		})
+	}
+	return out
+}
