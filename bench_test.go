@@ -372,11 +372,13 @@ func BenchmarkRQ6Memory(b *testing.B) {
 func BenchmarkAblationK1Special(b *testing.B) {
 	m := machineFor(b, "csv")
 	input := formatInput(b, "csv")
-	k1, err := core.NewWithK(m, 1, tepath.Limits{})
+	// Split constructors: this ablation isolates Fig. 5 vs Fig. 6
+	// interpretation, not the fused engine (see BenchmarkFeed* for that).
+	k1, err := core.NewSplitWithK(m, 1, tepath.Limits{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	general, err := core.NewWithK(m, 2, tepath.Limits{})
+	general, err := core.NewSplitWithK(m, 2, tepath.Limits{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -398,7 +400,8 @@ func BenchmarkAblationK1Special(b *testing.B) {
 func BenchmarkAblationTeDFAVsLazy(b *testing.B) {
 	m := machineFor(b, "json")
 	input := formatInput(b, "json")
-	eager, err := core.NewWithK(m, 3, tepath.Limits{})
+	// Split constructor so the comparison isolates the TeDFA strategy.
+	eager, err := core.NewSplitWithK(m, 3, tepath.Limits{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -532,4 +535,102 @@ func BenchmarkOOPSLA25Baselines(b *testing.B) {
 			skipper.Tokenize(input, noopEmit)
 		}
 	})
+}
+
+// --- Hot-loop microbenchmarks (ISSUE 2 tentpole) ------------------------
+//
+// BenchmarkFeed* isolate the per-byte steady-state cost of each engine
+// mode, running the same grammar+input through the split interpreter,
+// the fused action-table engine, and the fused engine without accel
+// states. MB/s comes from b.SetBytes.
+
+func benchEngineVariants(b *testing.B, m *tokdfa.Machine, k int, input []byte) {
+	variants := []struct {
+		name  string
+		build func(*tokdfa.Machine, int, tepath.Limits) (*core.Tokenizer, error)
+	}{
+		{"split", core.NewSplitWithK},
+		{"fused-noaccel", core.NewNoAccelWithK},
+		{"fused", core.NewWithK},
+	}
+	for _, v := range variants {
+		tok, err := v.build(m, k, tepath.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := tok.NewStreamer()
+				s.Feed(input, noopEmit)
+				s.Close(noopEmit)
+			}
+		})
+	}
+}
+
+// BenchmarkFeedK0 is the max-TND-0 loop (single-byte tokens: no
+// lookahead, emit at every final state).
+func BenchmarkFeedK0(b *testing.B) {
+	g := tokdfa.MustParseGrammar(`[0-9]`, `[ ]`)
+	m, err := tokdfa.Compile(g, tokdfa.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := bytes.Repeat([]byte("3141592 65358 97932 384626 43383 27950 2884 "), benchMB/44)
+	benchEngineVariants(b, m, 0, in)
+}
+
+// BenchmarkFeedK1 is the Fig. 5 one-byte-lookahead loop on the CSV
+// catalog grammar.
+func BenchmarkFeedK1(b *testing.B) {
+	benchEngineVariants(b, machineFor(b, "csv"), 1, formatInput(b, "csv"))
+}
+
+// BenchmarkFeedGeneral is the Fig. 6 loop (eager TeDFA, K=3) on the
+// JSON catalog grammar.
+func BenchmarkFeedGeneral(b *testing.B) {
+	benchEngineVariants(b, machineFor(b, "json"), 3, formatInput(b, "json"))
+}
+
+// BenchmarkFeedGeneralLazy is the lazily determinized Fig. 6 loop (the
+// fused engine does not apply; this is the fallback everything else is
+// measured against).
+func BenchmarkFeedGeneralLazy(b *testing.B) {
+	m := machineFor(b, "json")
+	input := formatInput(b, "json")
+	tok, err := core.NewLazyWithK(m, 3, tepath.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	for i := 0; i < b.N; i++ {
+		s := tok.NewStreamer()
+		s.Feed(input, noopEmit)
+		s.Close(noopEmit)
+	}
+}
+
+// BenchmarkFeedFused is the headline run-heavy sweep: workloads
+// dominated by long self-loop runs (JSON long strings, column-aligned
+// log whitespace, long CSV fields), where the accel states get to skip
+// in bulk.
+func BenchmarkFeedFused(b *testing.B) {
+	cases := []struct {
+		name   string
+		format string
+		k      int
+		input  []byte
+	}{
+		{"json-longstr", "json", 3, workload.JSONWithTokenLen(2026, benchMB, 512)},
+		{"log-aligned", "log", 1, workload.LogAligned(2026, benchMB, 32)},
+		{"csv-longfield", "csv", 1, workload.CSVWithTokenLen(2026, benchMB, 256)},
+	}
+	for _, c := range cases {
+		m := machineFor(b, c.format)
+		b.Run(c.name, func(b *testing.B) {
+			benchEngineVariants(b, m, c.k, c.input)
+		})
+	}
 }

@@ -42,11 +42,11 @@ func Ablations(cfg Config) Table {
 		panic(err)
 	}
 	mCSV := csvSpec.Machine()
-	k1, err := core.NewWithK(mCSV, 1, tepath.Limits{})
+	k1, err := core.NewSplitWithK(mCSV, 1, tepath.Limits{})
 	if err != nil {
 		panic(err)
 	}
-	gen, err := core.NewWithK(mCSV, 2, tepath.Limits{})
+	gen, err := core.NewSplitWithK(mCSV, 2, tepath.Limits{})
 	if err != nil {
 		panic(err)
 	}
@@ -65,7 +65,7 @@ func Ablations(cfg Config) Table {
 		panic(err)
 	}
 	mJSON := jsonSpec.Machine()
-	eager, err := core.NewWithK(mJSON, 3, tepath.Limits{})
+	eager, err := core.NewSplitWithK(mJSON, 3, tepath.Limits{})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/tepath"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// Hotloop sweeps the fused fast engine (ISSUE 2): for each workload it
+// compares the split interpreter loops, the fused action-table engine
+// with accel states disabled, and the full fused engine with bulk run
+// skipping, reporting MB/s and the speedup of fused over split. The
+// run-heavy rows (long JSON strings, column-aligned log whitespace,
+// long CSV fields) are where the accel states pay off; the realistic
+// workload rows show the action-table fusion alone.
+func Hotloop(cfg Config) Table {
+	t := Table{
+		Title:  "Hotloop: fused engine vs split loops (MB/s)",
+		Note:   "fused = action-table fusion + accel states; noaccel isolates the fusion layer",
+		Header: []string{"workload", "grammar", "mode", "accel", "split", "fused-noaccel", "fused", "speedup"},
+	}
+	emit := func(token.Token, []byte) {}
+	measure := func(tok *core.Tokenizer, input []byte) float64 {
+		d := timeIt(cfg.Trials, func() {
+			s := tok.NewStreamer()
+			s.Feed(input, emit)
+			s.Close(emit)
+		})
+		return float64(len(input)) / 1e6 / d.Seconds()
+	}
+
+	type workloadCase struct {
+		name    string
+		grammar string
+		input   []byte
+	}
+	n := cfg.size(4_000_000)
+	mustGen := func(format string) []byte {
+		in, err := workload.Generate(format, cfg.Seed, n)
+		if err != nil {
+			panic(err)
+		}
+		return in
+	}
+	cases := []workloadCase{
+		{"json", "json", mustGen("json")},
+		{"csv", "csv", mustGen("csv")},
+		{"log", "log", mustGen("log")},
+		{"xml", "xml", mustGen("xml")},
+		{"json-longstr", "json", workload.JSONWithTokenLen(cfg.Seed, n, 512)},
+		{"log-aligned", "log", workload.LogAligned(cfg.Seed, n, 32)},
+		{"csv-longfield", "csv", workload.CSVWithTokenLen(cfg.Seed, n, 256)},
+	}
+	for _, c := range cases {
+		spec, err := grammars.Lookup(c.grammar)
+		if err != nil {
+			panic(err)
+		}
+		m := spec.Machine()
+		res := analysis.Analyze(m)
+		split, err := core.NewSplitWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			panic(err)
+		}
+		noaccel, err := core.NewNoAccelWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			panic(err)
+		}
+		fusedTok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			panic(err)
+		}
+		sp := measure(split, c.input)
+		na := measure(noaccel, c.input)
+		fu := measure(fusedTok, c.input)
+		t.Rows = append(t.Rows, []string{
+			c.name, c.grammar, fusedTok.EngineMode(), itoa(fusedTok.AccelStates()),
+			fmt.Sprintf("%.1f", sp), fmt.Sprintf("%.1f", na), fmt.Sprintf("%.1f", fu),
+			fmt.Sprintf("%.2fx", fu/sp),
+		})
+	}
+	return t
+}

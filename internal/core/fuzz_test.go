@@ -75,3 +75,86 @@ func FuzzStreamTokDifferential(f *testing.F) {
 		}
 	})
 }
+
+var (
+	fuzzFusedOnce sync.Once
+	fuzzSplitToks []*core.Tokenizer
+)
+
+func fuzzFusedSetup() {
+	fuzzOnce.Do(fuzzSetup)
+	for _, tok := range fuzzToks {
+		split, err := core.NewSplitWithK(tok.Machine(), tok.K(), tepath.Limits{})
+		if err != nil {
+			split = tok
+		}
+		fuzzSplitToks = append(fuzzSplitToks, split)
+	}
+}
+
+// FuzzFusedDifferential cross-checks the fused fast engine against the
+// split engine and the reference oracle under fuzzer-chosen alternating
+// chunk boundaries (including 1-byte feeds), comparing tokens, emitted
+// text bytes, and Rest.
+func FuzzFusedDifferential(f *testing.F) {
+	f.Add(0, uint8(1), uint8(1), []byte("123 456"))
+	f.Add(3, uint8(1), uint8(5), []byte(`a,"b""c",d`))
+	f.Add(5, uint8(64), uint8(2), []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa b"))
+	f.Add(7, uint8(3), uint8(17), []byte("/*ab*/ xxxxxxxxxxxxxxxxxxxxxxxx\n"))
+	f.Fuzz(func(t *testing.T, pick int, c1, c2 uint8, input []byte) {
+		fuzzFusedOnce.Do(fuzzFusedSetup)
+		if len(fuzzToks) == 0 {
+			t.Skip("no bounded grammars")
+		}
+		if pick < 0 {
+			pick = -pick
+		}
+		pick %= len(fuzzToks)
+		run := func(tok *core.Tokenizer) ([]token.Token, [][]byte, int) {
+			var toks []token.Token
+			var texts [][]byte
+			s := tok.NewStreamer()
+			collect := func(tk token.Token, text []byte) {
+				toks = append(toks, tk)
+				texts = append(texts, append([]byte(nil), text...))
+			}
+			steps := [2]int{int(c1), int(c2)}
+			for i, which := 0, 0; i < len(input); which ^= 1 {
+				step := steps[which]
+				if step == 0 {
+					step = 1
+				}
+				end := i + step
+				if end > len(input) {
+					end = len(input)
+				}
+				s.Feed(input[i:end], collect)
+				i = end
+			}
+			rest := s.Close(collect)
+			return toks, texts, rest
+		}
+		m := fuzzMachs[pick]
+		want, wantRest := reference.Tokens(m, input)
+		fGot, fTexts, fRest := run(fuzzToks[pick])
+		sGot, sTexts, sRest := run(fuzzSplitToks[pick])
+		if !reference.Equal(fGot, want) || fRest != wantRest {
+			t.Fatalf("fused diverged from oracle on %q (grammar %d): got %v rest %d, want %v rest %d",
+				input, pick, fGot, fRest, want, wantRest)
+		}
+		if !reference.Equal(sGot, want) || sRest != wantRest {
+			t.Fatalf("split diverged from oracle on %q (grammar %d)", input, pick)
+		}
+		if len(fTexts) != len(sTexts) {
+			t.Fatalf("text count mismatch: fused %d split %d", len(fTexts), len(sTexts))
+		}
+		for i := range fTexts {
+			if string(fTexts[i]) != string(sTexts[i]) {
+				t.Fatalf("token %d text mismatch: fused %q split %q", i, fTexts[i], sTexts[i])
+			}
+			if string(fTexts[i]) != string(input[fGot[i].Start:fGot[i].End]) {
+				t.Fatalf("token %d text %q != input[%d:%d]", i, fTexts[i], fGot[i].Start, fGot[i].End)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"streamtok/internal/analysis"
+	"streamtok/internal/fused"
 	"streamtok/internal/tepath"
 	"streamtok/internal/tokdfa"
 	"streamtok/internal/token"
@@ -34,6 +35,7 @@ type Tokenizer struct {
 	te   *tepath.Table
 	lazy *tepath.Lazy
 	k1   *tepath.K1Table
+	fe   *fused.Engine // fused fast engine, nil → split loops
 }
 
 // Streamer is a StreamTok instance processing one stream. It is created
@@ -44,14 +46,20 @@ type Streamer struct {
 	te   *tepath.Table     // general mode, eager TeDFA (k >= 2)
 	eval *tepath.Evaluator // general mode, lazy TeDFA (k >= 2)
 	k1   *tepath.K1Table   // Fig. 5 mode (k == 1)
+	fe   *fused.Engine     // fused fast engine, nil → split loops
 
-	qa     int    // current state of the tokenization DFA A
-	s      int    // current state of the token-extension DFA B
-	ring   []byte // delay ring: bytes B has consumed but A has not
-	head   int    // ring read index
-	filled int    // bytes currently in the ring (≤ k)
-	prevOK bool   // k==1 mode: the one-byte delay slot is occupied
-	prev   byte   // k==1 mode: the delayed byte
+	qa       int    // current state of the tokenization DFA A
+	s        int    // current state of the token-extension DFA B
+	ring     []byte // delay ring: bytes B has consumed but A has not
+	ringMask int    // len(ring)-1 when the ring is power-of-two sized (fused general mode), else 0
+	head     int    // ring read index
+	filled   int    // bytes currently in the ring (≤ k)
+	prevOK   bool   // split k==1 mode: the one-byte delay slot is occupied
+	prev     byte   // split k==1 mode: the delayed byte
+
+	// ringScratch backs ringContents so the Close drain does not
+	// allocate per final-position check.
+	ringScratch []byte
 
 	// carry holds the pending token's bytes that are no longer available
 	// in the caller's chunk (token prefixes spanning chunk boundaries).
@@ -93,7 +101,39 @@ func New(m *tokdfa.Machine, limits tepath.Limits) (*Tokenizer, int, error) {
 // back to a lazily determinized TeDFA whose transitions are computed on
 // first use per stream — same O(1) steady-state cost, memory proportional
 // to the powerstates the stream actually visits.
+//
+// When the tables fit the fused-engine budget, the tokenizer additionally
+// compiles the per-byte decision sequence into the internal/fused fast
+// path (packed action tables + run-skipping accel states) and streams
+// through it; the split loops remain the fallback and the ablation
+// baseline (NewSplitWithK).
 func NewWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	t, err := newSplit(m, k, limits)
+	if err != nil {
+		return nil, err
+	}
+	t.fe = fused.Build(m, k, t.te, fused.Options{})
+	return t, nil
+}
+
+// NewSplitWithK is NewWithK without the fused fast engine (for ablation
+// benchmarks and differential tests against the split loops).
+func NewSplitWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	return newSplit(m, k, limits)
+}
+
+// NewNoAccelWithK builds the fused engine with accel states disabled
+// (isolating action-table fusion from run skipping in ablations).
+func NewNoAccelWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	t, err := newSplit(m, k, limits)
+	if err != nil {
+		return nil, err
+	}
+	t.fe = fused.Build(m, k, t.te, fused.Options{NoAccel: true})
+	return t, nil
+}
+
+func newSplit(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
 	t := &Tokenizer{m: m, k: k}
 	switch {
 	case k <= 0:
@@ -161,6 +201,38 @@ func (t *Tokenizer) TeDFASize() int {
 // Lazy reports whether the tokenizer uses the lazily determinized TeDFA.
 func (t *Tokenizer) Lazy() bool { return t.lazy != nil }
 
+// EngineMode names the execution mode the tokenizer selected:
+// "fused-k0", "fused-k1", or "fused-general" when the fused fast engine
+// is active; "split-k0", "split-k1", "split-general", or
+// "split-general-lazy" for the interpreted loops.
+func (t *Tokenizer) EngineMode() string {
+	if t.fe != nil {
+		return t.fe.ModeName()
+	}
+	switch {
+	case t.k <= 0:
+		return "split-k0"
+	case t.k == 1:
+		return "split-k1"
+	case t.lazy != nil:
+		return "split-general-lazy"
+	default:
+		return "split-general"
+	}
+}
+
+// Fused reports whether the fused fast engine is active.
+func (t *Tokenizer) Fused() bool { return t.fe != nil }
+
+// AccelStates returns how many fused states were marked for bulk run
+// skipping (0 when the fused engine is off).
+func (t *Tokenizer) AccelStates() int {
+	if t.fe == nil {
+		return 0
+	}
+	return t.fe.AccelStates()
+}
+
 // TableBytes returns the memory footprint of the precomputed automata and
 // tables: the tokenization DFA, the token-extension DFA (k ≥ 2), or the
 // Fig. 5 table (k == 1). Together with the input buffer and the K-byte
@@ -175,21 +247,39 @@ func (t *Tokenizer) TableBytes() int {
 	if t.k1 != nil {
 		n += d.NumStates() * 256 * 4 // fused Fig. 5 action table
 	}
+	n += t.fe.Bytes()
 	return n
 }
 
 // NewStreamer starts tokenizing a fresh stream.
 func (t *Tokenizer) NewStreamer() *Streamer {
-	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, qa: t.m.DFA.Start}
+	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, fe: t.fe, qa: t.m.DFA.Start}
 	if t.te != nil {
 		s.s = t.te.Start
-		s.ring = make([]byte, t.k)
+		if t.fe != nil && t.fe.Mode == fused.ModeGeneral {
+			// The fused loop indexes the ring with a mask, so size it
+			// to the next power of two ≥ k.
+			c := nextPow2(t.k)
+			s.ring = make([]byte, c)
+			s.ringMask = c - 1
+		} else {
+			s.ring = make([]byte, t.k)
+		}
 	} else if t.lazy != nil {
 		s.eval = t.lazy.NewEvaluator()
 		s.s = s.eval.Start()
 		s.ring = make([]byte, t.k)
 	}
 	return s
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // Stopped reports whether tokenization has terminated: either Close was
@@ -209,6 +299,10 @@ func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
 		return
 	}
 	switch {
+	case s.fe != nil && s.fe.Mode == fused.ModeSmall:
+		s.feedFusedSmall(chunk, emit)
+	case s.fe != nil:
+		s.feedFusedGeneral(chunk, emit)
 	case s.k <= 0:
 		s.feedK0(chunk, emit)
 	case s.k == 1:
@@ -224,17 +318,23 @@ func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
 // it reaches a final state.
 func (s *Streamer) feedK0(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
+	trans := d.Trans
 	base := s.pos // stream offset of chunk[0]
+	qa, pos := s.qa, s.pos
 	for _, b := range chunk {
-		s.qa = d.Step(s.qa, b)
-		s.pos++
-		if d.IsFinal(s.qa) {
-			s.emitToken(emit, d.Rule(s.qa), chunk, base)
-		} else if s.m.IsDead(s.qa) {
+		qa = int(trans[qa<<8|int(b)])
+		pos++
+		if d.IsFinal(qa) {
+			s.qa, s.pos = qa, pos
+			s.emitToken(emit, d.Rule(qa), chunk, base)
+			qa = s.qa // emitToken restarted A
+		} else if s.m.IsDead(qa) {
+			s.qa, s.pos = qa, pos
 			s.stop()
 			return
 		}
 	}
+	s.qa, s.pos = qa, pos
 	s.saveCarry(chunk, base)
 }
 
@@ -242,32 +342,40 @@ func (s *Streamer) feedK0(chunk []byte, emit EmitFunc) {
 // table check T[q][a] sees the next byte as lookahead.
 func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
+	trans := d.Trans
+	k1 := s.k1
 	base := s.pos // stream offset chunk[0] will have for A
 	if s.prevOK {
 		base++ // the delayed byte precedes the chunk
 	}
+	qa, pos := s.qa, s.pos
+	prev, prevOK := s.prev, s.prevOK
 	for _, b := range chunk {
-		if !s.prevOK {
-			s.prev, s.prevOK = b, true
+		if !prevOK {
+			prev, prevOK = b, true
 			continue
 		}
-		a := s.prev
-		s.prev = b
-		if s.pos < base {
+		a := prev
+		prev = b
+		if pos < base {
 			// a came from a previous chunk: preserve it for the
 			// pending token's text.
 			s.carry = append(s.carry, a)
 		}
-		s.qa = d.Step(s.qa, a)
-		s.pos++
-		if act := s.k1.Action(s.qa, b); act != tepath.ActContinue {
+		qa = int(trans[qa<<8|int(a)])
+		pos++
+		if act := k1.Action(qa, b); act != tepath.ActContinue {
 			if act == tepath.ActDead {
+				s.qa, s.pos, s.prev, s.prevOK = qa, pos, prev, prevOK
 				s.stop()
 				return
 			}
+			s.qa, s.pos = qa, pos
 			s.emitToken(emit, int(act-tepath.ActEmitBase), chunk, base)
+			qa = s.qa // emitToken restarted A
 		}
 	}
+	s.qa, s.pos, s.prev, s.prevOK = qa, pos, prev, prevOK
 	s.saveCarry(chunk, base)
 }
 
@@ -276,34 +384,41 @@ func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
 // maximality table is consulted after each A step.
 func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
+	trans := d.Trans
 	te := s.te
 	k := s.k
+	ring := s.ring
 	base := s.pos + s.filled // stream offset of chunk[0]
+	qa, sb, head, pos := s.qa, s.s, s.head, s.pos
 	for _, b := range chunk {
-		s.s = te.Step(s.s, b) // line 11: B is K symbols ahead of A
+		sb = te.Step(sb, b) // line 11: B is K symbols ahead of A
 		if s.filled < k {
-			s.ring[(s.head+s.filled)%k] = b
+			ring[(head+s.filled)%k] = b
 			s.filled++
 			continue
 		}
-		a := s.ring[s.head]
-		s.ring[s.head] = b
-		s.head++
-		if s.head == k {
-			s.head = 0
+		a := ring[head]
+		ring[head] = b
+		head++
+		if head == k {
+			head = 0
 		}
-		if s.pos < base {
+		if pos < base {
 			s.carry = append(s.carry, a)
 		}
-		s.qa = d.Step(s.qa, a) // line 12
-		s.pos++
-		if te.MaximalFinal(s.qa, s.s) { // line 14: T[q][S]
-			s.emitToken(emit, d.Rule(s.qa), chunk, base)
-		} else if s.m.IsDead(s.qa) {
+		qa = int(trans[qa<<8|int(a)]) // line 12
+		pos++
+		if te.MaximalFinal(qa, sb) { // line 14: T[q][S]
+			s.qa, s.s, s.head, s.pos = qa, sb, head, pos
+			s.emitToken(emit, d.Rule(qa), chunk, base)
+			qa = s.qa // emitToken restarted A
+		} else if s.m.IsDead(qa) {
+			s.qa, s.s, s.head, s.pos = qa, sb, head, pos
 			s.stop()
 			return
 		}
 	}
+	s.qa, s.s, s.head, s.pos = qa, sb, head, pos
 	s.saveCarry(chunk, base)
 }
 
@@ -311,34 +426,41 @@ func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
 // loop is duplicated so both hot paths stay devirtualized).
 func (s *Streamer) feedGeneralLazy(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
+	trans := d.Trans
 	eval := s.eval
 	k := s.k
+	ring := s.ring
 	base := s.pos + s.filled
+	qa, sb, head, pos := s.qa, s.s, s.head, s.pos
 	for _, b := range chunk {
-		s.s = eval.Step(s.s, b)
+		sb = eval.Step(sb, b)
 		if s.filled < k {
-			s.ring[(s.head+s.filled)%k] = b
+			ring[(head+s.filled)%k] = b
 			s.filled++
 			continue
 		}
-		a := s.ring[s.head]
-		s.ring[s.head] = b
-		s.head++
-		if s.head == k {
-			s.head = 0
+		a := ring[head]
+		ring[head] = b
+		head++
+		if head == k {
+			head = 0
 		}
-		if s.pos < base {
+		if pos < base {
 			s.carry = append(s.carry, a)
 		}
-		s.qa = d.Step(s.qa, a)
-		s.pos++
-		if eval.MaximalFinal(s.qa, s.s) {
-			s.emitToken(emit, d.Rule(s.qa), chunk, base)
-		} else if s.m.IsDead(s.qa) {
+		qa = int(trans[qa<<8|int(a)])
+		pos++
+		if eval.MaximalFinal(qa, sb) {
+			s.qa, s.s, s.head, s.pos = qa, sb, head, pos
+			s.emitToken(emit, d.Rule(qa), chunk, base)
+			qa = s.qa // emitToken restarted A
+		} else if s.m.IsDead(qa) {
+			s.qa, s.s, s.head, s.pos = qa, sb, head, pos
 			s.stop()
 			return
 		}
 	}
+	s.qa, s.s, s.head, s.pos = qa, sb, head, pos
 	s.saveCarry(chunk, base)
 }
 
@@ -354,7 +476,14 @@ func (s *Streamer) Close(emit EmitFunc) int {
 	case s.k <= 0:
 		// Nothing delayed.
 	case s.k == 1:
-		if s.prevOK {
+		if s.fe != nil {
+			// The fused small engine runs A undelayed: the whole stream
+			// is already consumed and carried, so the only question is
+			// whether the pending suffix is itself a final token.
+			if s.pos > s.startP && d.IsFinal(s.qa) {
+				s.emitTail(emit, d.Rule(s.qa))
+			}
+		} else if s.prevOK {
 			a := s.prev
 			s.prevOK = false
 			s.carry = append(s.carry, a)
@@ -370,12 +499,17 @@ func (s *Streamer) Close(emit EmitFunc) int {
 	default:
 		// Drain the ring: for the last positions B has no K-byte
 		// lookahead, so maximality is checked directly against the
-		// remaining tail (< K bytes).
+		// remaining tail (< K bytes). The fused general ring is
+		// power-of-two sized, hence the mask-aware advance.
 		for s.filled > 0 {
 			a := s.ring[s.head]
-			s.head++
-			if s.head == s.k {
-				s.head = 0
+			if s.ringMask != 0 {
+				s.head = (s.head + 1) & s.ringMask
+			} else {
+				s.head++
+				if s.head == s.k {
+					s.head = 0
+				}
 			}
 			s.filled--
 			s.carry = append(s.carry, a)
@@ -403,11 +537,22 @@ func (s *Streamer) Close(emit EmitFunc) int {
 	return s.rest
 }
 
+// ringContents returns the delayed bytes in stream order, reusing the
+// Streamer's scratch buffer (the Close drain calls this once per final
+// position; a fresh slice per call showed up as pure garbage).
 func (s *Streamer) ringContents() []byte {
-	out := make([]byte, 0, s.filled)
-	for i := 0; i < s.filled; i++ {
-		out = append(out, s.ring[(s.head+i)%s.k])
+	if cap(s.ringScratch) < s.filled {
+		s.ringScratch = make([]byte, 0, len(s.ring))
 	}
+	out := s.ringScratch[:0]
+	for i := 0; i < s.filled; i++ {
+		if s.ringMask != 0 {
+			out = append(out, s.ring[(s.head+i)&s.ringMask])
+		} else {
+			out = append(out, s.ring[(s.head+i)%s.k])
+		}
+	}
+	s.ringScratch = out
 	return out
 }
 
@@ -432,7 +577,7 @@ func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, text)
 	}
 	s.startP = s.pos
-	s.carry = s.carry[:0]
+	s.resetCarry()
 	s.qa = s.m.DFA.Start
 }
 
@@ -442,8 +587,23 @@ func (s *Streamer) emitTail(emit EmitFunc, rule int) {
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, s.carry)
 	}
 	s.startP = s.pos
-	s.carry = s.carry[:0]
+	s.resetCarry()
 	s.qa = s.m.DFA.Start
+}
+
+// maxRetainedCarryCap bounds the carry backing array kept between
+// tokens: one pathologically large spanning token must not pin its
+// buffer for the rest of the stream.
+const maxRetainedCarryCap = 64 << 10
+
+// resetCarry clears the carry after an emission, dropping the backing
+// array when a giant spanning token inflated it.
+func (s *Streamer) resetCarry() {
+	if cap(s.carry) > maxRetainedCarryCap {
+		s.carry = nil
+	} else {
+		s.carry = s.carry[:0]
+	}
 }
 
 // saveCarry preserves, at the end of a Feed, the pending token bytes that

@@ -1,0 +1,350 @@
+// Package fused compiles StreamTok's per-byte decision sequence into flat
+// action tables so the hot loop does as little dependent work per byte as
+// the mode allows, in the spirit of flat-automaton lexer generators
+// (de Nivelle & Muktubayeva) and re2c-lineage engines.
+//
+// Two layers:
+//
+//  1. Action-table fusion. For K ≤ 1 the Fig. 5 sequence (A step,
+//     finality/maximality check, dead check, rule lookup, restart) is
+//     packed into one uint32 per (state, byte): the next state already
+//     accounts for the restart after an emission, and the action
+//     (continue / dead / emit rule β) sits in the top byte — one load and
+//     one predictable branch per input byte. For K ≥ 2 the tokenization
+//     DFA A and the token-extension DFA B keep their own transition
+//     tables (they step on different bytes: B on the current byte, A on
+//     the byte K positions back, so a literal single-table product would
+//     need the delay ring in its state space), but the maximality bitset
+//     probe + dead check + rule lookup collapse into one int32 action
+//     word indexed by the (q_A, s_B) pair.
+//
+//  2. Accel states. At build time the engine finds states (pairs) whose
+//     action is "continue" and that self-loop on a byte class C — string
+//     bodies, digit runs, whitespace, comment interiors. While the input
+//     stays in C the machine state provably cannot change and no token
+//     boundary can fire, so the engine skips the run in bulk: when the
+//     exit set Σ∖C has ≤ 4 bytes it chains bounded bytes.IndexByte
+//     (memchr) scans; a one-byte class compares word-at-a-time; the rest
+//     use a 256-bit bitmap scan. Exact token offsets are preserved
+//     because the skipped region contributes no actions.
+//
+// The engine is built under a byte budget; callers fall back to the
+// split loops when Build returns nil (budget exceeded, lazy TeDFA, or a
+// rule count that does not fit the packed action byte).
+package fused
+
+import (
+	"math/bits"
+
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+)
+
+// Mode selects the fused loop shape.
+type Mode int
+
+const (
+	// ModeSmall is the K ≤ 1 single-table engine.
+	ModeSmall Mode = iota
+	// ModeGeneral is the K ≥ 2 pair-action engine over an eager TeDFA.
+	ModeGeneral
+)
+
+// Packed-word layout for ModeSmall: state in the low 23 bits, the accel
+// flag at bit 23, the action in the top byte.
+const (
+	// StateMask extracts the next state from a small-mode word.
+	StateMask = 1<<23 - 1
+	// SmallAccelBit flags that the next state is an accel state (the
+	// action is necessarily SActContinue).
+	SmallAccelBit = 1 << 23
+	// SmallActShift moves the action byte into place.
+	SmallActShift = 24
+
+	// SActContinue .. SActEmitBase are the small-mode actions: emit
+	// words carry rule+SActEmitBase.
+	SActContinue uint32 = 0
+	SActDead     uint32 = 1
+	SActEmitBase uint32 = 2
+)
+
+// General-mode action words: 0 continue, 1 dead, rule+GEmitBase emit;
+// GAccelBit is OR-ed onto a continue word when the pair is an accel
+// state.
+const (
+	GContinue  int32 = 0
+	GDead      int32 = 1
+	GEmitBase  int32 = 2
+	GAccelBit  int32 = 1 << 30
+	GActionBit       = GAccelBit - 1 // mask off the accel flag
+)
+
+// Options bounds the construction.
+type Options struct {
+	// MaxTableBytes caps the fused tables' memory (default 16 MB); a
+	// grammar whose pair table would exceed it keeps the split engine.
+	MaxTableBytes int
+	// NoAccel builds the engine without accel states (ablation).
+	NoAccel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTableBytes == 0 {
+		o.MaxTableBytes = 16 << 20
+	}
+	return o
+}
+
+// Engine is an immutable compiled fast path for one tokenizer; safe for
+// concurrent use by any number of streams.
+type Engine struct {
+	Mode Mode
+	K    int
+
+	// Words is the ModeSmall packed table, stride 256 per state.
+	Words []uint32
+
+	// Act is the ModeGeneral action table, Act[qa*TeStates+s].
+	Act []int32
+	// TeTrans and TeStates mirror the eager TeDFA so the hot loop can
+	// index the raw slice (B steps via TeTrans[s<<8|b]).
+	TeTrans  []int32
+	TeStates int
+
+	// AccelIdx maps a state (ModeSmall) or pair index (ModeGeneral) to
+	// an entry in Infos, or -1.
+	AccelIdx []int32
+	// Infos holds the deduplicated accel classes.
+	Infos []AccelInfo
+
+	accelStates int
+}
+
+// AccelStates returns how many states (pairs) were marked for run
+// acceleration.
+func (e *Engine) AccelStates() int { return e.accelStates }
+
+// Bytes returns the fused tables' memory footprint (for the RQ6-style
+// accounting next to TableBytes).
+func (e *Engine) Bytes() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.Words)*4 + len(e.Act)*4 + len(e.AccelIdx)*4 + len(e.Infos)*40
+}
+
+// ModeName names the engine for diagnostics.
+func (e *Engine) ModeName() string {
+	switch {
+	case e.Mode == ModeSmall && e.K <= 0:
+		return "fused-k0"
+	case e.Mode == ModeSmall:
+		return "fused-k1"
+	default:
+		return "fused-general"
+	}
+}
+
+// Build compiles the fused engine for a machine with lookahead bound k.
+// te must be the eager token-extension table when k ≥ 2 (pass nil when
+// the tokenizer fell back to the lazy TeDFA; the fused engine needs the
+// full powerstate space to exist). Build returns nil when fusion is not
+// applicable or the tables would exceed the budget — the caller keeps
+// the split loops.
+func Build(m *tokdfa.Machine, k int, te *tepath.Table, opts Options) *Engine {
+	opts = opts.withDefaults()
+	if k <= 1 {
+		return buildSmall(m, k, opts)
+	}
+	if te == nil {
+		return nil
+	}
+	return buildGeneral(m, k, te, opts)
+}
+
+// buildSmall packs the Fig. 5 (K=1) or immediate-emission (K=0) decision
+// into one word per (state, byte).
+func buildSmall(m *tokdfa.Machine, k int, opts Options) *Engine {
+	d := m.DFA
+	n := d.NumStates()
+	if n > StateMask || len(m.Grammar.Rules)+int(SActEmitBase) > 255 {
+		return nil
+	}
+	if k == 1 && d.IsFinal(d.Start) {
+		// A rule matching ε would make the packed (Start, b) word emit a
+		// zero-length token at every restart; such degenerate grammars
+		// keep the split loop, whose action check runs only after A has
+		// consumed at least one byte of the token.
+		return nil
+	}
+	if n*256*4+n*4 > opts.MaxTableBytes {
+		return nil
+	}
+	e := &Engine{Mode: ModeSmall, K: k}
+	e.Words = make([]uint32, n*256)
+	start := uint32(d.Start)
+	for q := 0; q < n; q++ {
+		qFinal := d.IsFinal(q)
+		qDead := m.IsDead(q)
+		for b := 0; b < 256; b++ {
+			nxt := d.Step(q, byte(b))
+			var w uint32
+			switch {
+			case k <= 0:
+				// feedK0 semantics: emit the moment A reaches a final
+				// state (token includes this byte), restart at Start.
+				switch {
+				case d.IsFinal(nxt):
+					w = start | (SActEmitBase+uint32(d.Rule(nxt)))<<SmallActShift
+				case m.IsDead(nxt):
+					w = uint32(nxt) | SActDead<<SmallActShift
+				default:
+					w = uint32(nxt)
+				}
+			case qDead:
+				// Fig. 5 with the delay unrolled: death is observed on
+				// the byte after the killing step, matching the split
+				// loop's Action(q, lookahead) timing.
+				w = uint32(nxt) | SActDead<<SmallActShift
+			case qFinal && !d.IsFinal(nxt):
+				// Maximal token ends before this byte; the byte starts
+				// the next token, so the packed next state already took
+				// the restart transition.
+				w = uint32(d.Step(d.Start, byte(b))) |
+					(SActEmitBase+uint32(d.Rule(q)))<<SmallActShift
+			default:
+				w = uint32(nxt)
+			}
+			e.Words[q<<8|b] = w
+		}
+	}
+	if !opts.NoAccel {
+		e.addSmallAccel(n)
+	}
+	return e
+}
+
+// addSmallAccel finds the self-loop classes of the small engine and
+// flags transitions entering accel states.
+func (e *Engine) addSmallAccel(n int) {
+	e.AccelIdx = make([]int32, n)
+	interned := newInfoInterner(e)
+	for q := 0; q < n; q++ {
+		var class [4]uint64
+		size := 0
+		for b := 0; b < 256; b++ {
+			w := e.Words[q<<8|b]
+			if w>>SmallActShift == SActContinue && int(w&StateMask) == q {
+				class[b>>6] |= 1 << (b & 63)
+				size++
+			}
+		}
+		e.AccelIdx[q] = interned.intern(class, size)
+		if e.AccelIdx[q] >= 0 {
+			e.accelStates++
+		}
+	}
+	// Flag every continue word whose target is an accel state.
+	for i, w := range e.Words {
+		if w>>SmallActShift == SActContinue && e.AccelIdx[w&StateMask] >= 0 {
+			e.Words[i] = w | SmallAccelBit
+		}
+	}
+}
+
+// buildGeneral fuses the maximality + dead + rule decisions of the
+// Fig. 6 loop into one action word per (q_A, s_B) pair.
+func buildGeneral(m *tokdfa.Machine, k int, te *tepath.Table, opts Options) *Engine {
+	d := m.DFA
+	nA := d.NumStates()
+	teTrans, emitOK, _ := te.Dump()
+	nS := te.NumStates()
+	if nA*nS*8 > opts.MaxTableBytes {
+		return nil
+	}
+	e := &Engine{
+		Mode:     ModeGeneral,
+		K:        k,
+		TeTrans:  teTrans,
+		TeStates: nS,
+		Act:      make([]int32, nA*nS),
+	}
+	for q := 0; q < nA; q++ {
+		var w int32
+		switch {
+		case m.IsDead(q):
+			w = GDead
+		case d.IsFinal(q):
+			w = GEmitBase + int32(d.Rule(q))
+		}
+		row := e.Act[q*nS : (q+1)*nS]
+		for s := range row {
+			switch {
+			case w >= GEmitBase:
+				// Emit only when the maximality bitset clears the
+				// extension: T[q][S] == emitOK[S] bit q.
+				if emitOK[s][q>>6]&(1<<(q&63)) != 0 {
+					row[s] = w
+				}
+			default:
+				row[s] = w
+			}
+		}
+	}
+	if !opts.NoAccel {
+		e.addGeneralAccel(m, nA, nS)
+	}
+	return e
+}
+
+// addGeneralAccel intersects A's and B's self-loop classes per pair.
+func (e *Engine) addGeneralAccel(m *tokdfa.Machine, nA, nS int) {
+	d := m.DFA
+	loopA := selfLoops(d.Trans, nA)
+	loopB := selfLoops(e.TeTrans, nS)
+	e.AccelIdx = make([]int32, nA*nS)
+	interned := newInfoInterner(e)
+	for q := 0; q < nA; q++ {
+		la := loopA[q]
+		for s := 0; s < nS; s++ {
+			idx := q*nS + s
+			e.AccelIdx[idx] = -1
+			if e.Act[idx] != GContinue {
+				continue
+			}
+			lb := loopB[s]
+			var class [4]uint64
+			for w := 0; w < 4; w++ {
+				class[w] = la[w] & lb[w]
+			}
+			e.AccelIdx[idx] = interned.intern(class, popcount(class))
+			if e.AccelIdx[idx] >= 0 {
+				e.Act[idx] |= GAccelBit
+				e.accelStates++
+			}
+		}
+	}
+}
+
+// popcount reports |C| for a class bitmap.
+func popcount(class [4]uint64) int {
+	n := 0
+	for _, w := range class {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// selfLoops computes, per state of a 256-ary table, the bitmap of bytes
+// on which the state transitions to itself.
+func selfLoops(trans []int32, n int) [][4]uint64 {
+	out := make([][4]uint64, n)
+	for q := 0; q < n; q++ {
+		for b := 0; b < 256; b++ {
+			if int(trans[q<<8|b]) == q {
+				out[q][b>>6] |= 1 << (b & 63)
+			}
+		}
+	}
+	return out
+}

@@ -113,3 +113,29 @@ var logLine = map[string]func(*rand.Rand, *strings.Builder){
 			6+rng.Intn(5), rng.Intn(4), 9600+rng.Intn(3000), rng.Intn(30), word(rng))
 	},
 }
+
+// LogAligned generates about n bytes of column-aligned log lines: every
+// field is right-padded to a fixed width, producing the long whitespace
+// runs that aligned production logs (and the hotloop accel experiment)
+// are made of.
+func LogAligned(seed int64, n, pad int) []byte {
+	if pad < 8 {
+		pad = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 4*pad)
+	for sb.Len() < n {
+		for _, field := range []string{
+			ts(rng), hosts[rng.Intn(len(hosts))], levels[rng.Intn(len(levels))], word(rng),
+		} {
+			sb.WriteString(field)
+			for p := len(field); p < pad; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(word(rng))
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}

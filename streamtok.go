@@ -160,6 +160,10 @@ type Options struct {
 	Minimize bool
 	// MaxTeDFAStates caps the token-extension DFA size (0 = default).
 	MaxTeDFAStates int
+	// DisableFused keeps the split interpreter loops instead of the fused
+	// action-table engine (for ablation; the engines emit byte-identical
+	// token streams).
+	DisableFused bool
 }
 
 // Tokenizer is a compiled StreamTok tokenizer. It is immutable and safe
@@ -186,7 +190,11 @@ func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
 	if !res.Bounded() {
 		return nil, fmt.Errorf("%w (grammar %s)", ErrUnbounded, g.g.String())
 	}
-	inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates})
+	build := core.NewWithK
+	if opts.DisableFused {
+		build = core.NewSplitWithK
+	}
+	inner, err := build(m, res.MaxTND, tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates})
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +215,22 @@ func (t *Tokenizer) Analysis() Analysis { return t.an }
 
 // K returns the lookahead bound (the grammar's max-TND).
 func (t *Tokenizer) K() int { return t.inner.K() }
+
+// EngineMode names the execution mode the tokenizer selected: "fused-k0",
+// "fused-k1", or "fused-general" when the fused action-table engine is
+// active; "split-k0", "split-k1", "split-general", or
+// "split-general-lazy" for the interpreter loops. All modes emit
+// byte-identical token streams.
+func (t *Tokenizer) EngineMode() string { return t.inner.EngineMode() }
+
+// AccelStates returns how many fused states were marked for bulk run
+// skipping (0 when the fused engine is off).
+func (t *Tokenizer) AccelStates() int { return t.inner.AccelStates() }
+
+// TableBytes returns the memory footprint of the precomputed automata and
+// action tables — StreamTok's entire stream-independent state apart from
+// the input buffer and the K-byte delay ring.
+func (t *Tokenizer) TableBytes() int { return t.inner.TableBytes() }
 
 // Tokenize reads the stream block-by-block (bufSize bytes per read; 0
 // means the 64 KB default) and calls emit for every maximal token. It

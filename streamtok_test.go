@@ -262,3 +262,47 @@ func TestTokenizeParallelPublic(t *testing.T) {
 		t.Error("expected parallel segments for a 170KB input")
 	}
 }
+
+// TestEngineModeAPI: the public engine-selection knobs — New picks the
+// fused engine for catalog grammars, DisableFused keeps the split loops,
+// and both produce identical token streams.
+func TestEngineModeAPI(t *testing.T) {
+	g, err := streamtok.CatalogGrammar("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedTok, err := streamtok.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitTok, err := streamtok.NewWithOptions(g, streamtok.Options{Minimize: true, DisableFused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := fusedTok.EngineMode(); !strings.HasPrefix(mode, "fused-") {
+		t.Errorf("EngineMode() = %q, want fused-*", mode)
+	}
+	if fusedTok.AccelStates() == 0 {
+		t.Error("AccelStates() = 0, want > 0 for json")
+	}
+	if mode := splitTok.EngineMode(); !strings.HasPrefix(mode, "split-") {
+		t.Errorf("DisableFused EngineMode() = %q, want split-*", mode)
+	}
+	if splitTok.AccelStates() != 0 {
+		t.Errorf("DisableFused AccelStates() = %d, want 0", splitTok.AccelStates())
+	}
+	if fusedTok.TableBytes() <= splitTok.TableBytes() {
+		t.Errorf("fused TableBytes %d should exceed split %d", fusedTok.TableBytes(), splitTok.TableBytes())
+	}
+	input := []byte(`{"alpha": [1, 2.5e3, "text"], "b": {"c": true}}`)
+	ft, fr := fusedTok.TokenizeBytes(input)
+	st, sr := splitTok.TokenizeBytes(input)
+	if fr != sr || len(ft) != len(st) {
+		t.Fatalf("fused (%d tokens, rest %d) vs split (%d tokens, rest %d)", len(ft), fr, len(st), sr)
+	}
+	for i := range ft {
+		if ft[i] != st[i] {
+			t.Errorf("token %d: fused %+v split %+v", i, ft[i], st[i])
+		}
+	}
+}
