@@ -8,13 +8,18 @@
 //	streamtok -catalog csv -count < data.csv      # counts only
 //	streamtok '[0-9]+' '[ ]+' < nums.txt          # ad-hoc grammar
 //	streamtok -catalog log -engine flex < syslog  # baseline engine
+//	streamtok -catalog json -stats text < doc.json  # counters to stderr
 //
 // Each token prints as "offset\tlength\trule\ttext" (TSV). Exit status 1
-// when the stream has an untokenizable remainder.
+// when the stream has an untokenizable remainder. -stats prints the
+// run's observability snapshot (text or json) to stderr; -timeout
+// aborts a stuck stream via TokenizeContext.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,7 +35,13 @@ func main() {
 	buf := flag.Int("buf", 0, "input buffer capacity in bytes (0 = 64KB)")
 	input := flag.String("in", "", "input file (default stdin)")
 	machine := flag.String("machine", "", "load a precompiled machine (tnd -emit) instead of a grammar")
+	stats := flag.String("stats", "", "print observability stats to stderr: text or json (streamtok engine only)")
+	timeout := flag.Duration("timeout", 0, "abort tokenization after this long (0 = no limit; streamtok engine only)")
 	flag.Parse()
+
+	if *stats != "" && *stats != "text" && *stats != "json" {
+		exitOn(fmt.Errorf("unknown -stats format %q (text, json)", *stats))
+	}
 
 	var g *streamtok.Grammar
 	var preloaded *streamtok.Tokenizer
@@ -76,10 +87,22 @@ func main() {
 			tok, err = streamtok.New(g)
 			exitOn(err)
 		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		var err error
-		rest, err = tok.Tokenize(r, *buf, emit)
+		rest, err = tok.TokenizeContext(ctx, r, *buf, emit)
 		exitOn(err)
+		if *stats != "" {
+			printStats(tok, *stats)
+		}
 	case "flex":
+		if *stats != "" || *timeout > 0 {
+			exitOn(fmt.Errorf("-stats and -timeout need the streamtok engine"))
+		}
 		sc, err := streamtok.NewFlexScanner(g)
 		exitOn(err)
 		rest, err = sc.Tokenize(r, *buf, emit)
@@ -99,6 +122,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamtok: input not tokenizable past offset %d\n", rest)
 		os.Exit(1)
 	}
+}
+
+// printStats renders the run's observability snapshot plus the engine
+// description on stderr, keeping stdout clean for the token stream.
+func printStats(tok *streamtok.Tokenizer, format string) {
+	st := tok.AggregateStats()
+	if format == "json" {
+		out, err := json.Marshal(struct {
+			Engine streamtok.EngineInfo `json:"engine"`
+			Stats  streamtok.Stats      `json:"stats"`
+		}{tok.Engine(), st})
+		exitOn(err)
+		fmt.Fprintln(os.Stderr, string(out))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "engine:       %s\n%s", tok.Engine(), st)
 }
 
 // countingReader counts the bytes handed to the tokenizer.

@@ -10,6 +10,7 @@
 //	tnd -table1                     # print the paper's Table 1
 //	tnd -lint '[0-9]*0' '[ ]+'      # full diagnostics with witnesses
 //	tnd -lint -json -catalog csv    # machine-readable lint report
+//	tnd -json -catalog json         # machine-readable analysis
 //
 // Exit status 0 when the grammar has bounded max-TND (StreamTok applies),
 // 1 when unbounded, 2 on usage errors. With -lint, additionally 3 when
@@ -26,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"streamtok"
 	"streamtok/internal/analysis"
 	"streamtok/internal/bench"
 	"streamtok/internal/grammarfile"
@@ -44,7 +46,7 @@ func main() {
 	emitMachine := flag.String("emit", "", "write the compiled machine (tables + analysis) to a file")
 	dot := flag.Bool("dot", false, "print the tokenization DFA as Graphviz DOT and exit")
 	lint := flag.Bool("lint", false, "run the full diagnostic suite (unbounded-TND root cause, shadowed rules, overlaps, ε-rules, error traps)")
-	jsonOut := flag.Bool("json", false, "with -lint: print the report as JSON")
+	jsonOut := flag.Bool("json", false, "print the analysis (or, with -lint, the report) as JSON")
 	flag.Parse()
 
 	if *listGrammars {
@@ -80,6 +82,29 @@ func main() {
 		return
 	}
 	res := analysis.Analyze(m)
+	if *jsonOut {
+		// Render through the public Analysis type so tnd -json and the
+		// library's MarshalJSON stay one format.
+		out := streamtok.Analysis{
+			MaxTND:  res.MaxTND,
+			Bounded: res.Bounded(),
+			NFASize: res.NFASize,
+			DFASize: res.DFASize,
+		}
+		if u, v, ok := analysis.WitnessStrings(m, res); ok {
+			out.WitnessU, out.WitnessV = u, v
+		}
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnd:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(blob))
+		if !res.Bounded() {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("grammar:   %s\n", g.String())
 	fmt.Printf("nfa size:  %d\n", res.NFASize)
 	fmt.Printf("dfa size:  %d (minimized)\n", res.DFASize)

@@ -13,7 +13,7 @@ import (
 func ExampleAnalyze() {
 	g := streamtok.MustParseGrammar(`[0-9]+([eE][+-]?[0-9]+)?`, `[ ]+`)
 	a, _ := streamtok.Analyze(g)
-	fmt.Println("max-TND:", a)
+	fmt.Println("max-TND:", a.TND())
 	fmt.Printf("witness: %s -> %s\n", a.WitnessU, a.WitnessV)
 	// Output:
 	// max-TND: 3

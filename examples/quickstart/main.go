@@ -33,7 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("max token neighbor distance: %s (NFA %d states, DFA %d states)\n",
-		a, a.NFASize, a.DFASize)
+		a.TND(), a.NFASize, a.DFASize)
 
 	tok, err := streamtok.New(g)
 	if err != nil {

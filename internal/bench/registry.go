@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"hotloop", "fused hot loop vs split loops, accel on/off (not a paper figure)", Hotloop},
 		{"lintstats", "grammar diagnostics over the corpus (not a paper figure)", Lintstats},
 		{"latency", "emission latency vs the K bound (not a paper figure)", Latency},
+		{"obsoverhead", "always-on observability counters vs no-obs build (not a paper figure)", ObsOverhead},
 	}
 }
 

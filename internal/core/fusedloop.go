@@ -29,6 +29,9 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 	if e.K <= 0 {
 		endAdj = 1
 	}
+	// Accel tallies stay in locals for the chunk and fold into the
+	// counters at the exits (before stop(), which retires the block).
+	attempts, skipped := 0, 0
 	for i := 0; i < n; i++ {
 		w := words[q<<8|int(chunk[i])]
 		q = int(w & fused.StateMask)
@@ -42,7 +45,10 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 			// than the loop, and the run's interior never re-enters this
 			// branch.
 			if i+1 < n {
-				i = infos[accelIdx[q]].ScanRun(chunk, i+1) - 1
+				j := infos[accelIdx[q]].ScanRun(chunk, i+1)
+				attempts++
+				skipped += j - i - 1
+				i = j - 1
 			}
 			continue
 		}
@@ -50,6 +56,7 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 		if act == fused.SActDead {
 			s.qa = q
 			s.pos = base + i + endAdj
+			s.noteAccel(attempts, skipped)
 			s.stop()
 			return
 		}
@@ -58,6 +65,7 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 	}
 	s.qa = q
 	s.pos = base + n
+	s.noteAccel(attempts, skipped)
 	s.saveCarry(chunk, base)
 }
 
@@ -123,6 +131,7 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 				}
 				if w == fused.GDead {
 					s.qa, s.s, s.head, s.pos = qa, sb, h, pos
+					s.noteAccel(attempts, skipped)
 					s.stop()
 					return
 				}
@@ -166,6 +175,11 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 					if pausePen < 1<<20 {
 						pausePen <<= 1
 					}
+					s.noteAccel(attempts, skipped)
+					if !s.noObs {
+						s.c.AccelBackoffs++
+						s.c.FusedFallbacks++
+					}
 					attempts, ringFails, skipped = 0, 0, 0
 					i++
 					break
@@ -176,6 +190,9 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 					// cheap to detect, so skip the scan entirely and
 					// retry once that byte has left the ring.
 					ringFails++
+					if !s.noObs {
+						s.c.FusedFallbacks++
+					}
 					noAccel = i + 2 + bad
 					i++
 					break
@@ -205,11 +222,15 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 					continue
 				}
 				noAccel = j
+				if !s.noObs {
+					s.c.FusedFallbacks++
+				}
 				i++
 				break
 			}
 			if w == fused.GDead {
 				s.qa, s.s, s.head, s.pos = qa, sb, h, pos
+				s.noteAccel(attempts, skipped)
 				s.stop()
 				return
 			}
@@ -219,6 +240,7 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 		}
 	}
 	s.qa, s.s, s.head, s.pos = qa, sb, h, pos
+	s.noteAccel(attempts, skipped)
 	s.saveCarry(chunk, base)
 }
 

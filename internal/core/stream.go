@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 
 	"streamtok/internal/token"
@@ -15,12 +16,24 @@ const DefaultBufferSize = 64 * 1024
 // returns the offset of the first untokenized byte and any read error
 // (io.EOF is not an error).
 func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	return t.TokenizeContext(context.Background(), r, bufSize, emit)
+}
+
+// TokenizeContext is Tokenize with cancellation: the context is checked
+// between read blocks (never inside the feed loop), so a cancelled or
+// timed-out ctx stops the stream at a chunk boundary and returns
+// ctx.Err() with the offset reached.
+func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
 	if bufSize <= 0 {
 		bufSize = DefaultBufferSize
 	}
 	s := t.NewStreamer()
 	buf := make([]byte, bufSize)
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			s.Close(nil)
+			return s.Rest(), cerr
+		}
 		n, rerr := r.Read(buf)
 		if n > 0 {
 			s.Feed(buf[:n], emit)

@@ -14,9 +14,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"streamtok/internal/analysis"
 	"streamtok/internal/fused"
+	"streamtok/internal/obs"
 	"streamtok/internal/tepath"
 	"streamtok/internal/tokdfa"
 	"streamtok/internal/token"
@@ -27,8 +30,11 @@ import (
 type EmitFunc func(tok token.Token, text []byte)
 
 // Tokenizer is a compiled, reusable StreamTok tokenizer for one grammar.
-// It is immutable and safe for concurrent use; each stream gets its own
-// Streamer.
+// Its tables are immutable and it is safe for concurrent use; each
+// stream gets its own Streamer. The tokenizer additionally keeps an
+// always-on observability registry (internal/obs): every Streamer's
+// counters fold into it when the stream finishes, and Counters()
+// snapshots the aggregate at any time.
 type Tokenizer struct {
 	m    *tokdfa.Machine
 	k    int
@@ -36,6 +42,12 @@ type Tokenizer struct {
 	lazy *tepath.Lazy
 	k1   *tepath.K1Table
 	fe   *fused.Engine // fused fast engine, nil → split loops
+
+	noObs bool // benchmark-only: skip the observability counters
+
+	obsMu   sync.Mutex
+	live    map[*Streamer]struct{} // streams not yet retired
+	retired obs.Counters           // folded counters of finished streams
 }
 
 // Streamer is a StreamTok instance processing one stream. It is created
@@ -47,6 +59,13 @@ type Streamer struct {
 	eval *tepath.Evaluator // general mode, lazy TeDFA (k >= 2)
 	k1   *tepath.K1Table   // Fig. 5 mode (k == 1)
 	fe   *fused.Engine     // fused fast engine, nil → split loops
+	tok  *Tokenizer        // owner, for the observability registry
+
+	c          obs.Counters // always-on counters; plain fields, owner-updated
+	noObs      bool         // benchmark-only: skip counter updates
+	done       bool         // counters already folded into the tokenizer
+	latK       int          // EmitLatency bucket for latency K (every Feed-path emission)
+	tailTokens uint64       // tokens the Close drain emitted (latency < K)
 
 	qa       int    // current state of the tokenization DFA A
 	s        int    // current state of the token-extension DFA B
@@ -133,8 +152,21 @@ func NewNoAccelWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer
 	return t, nil
 }
 
+// NewNoObsWithK is NewWithK with the observability counters compiled
+// out. It exists only so `paperbench -exp obsoverhead` can measure what
+// the always-on instrumentation costs; production callers always get
+// the counters.
+func NewNoObsWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	t, err := NewWithK(m, k, limits)
+	if err != nil {
+		return nil, err
+	}
+	t.noObs = true
+	return t, nil
+}
+
 func newSplit(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
-	t := &Tokenizer{m: m, k: k}
+	t := &Tokenizer{m: m, k: k, live: map[*Streamer]struct{}{}}
 	switch {
 	case k <= 0:
 		// No lookahead needed: every token is maximal at its final state.
@@ -168,7 +200,7 @@ func newSplit(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error
 // NewLazyWithK is NewWithK but always uses the lazy TeDFA (for ablation
 // benchmarks).
 func NewLazyWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
-	t := &Tokenizer{m: m, k: k}
+	t := &Tokenizer{m: m, k: k, live: map[*Streamer]struct{}{}}
 	switch {
 	case k <= 0:
 	case k == 1:
@@ -251,9 +283,27 @@ func (t *Tokenizer) TableBytes() int {
 	return n
 }
 
-// NewStreamer starts tokenizing a fresh stream.
+// NewStreamer starts tokenizing a fresh stream and registers it in the
+// tokenizer's observability registry. The stream's counters fold into
+// the tokenizer aggregate when it finishes — at Close, when it dies on
+// untokenizable input, or at an explicit Discard. A streamer that is
+// abandoned without any of those stays registered (its counters still
+// appear in Counters() snapshots) but is never freed from the registry,
+// so long-lived tokenizers should Close or Discard every stream.
 func (t *Tokenizer) NewStreamer() *Streamer {
-	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, fe: t.fe, qa: t.m.DFA.Start}
+	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, fe: t.fe, qa: t.m.DFA.Start,
+		tok: t, noObs: t.noObs}
+	if !t.noObs {
+		s.c.Streams = 1
+		s.c.TokensByRule = make([]uint64, len(t.m.Grammar.Rules))
+		s.latK = bits.Len64(uint64(t.k))
+		if s.latK >= obs.LatencyBuckets {
+			s.latK = obs.LatencyBuckets - 1
+		}
+		t.obsMu.Lock()
+		t.live[s] = struct{}{}
+		t.obsMu.Unlock()
+	}
 	if t.te != nil {
 		s.s = t.te.Start
 		if t.fe != nil && t.fe.Mode == fused.ModeGeneral {
@@ -282,6 +332,103 @@ func nextPow2(n int) int {
 	return c
 }
 
+// Counters snapshots the tokenizer-wide observability aggregate:
+// finished streams plus the current counters of every live one. It is
+// safe to call from any goroutine; counters of streams being actively
+// fed at the moment of the snapshot are read without synchronization
+// and may be slightly stale or torn — fine for monitoring, so the feed
+// loops never pay for atomics.
+func (t *Tokenizer) Counters() obs.Counters {
+	t.obsMu.Lock()
+	out := t.retired.Clone()
+	for s := range t.live {
+		sc := s.snapshot()
+		out.Merge(&sc)
+	}
+	t.obsMu.Unlock()
+	return out
+}
+
+// StreamCounters snapshots this stream's own counters. Like Feed, it is
+// owner-called: not safe concurrently with Feed/Close on the same
+// streamer.
+func (s *Streamer) StreamCounters() obs.Counters {
+	return s.snapshot()
+}
+
+// snapshot derives the stream's full counter block without mutating the
+// stream (so concurrent registry snapshots stay read-only): it folds in
+// the buffers' current occupancy, totals the per-rule counts into
+// TokensOut, and credits every Feed-path emission to the latency-K
+// histogram bucket — Feed emits a token exactly when A, running K bytes
+// behind the input, catches up to the decision point, so only the Close
+// drain (counted in tailTokens) observes smaller latencies and records
+// them individually.
+func (s *Streamer) snapshot() obs.Counters {
+	c := s.c.Clone()
+	c.NoteCarry(len(s.carry))
+	if s.prevOK {
+		c.NoteRing(1) // split k==1: the one-byte delay slot
+	}
+	c.NoteRing(s.filled)
+	var total uint64
+	for _, n := range c.TokensByRule {
+		total += n
+	}
+	c.TokensOut = total
+	c.EmitLatency[s.latK] += total - s.tailTokens
+	return c
+}
+
+// NoteParallel folds one speculative parallel run's stitching stats into
+// the tokenizer aggregate (internal/parallel reports here).
+func (t *Tokenizer) NoteParallel(segments, synced, rescanned int) {
+	if t.noObs {
+		return
+	}
+	t.obsMu.Lock()
+	t.retired.ParallelRuns++
+	t.retired.ParallelSegments += uint64(segments)
+	t.retired.ParallelSynced += uint64(synced)
+	t.retired.ParallelReScanned += uint64(rescanned)
+	t.obsMu.Unlock()
+}
+
+// Discard retires an unfinished streamer from the observability
+// registry without emitting anything: its counters are folded into the
+// tokenizer aggregate and the stream must not be fed again. Close and
+// dead-input stops retire automatically; Discard is for streams that
+// are abandoned mid-flight (the parallel stitcher's speculative runs).
+func (s *Streamer) Discard() { s.stopped = true; s.retire() }
+
+// retire folds the stream's counters into the tokenizer aggregate and
+// drops it from the live registry. Idempotent.
+func (s *Streamer) retire() {
+	if s.done || s.noObs {
+		s.done = true
+		return
+	}
+	s.done = true
+	s.c.StreamsDone = 1 // so the stream's own snapshots agree with the fold
+	sc := s.snapshot()
+	t := s.tok
+	t.obsMu.Lock()
+	t.retired.Merge(&sc)
+	delete(t.live, s)
+	t.obsMu.Unlock()
+}
+
+// noteBuffers refreshes the carry/ring high-water marks from the
+// buffers' current occupancy (called at the end of each Feed, so peaks
+// survive into snapshots taken after the buffers drain).
+func (s *Streamer) noteBuffers() {
+	s.c.NoteCarry(len(s.carry))
+	if s.prevOK {
+		s.c.NoteRing(1) // split k==1: the one-byte delay slot
+	}
+	s.c.NoteRing(s.filled)
+}
+
 // Stopped reports whether tokenization has terminated: either Close was
 // called, or the remaining input matches no rule (Definition 1's None
 // case). Once stopped, Feed ignores further input.
@@ -298,6 +445,10 @@ func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
 	if s.stopped || len(chunk) == 0 {
 		return
 	}
+	if !s.noObs {
+		s.c.BytesIn += uint64(len(chunk))
+		s.c.Chunks++
+	}
 	switch {
 	case s.fe != nil && s.fe.Mode == fused.ModeSmall:
 		s.feedFusedSmall(chunk, emit)
@@ -311,6 +462,9 @@ func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
 		s.feedGeneralLazy(chunk, emit)
 	default:
 		s.feedGeneral(chunk, emit)
+	}
+	if !s.noObs {
+		s.noteBuffers()
 	}
 }
 
@@ -472,6 +626,14 @@ func (s *Streamer) Close(emit EmitFunc) int {
 		return s.rest
 	}
 	d := s.m.DFA
+	// Stream length, for the drained tokens' emission latency: A's
+	// position plus whatever input is still delayed ahead of it.
+	streamEnd := s.pos
+	if s.k == 1 && s.fe == nil && s.prevOK {
+		streamEnd++
+	} else if s.k > 1 {
+		streamEnd += s.filled
+	}
 	switch {
 	case s.k <= 0:
 		// Nothing delayed.
@@ -481,7 +643,7 @@ func (s *Streamer) Close(emit EmitFunc) int {
 			// is already consumed and carried, so the only question is
 			// whether the pending suffix is itself a final token.
 			if s.pos > s.startP && d.IsFinal(s.qa) {
-				s.emitTail(emit, d.Rule(s.qa))
+				s.emitTail(emit, d.Rule(s.qa), streamEnd)
 			}
 		} else if s.prevOK {
 			a := s.prev
@@ -490,7 +652,7 @@ func (s *Streamer) Close(emit EmitFunc) int {
 			s.qa = d.Step(s.qa, a)
 			s.pos++
 			if d.IsFinal(s.qa) {
-				s.emitTail(emit, d.Rule(s.qa))
+				s.emitTail(emit, d.Rule(s.qa), streamEnd)
 			} else if s.m.IsDead(s.qa) {
 				s.stop()
 				return s.rest
@@ -524,7 +686,7 @@ func (s *Streamer) Close(emit EmitFunc) int {
 					extends = s.te.ExtendsWithinTail(s.qa, tail)
 				}
 				if !extends {
-					s.emitTail(emit, d.Rule(s.qa))
+					s.emitTail(emit, d.Rule(s.qa), streamEnd)
 				}
 			} else if s.m.IsDead(s.qa) {
 				s.stop()
@@ -534,6 +696,7 @@ func (s *Streamer) Close(emit EmitFunc) int {
 	}
 	s.stopped = true
 	s.rest = s.startP // == s.pos when the final token ended the stream
+	s.retire()
 	return s.rest
 }
 
@@ -560,6 +723,13 @@ func (s *Streamer) ringContents() []byte {
 // chunk starts at stream offset base. Tokens contained in the chunk are
 // emitted as zero-copy subslices; tokens spanning chunks are assembled in
 // the carry buffer.
+//
+// Observability: the per-token hot-path cost is one slice increment.
+// Every Feed-path emission has latency exactly K — A runs K bytes behind
+// the input in every engine mode, and maximality is decided the moment A
+// catches up — so the latency histogram's steady-state mass and the
+// TokensOut total are derived at snapshot time (see snapshot) instead of
+// being counted here.
 func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 	if emit != nil {
 		var text []byte
@@ -573,8 +743,16 @@ func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 				s.carry = append(s.carry, chunk[:end]...)
 			}
 			text = s.carry
+			if !s.noObs {
+				// The carry peaks right here: a spanning token fully
+				// assembled, about to be reset.
+				s.c.NoteCarry(len(s.carry))
+			}
 		}
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, text)
+	}
+	if !s.noObs {
+		s.c.TokensByRule[rule]++
 	}
 	s.startP = s.pos
 	s.resetCarry()
@@ -582,13 +760,31 @@ func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 }
 
 // emitTail emits a token during Close; its bytes are fully in carry.
-func (s *Streamer) emitTail(emit EmitFunc, rule int) {
+// inOff is the stream's end offset: maximality was only decidable at
+// EOF, so the token's emission latency is inOff - s.pos < K.
+func (s *Streamer) emitTail(emit EmitFunc, rule int, inOff int) {
 	if emit != nil {
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, s.carry)
+	}
+	if !s.noObs {
+		s.c.TokensByRule[rule]++
+		s.c.NoteCarry(len(s.carry))
+		s.c.ObserveLatency(uint64(inOff - s.pos))
+		s.tailTokens++
 	}
 	s.startP = s.pos
 	s.resetCarry()
 	s.qa = s.m.DFA.Start
+}
+
+// noteAccel folds the fused loops' per-chunk accel tallies (kept in
+// locals while the loop runs) into the counters.
+func (s *Streamer) noteAccel(attempts, skipped int) {
+	if s.noObs || attempts == 0 {
+		return
+	}
+	s.c.AccelAttempts += uint64(attempts)
+	s.c.AccelSkippedBytes += uint64(skipped)
 }
 
 // maxRetainedCarryCap bounds the carry backing array kept between
@@ -623,4 +819,5 @@ func (s *Streamer) saveCarry(chunk []byte, base int) {
 func (s *Streamer) stop() {
 	s.stopped = true
 	s.rest = s.startP
+	s.retire()
 }

@@ -1,0 +1,75 @@
+package obs
+
+import "testing"
+
+func TestObserveLatencyBuckets(t *testing.T) {
+	var c Counters
+	cases := []struct {
+		lat    uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{16383, 14}, {16384, 15}, {1 << 40, 15},
+	}
+	for _, cse := range cases {
+		before := c.EmitLatency[cse.bucket]
+		c.ObserveLatency(cse.lat)
+		if c.EmitLatency[cse.bucket] != before+1 {
+			t.Errorf("latency %d: bucket %d not incremented", cse.lat, cse.bucket)
+		}
+	}
+	if c.TokensOut != 0 {
+		t.Error("ObserveLatency must not touch TokensOut")
+	}
+}
+
+func TestMergeSumsAndMaxes(t *testing.T) {
+	a := Counters{Streams: 1, BytesIn: 100, TokensOut: 5, CarryMax: 8, RingMax: 3,
+		TokensByRule: []uint64{2, 3}}
+	a.EmitLatency[1] = 5
+	b := Counters{Streams: 2, BytesIn: 50, TokensOut: 7, CarryMax: 4, RingMax: 9,
+		TokensByRule: []uint64{1, 2, 4}}
+	b.EmitLatency[1] = 7
+	a.Merge(&b)
+	if a.Streams != 3 || a.BytesIn != 150 || a.TokensOut != 12 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	if a.CarryMax != 8 || a.RingMax != 9 {
+		t.Errorf("high-water marks must merge by max: carry %d ring %d", a.CarryMax, a.RingMax)
+	}
+	if len(a.TokensByRule) != 3 || a.TokensByRule[0] != 3 || a.TokensByRule[1] != 5 || a.TokensByRule[2] != 4 {
+		t.Errorf("per-rule merge wrong: %v", a.TokensByRule)
+	}
+	if a.EmitLatency[1] != 12 {
+		t.Errorf("histogram merge wrong: %d", a.EmitLatency[1])
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := Counters{TokensByRule: []uint64{1, 2}}
+	b := a.Clone()
+	b.TokensByRule[0] = 99
+	b.EmitLatency[0] = 7
+	if a.TokensByRule[0] != 1 || a.EmitLatency[0] != 0 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestMaxLatency(t *testing.T) {
+	var c Counters
+	if c.MaxLatency() != 0 {
+		t.Error("empty counters should report 0 max latency")
+	}
+	c.ObserveLatency(3)
+	if got := c.MaxLatency(); got != 3 {
+		t.Errorf("MaxLatency = %d, want 3 (bucket upper edge)", got)
+	}
+}
+
+func TestLatencyBucketLabel(t *testing.T) {
+	for i, want := range map[int]string{0: "0", 1: "1", 2: "2-3", 3: "4-7", 15: ">=16384"} {
+		if got := LatencyBucketLabel(i); got != want {
+			t.Errorf("label(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

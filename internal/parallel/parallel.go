@@ -134,6 +134,9 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		}
 		return rest, stats
 	}
+	// Fold the run's stitching stats into the tokenizer's observability
+	// aggregate whichever way we return (stats is a named result).
+	defer func() { t.NoteParallel(stats.Segments, stats.Synchronized, stats.ReScanned) }()
 
 	// Phase 1: speculative tokenization of each segment in parallel.
 	numSegs := (len(input) + segSize - 1) / segSize
@@ -224,6 +227,7 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		}
 		stats.ReScanned += feedPos - reStart
 		if adopted {
+			s.Discard()
 			stats.Synchronized++
 			continue
 		}
@@ -243,6 +247,9 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 			}
 			return tailRest + reStart, stats
 		}
+		// The re-scan streamer was abandoned mid-flight (segment left or
+		// speculation adopted): retire it from the registry.
+		s.Discard()
 	}
 	return pos, stats
 }
@@ -312,6 +319,10 @@ func speculate(t *core.Tokenizer, input []byte, base, segSize int, res *segmentR
 		}
 		if !collectDone && pos >= len(input) {
 			s.Close(collect)
+		} else {
+			// Abandoned with input left (segment satisfied): retire the
+			// speculative streamer from the observability registry.
+			s.Discard()
 		}
 		break
 	}

@@ -1,6 +1,9 @@
 package streamtok
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"streamtok/internal/parallel"
 )
 
@@ -15,6 +18,22 @@ type ParallelStats struct {
 	Synchronized int
 	// ReScanned is the number of bytes the stitching pass re-tokenized.
 	ReScanned int
+}
+
+// String renders the stats on one line.
+func (p ParallelStats) String() string {
+	return fmt.Sprintf("%d segments, %d synchronized, %d bytes re-scanned",
+		p.Segments, p.Synchronized, p.ReScanned)
+}
+
+// MarshalJSON renders the stats with stable snake_case keys, matching
+// the parallel_* fields of Stats.
+func (p ParallelStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Segments     int `json:"segments"`
+		Synchronized int `json:"synchronized"`
+		ReScanned    int `json:"rescanned"`
+	}{p.Segments, p.Synchronized, p.ReScanned})
 }
 
 // TokenizeParallel tokenizes an in-memory input using multiple CPU cores

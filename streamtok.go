@@ -28,6 +28,8 @@
 package streamtok
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -121,12 +123,36 @@ type Analysis struct {
 	WitnessV []byte
 }
 
-// String renders the distance ("inf" when unbounded).
-func (a Analysis) String() string {
+// TND renders the distance alone: the number, or "inf" when unbounded.
+func (a Analysis) TND() string {
 	if !a.Bounded {
 		return "inf"
 	}
 	return fmt.Sprintf("%d", a.MaxTND)
+}
+
+// String renders the analysis on one line: the distance and the
+// automaton sizes it was computed from.
+func (a Analysis) String() string {
+	return fmt.Sprintf("max-TND %s (NFA %d, DFA %d)", a.TND(), a.NFASize, a.DFASize)
+}
+
+// MarshalJSON renders the analysis with stable snake_case keys (shared
+// by tnd -json); max_tnd is null when the distance is unbounded, and
+// the witness pair appears only when one exists.
+func (a Analysis) MarshalJSON() ([]byte, error) {
+	var maxTND *int
+	if a.Bounded {
+		maxTND = &a.MaxTND
+	}
+	return json.Marshal(struct {
+		MaxTND    *int   `json:"max_tnd"`
+		Bounded   bool   `json:"bounded"`
+		NFAStates int    `json:"nfa_states"`
+		DFAStates int    `json:"dfa_states"`
+		WitnessU  string `json:"witness_u,omitempty"`
+		WitnessV  string `json:"witness_v,omitempty"`
+	}{maxTND, a.Bounded, a.NFASize, a.DFASize, string(a.WitnessU), string(a.WitnessV)})
 }
 
 // Analyze runs the Fig. 3 static analysis: it compiles the grammar to its
@@ -216,28 +242,38 @@ func (t *Tokenizer) Analysis() Analysis { return t.an }
 // K returns the lookahead bound (the grammar's max-TND).
 func (t *Tokenizer) K() int { return t.inner.K() }
 
-// EngineMode names the execution mode the tokenizer selected: "fused-k0",
-// "fused-k1", or "fused-general" when the fused action-table engine is
-// active; "split-k0", "split-k1", "split-general", or
-// "split-general-lazy" for the interpreter loops. All modes emit
-// byte-identical token streams.
-func (t *Tokenizer) EngineMode() string { return t.inner.EngineMode() }
+// EngineMode names the execution mode the tokenizer selected.
+//
+// Deprecated: use Engine().Mode; Engine returns the whole description
+// in one EngineInfo.
+func (t *Tokenizer) EngineMode() string { return t.Engine().Mode }
 
 // AccelStates returns how many fused states were marked for bulk run
 // skipping (0 when the fused engine is off).
-func (t *Tokenizer) AccelStates() int { return t.inner.AccelStates() }
+//
+// Deprecated: use Engine().AccelStates.
+func (t *Tokenizer) AccelStates() int { return t.Engine().AccelStates }
 
 // TableBytes returns the memory footprint of the precomputed automata and
-// action tables — StreamTok's entire stream-independent state apart from
-// the input buffer and the K-byte delay ring.
-func (t *Tokenizer) TableBytes() int { return t.inner.TableBytes() }
+// action tables.
+//
+// Deprecated: use Engine().TableBytes.
+func (t *Tokenizer) TableBytes() int { return t.Engine().TableBytes }
 
 // Tokenize reads the stream block-by-block (bufSize bytes per read; 0
 // means the 64 KB default) and calls emit for every maximal token. It
 // returns the offset of the first untokenized byte — the stream length
 // when the whole stream tokenized — and any read error.
 func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
-	return t.inner.Tokenize(r, bufSize, emit)
+	return t.inner.TokenizeContext(context.Background(), r, bufSize, emit)
+}
+
+// TokenizeContext is Tokenize with cancellation: ctx is checked between
+// read blocks (never inside the feed loop), so a cancelled or timed-out
+// context stops the stream at a chunk boundary and returns ctx.Err()
+// along with the offset reached.
+func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	return t.inner.TokenizeContext(ctx, r, bufSize, emit)
 }
 
 // TokenizeBytes tokenizes an in-memory input and returns the tokens and
@@ -250,11 +286,12 @@ func (t *Tokenizer) TokenizeBytes(input []byte) ([]Token, int) {
 // as they arrive and Close at end of stream.
 type Streamer struct {
 	inner *core.Streamer
+	tok   *Tokenizer // owner, for rule names in Stats snapshots
 }
 
 // NewStreamer starts a fresh stream.
 func (t *Tokenizer) NewStreamer() *Streamer {
-	return &Streamer{inner: t.inner.NewStreamer()}
+	return &Streamer{inner: t.inner.NewStreamer(), tok: t}
 }
 
 // Feed pushes a chunk through the tokenizer, emitting any tokens whose

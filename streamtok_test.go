@@ -3,6 +3,7 @@ package streamtok_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -46,15 +47,18 @@ func TestAnalyzeAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.Bounded || a.MaxTND != 3 || a.String() != "3" {
+	if !a.Bounded || a.MaxTND != 3 || a.TND() != "3" {
 		t.Errorf("analysis %+v, want bounded max-TND 3", a)
+	}
+	if a.String() != fmt.Sprintf("max-TND 3 (NFA %d, DFA %d)", a.NFASize, a.DFASize) {
+		t.Errorf("String() = %q", a.String())
 	}
 	unbounded := streamtok.MustParseGrammar(`[0-9]*0`, `[ ]+`)
 	a, err = streamtok.Analyze(unbounded)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Bounded || a.String() != "inf" {
+	if a.Bounded || a.TND() != "inf" {
 		t.Errorf("analysis %+v, want unbounded", a)
 	}
 	if _, err := streamtok.New(unbounded); !errors.Is(err, streamtok.ErrUnbounded) {
