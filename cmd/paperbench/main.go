@@ -12,18 +12,38 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"streamtok/internal/bench"
 )
+
+// writeJSON writes the table as BENCH_<name>.json in dir, the
+// machine-readable artifact CI archives and gates on.
+func writeJSON(dir, name string, t bench.Table) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote "+path)
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (table1, fig7a..fig11b, table2, rq6, or 'all')")
 	scale := flag.Float64("scale", 1.0, "input-size multiplier (paper-scale streams need ~10)")
 	seed := flag.Int64("seed", 2026, "workload seed")
 	trials := flag.Int("trials", 3, "timed repetitions per cell (median reported)")
+	jsonOut := flag.Bool("json", false, "also write each result as BENCH_<exp>.json (see -json-dir)")
+	jsonDir := flag.String("json-dir", ".", "directory -json writes artifacts to")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -41,7 +61,11 @@ func main() {
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Trials: *trials}
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
-			fmt.Println(e.Run(cfg).Format())
+			tbl := e.Run(cfg)
+			fmt.Println(tbl.Format())
+			if *jsonOut {
+				writeJSON(*jsonDir, e.Name, tbl)
+			}
 		}
 		return
 	}
@@ -50,5 +74,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Println(e.Run(cfg).Format())
+	tbl := e.Run(cfg)
+	fmt.Println(tbl.Format())
+	if *jsonOut {
+		writeJSON(*jsonDir, e.Name, tbl)
+	}
 }

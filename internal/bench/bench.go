@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -77,6 +78,21 @@ func (t Table) Format() string {
 		writeRow(row)
 	}
 	return sb.String()
+}
+
+// MarshalJSON renders the table with stable snake_case keys, the
+// machine-readable form paperbench -json writes for CI artifacts.
+func (t Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Note, t.Header, rows})
 }
 
 // timeIt returns the median wall time of trials runs of f.

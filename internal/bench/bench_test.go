@@ -39,8 +39,8 @@ func TestExperimentsRegistry(t *testing.T) {
 			t.Errorf("LookupExperiment(%s): %v", e.Name, err)
 		}
 	}
-	if len(seen) != 17 {
-		t.Errorf("%d experiments, want 17 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead)", len(seen))
+	if len(seen) != 18 {
+		t.Errorf("%d experiments, want 18 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead + concurrency)", len(seen))
 	}
 	if _, err := LookupExperiment("nope"); err == nil {
 		t.Error("unknown experiment should fail")

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"lintstats", "grammar diagnostics over the corpus (not a paper figure)", Lintstats},
 		{"latency", "emission latency vs the K bound (not a paper figure)", Latency},
 		{"obsoverhead", "always-on observability counters vs no-obs build (not a paper figure)", ObsOverhead},
+		{"concurrency", "pooled serving path: stream scaling, pipelined reader, allocs/stream (not a paper figure)", Concurrency},
 	}
 }
 

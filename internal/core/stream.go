@@ -23,12 +23,19 @@ func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int,
 // between read blocks (never inside the feed loop), so a cancelled or
 // timed-out ctx stops the stream at a chunk boundary and returns
 // ctx.Err() with the offset reached.
+//
+// Both the streamer and the read buffer come from per-tokenizer pools,
+// so a warm serving loop — many Tokenize calls on one long-lived
+// Tokenizer — allocates nothing per stream in the steady state.
 func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
 	if bufSize <= 0 {
 		bufSize = DefaultBufferSize
 	}
-	s := t.NewStreamer()
-	buf := make([]byte, bufSize)
+	s := t.AcquireStreamer()
+	defer t.ReleaseStreamer(s)
+	bp := t.acquireBuf(bufSize)
+	defer t.bufPool.Put(bp)
+	buf := *bp
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			s.Close(nil)
@@ -53,14 +60,31 @@ func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize in
 	}
 }
 
+// acquireBuf returns a pooled read buffer of exactly n bytes, growing a
+// fresh one only when the pooled buffer is too small for this call.
+func (t *Tokenizer) acquireBuf(n int) *[]byte {
+	if v := t.bufPool.Get(); v != nil {
+		bp := v.(*[]byte)
+		if cap(*bp) >= n {
+			*bp = (*bp)[:n]
+			return bp
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
 // TokenizeBytes tokenizes an in-memory input in one Feed, returning the
 // collected tokens and the offset of the first untokenized byte. It mirrors
-// reference.Tokens for differential testing and for offline callers.
+// reference.Tokens for differential testing and for offline callers. The
+// streamer comes from the pool and tokens are gathered through the
+// batched sink, so the only allocation is the caller's result slice.
 func (t *Tokenizer) TokenizeBytes(input []byte) (toks []token.Token, rest int) {
-	s := t.NewStreamer()
-	collect := func(tok token.Token, _ []byte) { toks = append(toks, tok) }
-	s.Feed(input, collect)
-	rest = s.Close(collect)
+	s := t.AcquireStreamer()
+	collect := func(batch []token.Token) { toks = append(toks, batch...) }
+	s.FeedBatch(input, collect)
+	rest = s.CloseBatch(collect)
+	t.ReleaseStreamer(s)
 	return toks, rest
 }
 

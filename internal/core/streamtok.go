@@ -29,6 +29,19 @@ import (
 // token's bytes and is only valid until the next call into the tokenizer.
 type EmitFunc func(tok token.Token, text []byte)
 
+// BatchFunc receives batches of confirmed maximal tokens (FeedBatch /
+// CloseBatch). The slice is the streamer's reused batch buffer: it is
+// only valid until the callback returns and must be copied to retain.
+// Batched sinks get offsets, not text — callers that hold the input (or
+// index into it) slice it themselves, and skip one indirect call plus
+// the text-assembly work per token.
+type BatchFunc func(toks []token.Token)
+
+// batchCap bounds the reused batch buffer: the hot loops flush to the
+// sink whenever it fills (so one Feed of a token-dense chunk still uses
+// bounded memory) and at every chunk boundary.
+const batchCap = 512
+
 // Tokenizer is a compiled, reusable StreamTok tokenizer for one grammar.
 // Its tables are immutable and it is safe for concurrent use; each
 // stream gets its own Streamer. The tokenizer additionally keeps an
@@ -44,6 +57,14 @@ type Tokenizer struct {
 	fe   *fused.Engine // fused fast engine, nil → split loops
 
 	noObs bool // benchmark-only: skip the observability counters
+
+	// pool recycles retired Streamers (AcquireStreamer/ReleaseStreamer):
+	// a warm stream reuses the previous stream's carry buffer, delay
+	// ring, scratch, batch buffer, and per-rule counters, so the
+	// steady-state serving path performs no per-stream allocations.
+	pool sync.Pool
+	// bufPool recycles the read buffers the io.Reader drivers use.
+	bufPool sync.Pool
 
 	obsMu   sync.Mutex
 	live    map[*Streamer]struct{} // streams not yet retired
@@ -80,6 +101,10 @@ type Streamer struct {
 	// allocate per final-position check.
 	ringScratch []byte
 
+	// snap is the reused snapshot block retire folds through, so pooled
+	// stream turnover stays allocation-free.
+	snap obs.Counters
+
 	// carry holds the pending token's bytes that are no longer available
 	// in the caller's chunk (token prefixes spanning chunk boundaries).
 	carry   []byte
@@ -87,6 +112,13 @@ type Streamer struct {
 	pos     int // stream offset A will consume next (= bytes A consumed)
 	stopped bool
 	rest    int // offset of the first untokenized byte once stopped
+
+	// batch is the reused token buffer batched emission (FeedBatch /
+	// CloseBatch) appends into; batchSink, non-nil only while one of
+	// those calls is running, receives it when it fills and at the chunk
+	// boundary.
+	batch     []token.Token
+	batchSink BatchFunc
 }
 
 // UnboundedError reports that a grammar cannot be tokenized by StreamTok
@@ -291,21 +323,15 @@ func (t *Tokenizer) TableBytes() int {
 // appear in Counters() snapshots) but is never freed from the registry,
 // so long-lived tokenizers should Close or Discard every stream.
 func (t *Tokenizer) NewStreamer() *Streamer {
-	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, fe: t.fe, qa: t.m.DFA.Start,
-		tok: t, noObs: t.noObs}
+	s := &Streamer{m: t.m, k: t.k, te: t.te, k1: t.k1, fe: t.fe, tok: t, noObs: t.noObs}
 	if !t.noObs {
-		s.c.Streams = 1
 		s.c.TokensByRule = make([]uint64, len(t.m.Grammar.Rules))
 		s.latK = bits.Len64(uint64(t.k))
 		if s.latK >= obs.LatencyBuckets {
 			s.latK = obs.LatencyBuckets - 1
 		}
-		t.obsMu.Lock()
-		t.live[s] = struct{}{}
-		t.obsMu.Unlock()
 	}
 	if t.te != nil {
-		s.s = t.te.Start
 		if t.fe != nil && t.fe.Mode == fused.ModeGeneral {
 			// The fused loop indexes the ring with a mask, so size it
 			// to the next power of two ≥ k.
@@ -317,10 +343,85 @@ func (t *Tokenizer) NewStreamer() *Streamer {
 		}
 	} else if t.lazy != nil {
 		s.eval = t.lazy.NewEvaluator()
-		s.s = s.eval.Start()
 		s.ring = make([]byte, t.k)
 	}
+	s.start()
 	return s
+}
+
+// start (re)initializes the stream-varying state and registers the
+// stream in the observability registry. The stream-constant state —
+// tables, ring and scratch buffers, the lazy evaluator and its
+// powerstate cache, the batch buffer, the per-rule counter slice — is
+// left alone, which is what makes pooled reuse allocation-free.
+func (s *Streamer) start() {
+	t := s.tok
+	s.qa = t.m.DFA.Start
+	s.s = 0
+	switch {
+	case s.te != nil:
+		s.s = s.te.Start
+	case s.eval != nil:
+		s.s = s.eval.Start()
+	}
+	s.head, s.filled = 0, 0
+	s.prevOK, s.prev = false, 0
+	s.startP, s.pos = 0, 0
+	s.stopped, s.rest = false, 0
+	s.done = false
+	s.tailTokens = 0
+	s.resetCarry()
+	s.batch = s.batch[:0]
+	s.batchSink = nil
+	if !s.noObs {
+		s.c.Reset()
+		s.c.Streams = 1
+		t.obsMu.Lock()
+		t.live[s] = struct{}{}
+		t.obsMu.Unlock()
+	}
+}
+
+// Reset retires the streamer's current stream (folding its counters
+// into the tokenizer aggregate, like Discard, unless it already
+// finished) and makes it ready to tokenize a fresh stream, reusing
+// every buffer it holds. AcquireStreamer calls it on pooled streamers;
+// callers managing their own streamers can call it directly.
+func (s *Streamer) Reset() {
+	if !s.done {
+		s.stopped = true
+		s.retire()
+	}
+	s.start()
+}
+
+// AcquireStreamer returns a ready Streamer, reusing a pooled one when
+// available: its carry buffer, delay ring, scratch, batch buffer, and
+// counter block all come from the previous stream, so steady-state
+// stream turnover allocates nothing. Pair with ReleaseStreamer.
+func (t *Tokenizer) AcquireStreamer() *Streamer {
+	if v := t.pool.Get(); v != nil {
+		s := v.(*Streamer)
+		s.Reset()
+		return s
+	}
+	return t.NewStreamer()
+}
+
+// ReleaseStreamer retires s (folding its counters into the tokenizer
+// aggregate if it has not already finished via Close or a dead-input
+// stop) and recycles it for a future AcquireStreamer. s must not be
+// used after release, and must have come from this tokenizer.
+func (t *Tokenizer) ReleaseStreamer(s *Streamer) {
+	if s == nil || s.tok != t {
+		return
+	}
+	if !s.done {
+		s.stopped = true
+		s.retire()
+	}
+	s.batchSink = nil
+	t.pool.Put(s)
 }
 
 // nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
@@ -365,7 +466,15 @@ func (s *Streamer) StreamCounters() obs.Counters {
 // drain (counted in tailTokens) observes smaller latencies and records
 // them individually.
 func (s *Streamer) snapshot() obs.Counters {
-	c := s.c.Clone()
+	var c obs.Counters
+	s.snapshotInto(&c)
+	return c
+}
+
+// snapshotInto is snapshot into a caller-owned block, reusing its
+// TokensByRule backing (the allocation-free retirement path).
+func (s *Streamer) snapshotInto(c *obs.Counters) {
+	s.c.CloneInto(c)
 	c.NoteCarry(len(s.carry))
 	if s.prevOK {
 		c.NoteRing(1) // split k==1: the one-byte delay slot
@@ -377,7 +486,6 @@ func (s *Streamer) snapshot() obs.Counters {
 	}
 	c.TokensOut = total
 	c.EmitLatency[s.latK] += total - s.tailTokens
-	return c
 }
 
 // NoteParallel folds one speculative parallel run's stitching stats into
@@ -410,10 +518,10 @@ func (s *Streamer) retire() {
 	}
 	s.done = true
 	s.c.StreamsDone = 1 // so the stream's own snapshots agree with the fold
-	sc := s.snapshot()
+	s.snapshotInto(&s.snap)
 	t := s.tok
 	t.obsMu.Lock()
-	t.retired.Merge(&sc)
+	t.retired.Merge(&s.snap)
 	delete(t.live, s)
 	t.obsMu.Unlock()
 }
@@ -467,6 +575,57 @@ func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
 		s.noteBuffers()
 	}
 }
+
+// FeedBatch is Feed with batched emission: confirmed tokens are
+// appended to the streamer's reused batch buffer and handed to sink in
+// batches — when the buffer fills and once at the chunk boundary — so
+// token-dense workloads pay one indirect call per batch instead of one
+// per token, and no text assembly at all. The emitted offsets index the
+// stream exactly as Feed's do; FeedBatch and Feed may be freely
+// interleaved on one stream and together emit every token exactly once.
+func (s *Streamer) FeedBatch(chunk []byte, sink BatchFunc) {
+	if sink == nil {
+		s.Feed(chunk, nil)
+		return
+	}
+	if cap(s.batch) == 0 {
+		s.batch = make([]token.Token, 0, batchCap)
+	}
+	s.batchSink = sink
+	s.Feed(chunk, nil)
+	s.flushBatch()
+	s.batchSink = nil
+}
+
+// CloseBatch is Close with batched emission of the drained tail tokens.
+func (s *Streamer) CloseBatch(sink BatchFunc) int {
+	if sink == nil {
+		return s.Close(nil)
+	}
+	if cap(s.batch) == 0 {
+		s.batch = make([]token.Token, 0, batchCap)
+	}
+	s.batchSink = sink
+	rest := s.Close(nil)
+	s.flushBatch()
+	s.batchSink = nil
+	return rest
+}
+
+// flushBatch hands the pending batch to the sink and truncates it.
+func (s *Streamer) flushBatch() {
+	if len(s.batch) > 0 && s.batchSink != nil {
+		s.batchSink(s.batch)
+		s.batch = s.batch[:0]
+	}
+}
+
+// PendingStart returns the stream offset where the pending (not yet
+// emitted) token begins — equivalently, the end of the last emitted
+// token. It is always a true token boundary of the stream: the
+// tokenization DFA restarts there, which is what lets windowed drivers
+// (internal/parallel) re-derive the pending suffix deterministically.
+func (s *Streamer) PendingStart() int { return s.startP }
 
 // feedK0: max-TND 0 means no token extends another, so A emits the moment
 // it reaches a final state.
@@ -750,6 +909,14 @@ func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 			}
 		}
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, text)
+	} else if s.batchSink != nil {
+		// Batched emission: append into the reused buffer, no text
+		// assembly; flush when the buffer fills so one token-dense Feed
+		// still runs in bounded memory.
+		s.batch = append(s.batch, token.Token{Start: s.startP, End: s.pos, Rule: rule})
+		if len(s.batch) >= batchCap {
+			s.flushBatch()
+		}
 	}
 	if !s.noObs {
 		s.c.TokensByRule[rule]++
@@ -765,6 +932,11 @@ func (s *Streamer) emitToken(emit EmitFunc, rule int, chunk []byte, base int) {
 func (s *Streamer) emitTail(emit EmitFunc, rule int, inOff int) {
 	if emit != nil {
 		emit(token.Token{Start: s.startP, End: s.pos, Rule: rule}, s.carry)
+	} else if s.batchSink != nil {
+		s.batch = append(s.batch, token.Token{Start: s.startP, End: s.pos, Rule: rule})
+		if len(s.batch) >= batchCap {
+			s.flushBatch()
+		}
 	}
 	if !s.noObs {
 		s.c.TokensByRule[rule]++

@@ -98,6 +98,16 @@ func (c *Counters) NoteRing(n int) {
 	}
 }
 
+// Reset zeroes every counter in place, keeping the TokensByRule backing
+// array (zeroed) so pooled streams restart without reallocating it.
+func (c *Counters) Reset() {
+	rules := c.TokensByRule
+	for i := range rules {
+		rules[i] = 0
+	}
+	*c = Counters{TokensByRule: rules}
+}
+
 // Merge folds o into c: sums for counts, max for high-water marks.
 func (c *Counters) Merge(o *Counters) {
 	c.Streams += o.Streams
@@ -140,6 +150,22 @@ func (c *Counters) Clone() Counters {
 		out.TokensByRule = append([]uint64(nil), c.TokensByRule...)
 	}
 	return out
+}
+
+// CloneInto copies c into dst, reusing dst's TokensByRule backing array
+// when it is large enough — the allocation-free path stream retirement
+// uses (a fresh slice per retire would be the pooled serving loop's
+// only garbage).
+func (c *Counters) CloneInto(dst *Counters) {
+	rules := dst.TokensByRule
+	if cap(rules) < len(c.TokensByRule) {
+		rules = make([]uint64, len(c.TokensByRule))
+	} else {
+		rules = rules[:len(c.TokensByRule)]
+	}
+	copy(rules, c.TokensByRule)
+	*dst = *c
+	dst.TokensByRule = rules
 }
 
 // MaxLatency returns the upper edge of the highest non-empty latency

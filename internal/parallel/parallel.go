@@ -30,6 +30,12 @@
 // of end offsets, a parallel array of rule ids, and a sparse list of
 // adjacency gaps (alignment restarts) — 5 bytes per token instead of 24,
 // since phase-1 write bandwidth is what limits the speedup.
+//
+// Beyond whole-input Tokenize, the package offers a streaming serving
+// path: Streamer applies the speculate-and-stitch machinery window by
+// window to a pushed stream, and TokenizeReader pipelines reading ahead
+// of tokenization with double-buffered blocks (see streamer.go). Both
+// produce exactly the sequential token stream.
 package parallel
 
 import (
@@ -41,13 +47,18 @@ import (
 	"streamtok/internal/token"
 )
 
-// Options configures Tokenize.
+// Options configures Tokenize, Streamer and TokenizeReader.
 type Options struct {
 	// Workers is the number of parallel workers (0 = GOMAXPROCS).
 	Workers int
 	// MinSegment is the smallest segment size worth parallelizing
 	// (default 64 KB); smaller inputs run sequentially.
 	MinSegment int
+	// Window is the block size the streaming drivers (Streamer,
+	// TokenizeReader) hand to the segment-parallel engine at a time
+	// (default 1 MB per worker, capped at 8 MB). Whole-input Tokenize
+	// ignores it.
+	Window int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +68,12 @@ func (o Options) withDefaults() Options {
 	if o.MinSegment <= 0 {
 		o.MinSegment = 64 * 1024
 	}
+	if o.Window <= 0 {
+		o.Window = o.Workers << 20
+		if o.Window > 8<<20 {
+			o.Window = 8 << 20
+		}
+	}
 	return o
 }
 
@@ -65,6 +82,13 @@ type Stats struct {
 	Segments     int // segments processed in parallel
 	Synchronized int // segments whose speculation was adopted
 	ReScanned    int // bytes re-tokenized by the stitcher
+}
+
+// add accumulates o into s (window-by-window streaming runs).
+func (s *Stats) add(o Stats) {
+	s.Segments += o.Segments
+	s.Synchronized += o.Synchronized
+	s.ReScanned += o.ReScanned
 }
 
 // gap marks a speculative token whose start is not the previous token's
@@ -81,6 +105,12 @@ type segmentResult struct {
 	ends  []int32 // absolute end offset per token (strictly increasing)
 	rules []uint8 // rule id per token
 	gaps  []gap   // sorted by idx; always contains the first token
+	// tailIdx is the index of the first token the worker emitted only
+	// because its stream was Closed (EOF-proved maximality). Tokens
+	// below it were emitted by Feed alone, so their maximality depends
+	// only on bytes inside the input slice; open-end stitching must not
+	// adopt tokens at or above it.
+	tailIdx int
 }
 
 // startOf returns the absolute start of token j, given the gap cursor gp
@@ -118,7 +148,32 @@ func (r *segmentResult) syncIndex(p int) (int, bool) {
 // differential tests). The emitted text slices alias the input. Inputs are
 // limited to 2 GiB (offsets are packed as int32).
 func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc) (rest int, stats Stats) {
+	rest, stats, _ = tokenize(t, input, opts, emit, false)
+	return rest, stats
+}
+
+// tokenize is the shared speculate-and-stitch implementation.
+//
+// With openEnd=false the input is a complete stream: tokens whose
+// maximality only EOF proves are emitted too, and rest is the offset of
+// the first untokenized byte, exactly like the sequential engine.
+//
+// With openEnd=true the input is a window of a longer stream: only
+// tokens the sequential engine would emit from Feed(input) alone — no
+// Close — are emitted. Their maximality depends only on bytes already
+// inside the window, so they are exact whatever arrives next. rest is
+// then the pending token's start offset, always a true token boundary,
+// and the caller carries input[rest:] into the next window. stopped
+// reports a dead-input stop; dead states are absorbing, so a stop
+// observed inside a window is final regardless of future input.
+func tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc, openEnd bool) (rest int, stats Stats, stopped bool) {
 	opts = opts.withDefaults()
+	// Fold the run's stitching stats into the tokenizer's observability
+	// aggregate whichever way we return (stats is a named result). The
+	// degenerate sequential path counts too: one run, one segment, so
+	// ParallelRuns and ParallelSegments stay consistent across paths.
+	defer func() { t.NoteParallel(stats.Segments, stats.Synchronized, stats.ReScanned) }()
+
 	segSize := (len(input) + opts.Workers - 1) / opts.Workers
 	// The packed form stores rule ids in a byte; enormous grammars fall
 	// back to the sequential engine.
@@ -126,17 +181,26 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		segSize = 0
 	}
 	if segSize < opts.MinSegment || opts.Workers == 1 {
-		toks, rest := t.TokenizeBytes(input)
+		stats.Segments = 1
+		if openEnd {
+			s := t.AcquireStreamer()
+			s.Feed(input, emit)
+			if s.Stopped() {
+				rest, stopped = s.Rest(), true
+			} else {
+				rest = s.PendingStart()
+			}
+			t.ReleaseStreamer(s)
+			return rest, stats, stopped
+		}
+		toks, r := t.TokenizeBytes(input)
 		for _, tk := range toks {
 			if emit != nil {
 				emit(tk, input[tk.Start:tk.End])
 			}
 		}
-		return rest, stats
+		return r, stats, r < len(input)
 	}
-	// Fold the run's stitching stats into the tokenizer's observability
-	// aggregate whichever way we return (stats is a named result).
-	defer func() { t.NoteParallel(stats.Segments, stats.Synchronized, stats.ReScanned) }()
 
 	// Phase 1: speculative tokenization of each segment in parallel.
 	numSegs := (len(input) + segSize - 1) / segSize
@@ -161,10 +225,16 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		}
 	}
 	// adopt emits speculative tokens from index j while they stay
-	// adjacent, returning the new boundary.
+	// adjacent, returning the new boundary. Open-end stitching stops
+	// short of the worker's Close-drained tail tokens: those assumed
+	// EOF at len(input), which a window must not.
 	adopt := func(seg *segmentResult, j, pos int) int {
+		limit := len(seg.ends)
+		if openEnd && seg.tailIdx < limit {
+			limit = seg.tailIdx
+		}
 		gp := sort.Search(len(seg.gaps), func(k int) bool { return int(seg.gaps[k].idx) >= j })
-		for ; j < len(seg.ends); j++ {
+		for ; j < limit; j++ {
 			start, isGap := seg.startOf(j, gp)
 			if start != pos {
 				break // restart-alignment gap: the true run stalls here
@@ -192,7 +262,7 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		// Re-tokenize from pos until we hit a speculative start of this
 		// segment (then adopt) or leave the segment.
 		reStart := pos
-		s := t.NewStreamer()
+		s := t.AcquireStreamer()
 		adopted := false
 		var pending []token.Token
 		collect := func(tk token.Token, _ []byte) {
@@ -227,31 +297,48 @@ func Tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc)
 		}
 		stats.ReScanned += feedPos - reStart
 		if adopted {
-			s.Discard()
+			t.ReleaseStreamer(s)
 			stats.Synchronized++
 			continue
 		}
 		if s.Stopped() && pos < seg.end {
 			// Untokenizable remainder — finish like the sequential run.
-			if rest := s.Rest() + reStart; rest >= pos {
-				return rest, stats
+			// A dead state is absorbing, so this is final even when the
+			// input is a window of a longer stream.
+			r := s.Rest() + reStart
+			t.ReleaseStreamer(s)
+			if r >= pos {
+				return r, stats, true
 			}
-			return pos, stats
+			return pos, stats, true
 		}
 		if feedPos >= len(input) && !s.Stopped() {
-			// Ran to EOF during the re-scan: close and emit the tail.
+			// Ran to EOF during the re-scan. For a complete stream,
+			// close and emit the tail; for a window, withhold the
+			// pending token and report its start as the next boundary.
+			if openEnd {
+				for _, tk := range pending {
+					emitTok(tk.Start, tk.End, tk.Rule)
+				}
+				r := s.PendingStart() + reStart
+				t.ReleaseStreamer(s)
+				return r, stats, false
+			}
 			tailRest := s.Close(collect)
 			for _, tk := range pending {
 				emitTok(tk.Start, tk.End, tk.Rule)
-				pos = tk.End
 			}
-			return tailRest + reStart, stats
+			t.ReleaseStreamer(s)
+			return tailRest + reStart, stats, false
 		}
 		// The re-scan streamer was abandoned mid-flight (segment left or
-		// speculation adopted): retire it from the registry.
-		s.Discard()
+		// speculation adopted): recycle it.
+		t.ReleaseStreamer(s)
 	}
-	return pos, stats
+	// Complete streams end here with pos == len(input) (or a dead stop
+	// already returned above). Windows end here at the last adopted
+	// token's end — a boundary whose suffix the caller carries forward.
+	return pos, stats, false
 }
 
 // speculate runs one worker: tokenize [base, base+segSize) speculatively,
@@ -295,8 +382,9 @@ func speculate(t *core.Tokenizer, input []byte, base, segSize int, res *segmentR
 	if limit > len(input) {
 		limit = len(input)
 	}
+	closed := false
 	for streamBase < end && !collectDone {
-		s := t.NewStreamer()
+		s := t.AcquireStreamer()
 		pos := streamBase
 		for pos < limit && !collectDone && !s.Stopped() {
 			// One big feed up to the segment end, then small chunks:
@@ -314,16 +402,23 @@ func speculate(t *core.Tokenizer, input []byte, base, segSize int, res *segmentR
 		}
 		if s.Stopped() {
 			// Restart past the byte that killed this alignment.
-			streamBase += s.Rest() + 1
+			r := s.Rest()
+			t.ReleaseStreamer(s)
+			streamBase += r + 1
 			continue
 		}
 		if !collectDone && pos >= len(input) {
+			// Mark where Feed-proved tokens end before draining the
+			// EOF tail: open-end stitching must not adopt the drained
+			// tokens, whose maximality assumed the input truly ends.
+			res.tailIdx = len(res.ends)
+			closed = true
 			s.Close(collect)
-		} else {
-			// Abandoned with input left (segment satisfied): retire the
-			// speculative streamer from the observability registry.
-			s.Discard()
 		}
+		t.ReleaseStreamer(s)
 		break
+	}
+	if !closed {
+		res.tailIdx = len(res.ends) // every token was Feed-proved
 	}
 }

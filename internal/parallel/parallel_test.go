@@ -173,17 +173,32 @@ func TestParallelUntokenizable(t *testing.T) {
 	}
 }
 
-// TestSequentialFallback: tiny inputs bypass the parallel machinery.
+// TestSequentialFallback: tiny inputs bypass the parallel machinery but
+// still report consistent stats — one (sequential) segment, nothing
+// speculatively adopted, nothing re-scanned — and still count as a
+// parallel run in the tokenizer's observability aggregate.
 func TestSequentialFallback(t *testing.T) {
 	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
 	tok := tokenizer(t, m)
-	in := []byte("12 34")
-	got, rest, stats := runParallel(t, tok, in, 8, 64*1024)
-	if stats.Segments != 0 {
-		t.Errorf("tiny input used %d segments", stats.Segments)
+	base := tok.Counters()
+	for i, in := range [][]byte{[]byte("12 34"), []byte("7"), []byte(""), []byte(" ")} {
+		got, rest, stats := runParallel(t, tok, in, 8, 64*1024)
+		if stats.Segments != 1 || stats.Synchronized != 0 || stats.ReScanned != 0 {
+			t.Errorf("input %d: fallback stats %+v, want {Segments:1}", i, stats)
+		}
+		want, wantRest := reference.Tokens(m, in)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("input %d: fallback output differs", i)
+		}
 	}
-	want, wantRest := reference.Tokens(m, in)
-	if !reference.Equal(got, want) || rest != wantRest {
-		t.Fatal("fallback output differs")
+	after := tok.Counters()
+	if runs := after.ParallelRuns - base.ParallelRuns; runs != 4 {
+		t.Errorf("aggregate ParallelRuns delta = %d, want 4", runs)
+	}
+	if segs := after.ParallelSegments - base.ParallelSegments; segs != 4 {
+		t.Errorf("aggregate ParallelSegments delta = %d, want 4", segs)
+	}
+	if after.ParallelSynced != base.ParallelSynced || after.ParallelReScanned != base.ParallelReScanned {
+		t.Errorf("fallback runs changed Synced/ReScanned aggregates: %+v -> %+v", base, after)
 	}
 }

@@ -1,0 +1,196 @@
+package parallel
+
+import (
+	"io"
+
+	"streamtok/internal/core"
+	"streamtok/internal/token"
+)
+
+// Streamer applies speculative segment-parallel tokenization to a pushed
+// stream, window by window, producing exactly the sequential token
+// stream (offsets are absolute stream offsets).
+//
+// Each Feed assembles the carried pending-token suffix plus the new
+// block and runs the open-end stitcher over it: only tokens whose
+// maximality is proved by bytes inside the window are emitted, and the
+// window's pending suffix — always starting at a true token boundary —
+// is carried into the next window. Because tokenization is deterministic
+// from a boundary, the concatenation of the per-window streams equals
+// the sequential stream over the whole input.
+//
+// A token larger than a window can never be proved maximal inside one,
+// so the window would make no progress and its bytes would be re-scanned
+// every Feed. To bound that rework, the Streamer buffers input until the
+// assembled window is at least twice the carried suffix: at least half
+// of every processed window is new bytes, so no byte is scanned more
+// than twice over the stream's lifetime, whatever the token lengths.
+//
+// A Streamer is not safe for concurrent use.
+type Streamer struct {
+	t    *core.Tokenizer
+	opts Options
+
+	base    int    // absolute stream offset of carry[0]
+	carry   []byte // pending suffix: carried bytes not yet proved maximal
+	scratch []byte // window assembly buffer (carry + fed block)
+	stats   Stats
+	stopped bool
+	rest    int // valid once stopped
+}
+
+// NewStreamer returns a window-parallel streamer for one stream.
+func NewStreamer(t *core.Tokenizer, opts Options) *Streamer {
+	return &Streamer{t: t, opts: opts.withDefaults()}
+}
+
+// Feed pushes a block of the stream, invoking emit for every token the
+// block proves maximal. Offsets in emitted tokens are absolute stream
+// offsets; the text slices are only valid during the emit call.
+func (ps *Streamer) Feed(block []byte, emit core.EmitFunc) {
+	if ps.stopped || len(block) == 0 {
+		return
+	}
+	if len(ps.carry) == 0 {
+		ps.process(block, emit)
+		return
+	}
+	need := len(ps.carry) + len(block)
+	if need < 2*len(ps.carry) {
+		// Not enough new bytes to amortize re-deriving the pending
+		// token: just accumulate (the rework bound above).
+		ps.carry = append(ps.carry, block...)
+		return
+	}
+	if cap(ps.scratch) < need {
+		ps.scratch = make([]byte, 0, need+need/2)
+	}
+	ps.scratch = append(append(ps.scratch[:0], ps.carry...), block...)
+	ps.process(ps.scratch, emit)
+}
+
+// process runs the open-end stitcher over one assembled window.
+func (ps *Streamer) process(window []byte, emit core.EmitFunc) {
+	base := ps.base
+	var adj core.EmitFunc
+	if emit != nil {
+		adj = func(tk token.Token, text []byte) {
+			tk.Start += base
+			tk.End += base
+			emit(tk, text)
+		}
+	}
+	rest, st, stopped := tokenize(ps.t, window, ps.opts, adj, true)
+	ps.stats.add(st)
+	if stopped {
+		ps.stopped = true
+		ps.rest = base + rest
+		ps.carry = ps.carry[:0]
+		return
+	}
+	ps.base = base + rest
+	ps.carry = append(ps.carry[:0], window[rest:]...)
+}
+
+// Close signals end of stream, drains the pending suffix (now provably
+// maximal), and returns the absolute offset of the first untokenized
+// byte (the stream length when everything tokenized).
+func (ps *Streamer) Close(emit core.EmitFunc) int {
+	if ps.stopped {
+		return ps.rest
+	}
+	ps.stopped = true
+	if len(ps.carry) == 0 {
+		ps.rest = ps.base
+		return ps.rest
+	}
+	base := ps.base
+	var adj core.EmitFunc
+	if emit != nil {
+		adj = func(tk token.Token, text []byte) {
+			tk.Start += base
+			tk.End += base
+			emit(tk, text)
+		}
+	}
+	r, st, _ := tokenize(ps.t, ps.carry, ps.opts, adj, false)
+	ps.stats.add(st)
+	ps.rest = base + r
+	ps.carry = ps.carry[:0]
+	return ps.rest
+}
+
+// Stopped reports whether tokenization has terminated (Close, or a
+// dead-input stop — absorbing, so final mid-stream).
+func (ps *Streamer) Stopped() bool { return ps.stopped }
+
+// Rest returns the absolute offset of the first untokenized byte; it is
+// meaningful once Stopped reports true.
+func (ps *Streamer) Rest() int { return ps.rest }
+
+// Stats returns the accumulated speculation stats across all windows
+// processed so far.
+func (ps *Streamer) Stats() Stats { return ps.stats }
+
+// readBlock is one filled read buffer handed from the reader goroutine
+// to the tokenizing goroutine.
+type readBlock struct {
+	buf []byte
+	err error
+}
+
+// TokenizeReader tokenizes r with reading and tokenization pipelined:
+// a reader goroutine fills double-buffered blocks ahead of the
+// window-parallel Streamer, so I/O latency overlaps tokenization and —
+// inside each window — segment-parallel speculation. The token stream,
+// rest offset, and text contents are exactly the sequential engine's.
+// err is the reader's error, if any (io.EOF is not an error); tokens
+// emitted before a read error are valid, and rest reports how far
+// tokenization got.
+func TokenizeReader(t *core.Tokenizer, r io.Reader, opts Options, emit core.EmitFunc) (rest int, stats Stats, err error) {
+	opts = opts.withDefaults()
+	ps := NewStreamer(t, opts)
+
+	// Two buffers rotate through free → reader → full → tokenizer →
+	// free. full's capacity covers every in-flight send, so the reader
+	// never blocks on it and exits promptly (closing free is enough to
+	// stop it) even when tokenization stops early on dead input.
+	free := make(chan []byte, 2)
+	full := make(chan readBlock, 3)
+	free <- make([]byte, opts.Window)
+	free <- make([]byte, opts.Window)
+	go func() {
+		defer close(full)
+		for buf := range free {
+			n, rerr := io.ReadFull(r, buf)
+			full <- readBlock{buf: buf[:n], err: rerr}
+			if rerr != nil {
+				return
+			}
+		}
+	}()
+
+	var readErr error
+	for blk := range full {
+		if len(blk.buf) > 0 {
+			ps.Feed(blk.buf, emit)
+		}
+		if blk.err != nil {
+			if blk.err != io.EOF && blk.err != io.ErrUnexpectedEOF {
+				readErr = blk.err
+			}
+			break
+		}
+		if ps.Stopped() {
+			break
+		}
+		free <- blk.buf[:cap(blk.buf)]
+	}
+	close(free)
+
+	if readErr != nil {
+		ps.Close(nil)
+		return ps.Rest(), ps.Stats(), readErr
+	}
+	return ps.Close(emit), ps.Stats(), nil
+}

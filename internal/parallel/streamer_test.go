@@ -1,0 +1,295 @@
+package parallel_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/grammars"
+	"streamtok/internal/parallel"
+	"streamtok/internal/reference"
+	"streamtok/internal/tepath"
+	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// TestReaderMatchesSequentialFormats: the pipelined reader produces the
+// exact sequential token stream on every data format, across window
+// sizes (including windows far smaller than the input), segment sizes,
+// and worker counts.
+func TestReaderMatchesSequentialFormats(t *testing.T) {
+	for _, format := range []string{"json", "csv", "xml", "log", "fasta"} {
+		spec, err := grammars.Lookup(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := spec.Machine()
+		tok := tokenizer(t, m)
+		input, err := workload.Generate(format, 5, 256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantRest := reference.Tokens(m, input)
+		for _, window := range []int{8 * 1024, 64 * 1024} {
+			for _, minSeg := range []int{1, 4096} {
+				for _, workers := range []int{2, 8} {
+					var got []token.Token
+					rest, stats, err := parallel.TokenizeReader(tok, bytes.NewReader(input),
+						parallel.Options{Workers: workers, MinSegment: minSeg, Window: window},
+						func(tk token.Token, text []byte) {
+							if string(text) != string(input[tk.Start:tk.End]) {
+								t.Fatalf("token %+v text %q != input slice", tk, text)
+							}
+							got = append(got, tk)
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reference.Equal(got, want) || rest != wantRest {
+						t.Fatalf("%s window=%d minSeg=%d workers=%d: %d tokens rest %d, want %d rest %d (stats %+v)",
+							format, window, minSeg, workers, len(got), rest, len(want), wantRest, stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamerRandomBlocks: pushing random-sized blocks through the
+// window-parallel Streamer reproduces the reference stream on random
+// bounded grammars.
+func TestStreamerRandomBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(417))
+	tried := 0
+	for trial := 0; trial < 200 && tried < 40; trial++ {
+		tok, m := randomBoundedTokenizer(t, rng)
+		if tok == nil {
+			continue
+		}
+		tried++
+		input := testutil.RandomInput(rng, []byte("abcx"), 4000+rng.Intn(8000))
+		want, wantRest := reference.Tokens(m, input)
+		ps := parallel.NewStreamer(tok, parallel.Options{Workers: 1 + rng.Intn(4), MinSegment: 1 + rng.Intn(2048)})
+		var got []token.Token
+		emit := func(tk token.Token, text []byte) {
+			if string(text) != string(input[tk.Start:tk.End]) {
+				t.Fatalf("token %+v text %q != input slice", tk, text)
+			}
+			got = append(got, tk)
+		}
+		for pos := 0; pos < len(input); {
+			n := 1 + rng.Intn(3000)
+			if pos+n > len(input) {
+				n = len(input) - pos
+			}
+			ps.Feed(input[pos:pos+n], emit)
+			pos += n
+		}
+		rest := ps.Close(emit)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("trial %d: %d tokens rest %d, want %d rest %d", trial, len(got), rest, len(want), wantRest)
+		}
+	}
+	if tried < 20 {
+		t.Fatalf("too few bounded grammars: %d", tried)
+	}
+}
+
+// randomBoundedTokenizer compiles a random grammar, returning (nil, nil)
+// when it is unbounded.
+func randomBoundedTokenizer(t *testing.T, rng *rand.Rand) (*core.Tokenizer, *tokdfa.Machine) {
+	t.Helper()
+	g := testutil.RandomGrammar(rng)
+	m, err := tokdfa.Compile(g, tokdfa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		return nil, nil
+	}
+	tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok, m
+}
+
+// TestStreamerGiantToken: a token far larger than the window forces the
+// rework-bound accumulation path (the streamer buffers until the window
+// doubles); output must still be exact.
+func TestStreamerGiantToken(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[A-Z]+`, `\n`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	input := make([]byte, 200*1024)
+	for i := range input {
+		input[i] = 'G'
+	}
+	input[len(input)-1] = '\n'
+	want, wantRest := reference.Tokens(m, input)
+	var got []token.Token
+	rest, _, err := parallel.TokenizeReader(tok, bytes.NewReader(input),
+		parallel.Options{Workers: 4, MinSegment: 1, Window: 4 * 1024},
+		func(tk token.Token, _ []byte) { got = append(got, tk) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reference.Equal(got, want) || rest != wantRest {
+		t.Fatalf("%d tokens rest %d, want %d rest %d", len(got), rest, len(want), wantRest)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want one giant token + newline, got %d", len(got))
+	}
+}
+
+// TestStreamerUntokenizable: a dead byte stops the stream at the exact
+// sequential offset whatever window it falls in, and the streamer stays
+// stopped for further feeds.
+func TestStreamerUntokenizable(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	base := make([]byte, 64*1024)
+	for i := range base {
+		if i%4 == 3 {
+			base[i] = ' '
+		} else {
+			base[i] = '5'
+		}
+	}
+	for _, badAt := range []int{0, 1, 17, 30*1024 + 1, len(base) - 1} {
+		in := append([]byte(nil), base...)
+		in[badAt] = 'x'
+		want, wantRest := reference.Tokens(m, in)
+		ps := parallel.NewStreamer(tok, parallel.Options{Workers: 4, MinSegment: 1})
+		var got []token.Token
+		emit := func(tk token.Token, _ []byte) { got = append(got, tk) }
+		for pos := 0; pos < len(in); pos += 7 * 1024 {
+			end := pos + 7*1024
+			if end > len(in) {
+				end = len(in)
+			}
+			ps.Feed(in[pos:end], emit)
+		}
+		before := len(got)
+		if ps.Stopped() {
+			ps.Feed([]byte("123"), emit) // must be ignored
+		}
+		rest := ps.Close(emit)
+		if ps.Stopped() && len(got) != before && rest != wantRest {
+			t.Fatalf("badAt=%d: feed after stop changed state", badAt)
+		}
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("badAt=%d: %d tokens rest %d, want %d rest %d", badAt, len(got), rest, len(want), wantRest)
+		}
+	}
+}
+
+// errAfterReader yields n bytes of '7' then fails.
+type errAfterReader struct{ n int }
+
+var errBoom = errors.New("boom")
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errBoom
+	}
+	n := len(p)
+	if n > r.n {
+		n = r.n
+	}
+	for i := 0; i < n; i++ {
+		p[i] = '7'
+	}
+	r.n -= n
+	return n, nil
+}
+
+// TestReaderError: a failing reader surfaces its error; tokens emitted
+// before the failure are valid and rest reports tokenization progress.
+func TestReaderError(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[ ]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	var got []token.Token
+	rest, _, err := parallel.TokenizeReader(tok, &errAfterReader{n: 10 * 1024},
+		parallel.Options{Workers: 2, MinSegment: 1, Window: 4 * 1024},
+		func(tk token.Token, _ []byte) { got = append(got, tk) })
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if rest > 10*1024 {
+		t.Fatalf("rest %d beyond bytes read", rest)
+	}
+	for _, tk := range got {
+		if tk.End > 10*1024 {
+			t.Fatalf("token %+v beyond bytes read", tk)
+		}
+	}
+}
+
+// TestReaderEmpty: zero-length streams work.
+func TestReaderEmpty(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+	rest, _, err := parallel.TokenizeReader(tok, bytes.NewReader(nil), parallel.Options{},
+		func(tk token.Token, _ []byte) { t.Fatalf("unexpected token %+v", tk) })
+	if err != nil || rest != 0 {
+		t.Fatalf("rest=%d err=%v", rest, err)
+	}
+	// io.Reader returning (0, io.EOF) on first call is the same.
+	rest, _, err = parallel.TokenizeReader(tok, io.MultiReader(), parallel.Options{}, nil)
+	if err != nil || rest != 0 {
+		t.Fatalf("multireader: rest=%d err=%v", rest, err)
+	}
+}
+
+// FuzzParallelReader: differential fuzzing of the pipelined reader
+// against the sequential reference, with fuzzer-chosen window/segment
+// geometry.
+func FuzzParallelReader(f *testing.F) {
+	spec, err := grammars.Lookup("json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := spec.Machine()
+	res := analysis.Analyze(m)
+	if !res.Bounded() {
+		f.Fatal("json grammar unbounded")
+	}
+	tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{"a":[1,2,"x y"]}`), uint16(64), uint8(3))
+	f.Add([]byte(`[123456789012345678901234567890,"aaaaaaaaaaaaaaaaaaaaaaaa"]`), uint16(7), uint8(1))
+	f.Add([]byte("{}\n  \t[]"), uint16(1), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, windowSeed uint16, workerSeed uint8) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		window := 1 + int(windowSeed)
+		workers := 1 + int(workerSeed%8)
+		want, wantRest := reference.Tokens(m, data)
+		var got []token.Token
+		rest, _, err := parallel.TokenizeReader(tok, bytes.NewReader(data),
+			parallel.Options{Workers: workers, MinSegment: 1, Window: window},
+			func(tk token.Token, text []byte) {
+				if tk.Start < 0 || tk.End > len(data) || string(text) != string(data[tk.Start:tk.End]) {
+					t.Fatalf("bad token %+v", tk)
+				}
+				got = append(got, tk)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("window=%d workers=%d: %d tokens rest %d, want %d rest %d",
+				window, workers, len(got), rest, len(want), wantRest)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package streamtok
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"streamtok/internal/parallel"
 )
@@ -10,7 +11,7 @@ import (
 // ParallelStats reports how well speculative parallel tokenization
 // synchronized.
 type ParallelStats struct {
-	// Segments is how many segments were processed in parallel (0 when
+	// Segments is how many segments were processed in parallel (1 when
 	// the input was small enough to run sequentially).
 	Segments int
 	// Synchronized counts segments whose speculative tokenization was
@@ -48,4 +49,20 @@ func (p ParallelStats) MarshalJSON() ([]byte, error) {
 func (t *Tokenizer) TokenizeParallel(input []byte, workers int, emit EmitFunc) (rest int, stats ParallelStats) {
 	r, s := parallel.Tokenize(t.inner, input, parallel.Options{Workers: workers}, emit)
 	return r, ParallelStats{Segments: s.Segments, Synchronized: s.Synchronized, ReScanned: s.ReScanned}
+}
+
+// TokenizeParallelReader tokenizes a stream with reading and
+// tokenization pipelined: a reader goroutine fills double-buffered
+// blocks ahead of the tokenizer, and each block is tokenized with the
+// speculative segment-parallel engine, so I/O latency overlaps
+// tokenization and segments of one block are processed on multiple
+// cores. The token stream, offsets, and rest are exactly what the
+// sequential Tokenize would produce. workers ≤ 0 uses GOMAXPROCS.
+//
+// err is the reader's error, if any (io.EOF is not an error); tokens
+// emitted before a read error are valid and rest reports how far
+// tokenization got.
+func (t *Tokenizer) TokenizeParallelReader(r io.Reader, workers int, emit EmitFunc) (rest int, stats ParallelStats, err error) {
+	rr, s, err := parallel.TokenizeReader(t.inner, r, parallel.Options{Workers: workers}, emit)
+	return rr, ParallelStats{Segments: s.Segments, Synchronized: s.Synchronized, ReScanned: s.ReScanned}, err
 }

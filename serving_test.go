@@ -1,0 +1,111 @@
+package streamtok_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamtok"
+)
+
+// TestAcquireReleasePublic: the pooled serving loop on the public API —
+// acquired streamers start pristine, produce the same stream as fresh
+// ones, and survive release/reacquire cycles.
+func TestAcquireReleasePublic(t *testing.T) {
+	tok, err := streamtok.New(streamtok.MustParseGrammar(`[0-9]+`, `[a-z]+`, `[ ]+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("ab 12 cd 34 ef")
+	want, wantRest := tok.TokenizeBytes(input)
+	for round := 0; round < 3; round++ {
+		s := tok.AcquireStreamer()
+		var got []streamtok.Token
+		s.Feed(input, func(tk streamtok.Token, _ []byte) { got = append(got, tk) })
+		rest := s.Close(func(tk streamtok.Token, _ []byte) { got = append(got, tk) })
+		tok.ReleaseStreamer(s)
+		if rest != wantRest || len(got) != len(want) {
+			t.Fatalf("round %d: %d tokens rest %d, want %d rest %d", round, len(got), rest, len(want), wantRest)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d token %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+	// Double release and release of nil are harmless no-ops.
+	s := tok.AcquireStreamer()
+	tok.ReleaseStreamer(s)
+	tok.ReleaseStreamer(s)
+	tok.ReleaseStreamer(nil)
+}
+
+// TestBatchPublic: FeedBatch/CloseBatch deliver the same tokens as the
+// per-token emit path, and Reset reuses the streamer for a new stream.
+func TestBatchPublic(t *testing.T) {
+	tok, err := streamtok.New(streamtok.MustParseGrammar(`[0-9]+`, `[ ]+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("12 345 6 789")
+	want, wantRest := tok.TokenizeBytes(input)
+	s := tok.AcquireStreamer()
+	defer tok.ReleaseStreamer(s)
+	for round := 0; round < 2; round++ {
+		var got []streamtok.Token
+		sink := func(batch []streamtok.Token) { got = append(got, batch...) }
+		s.FeedBatch(input[:5], sink)
+		s.FeedBatch(input[5:], sink)
+		rest := s.CloseBatch(sink)
+		if rest != wantRest || len(got) != len(want) {
+			t.Fatalf("round %d: %d tokens rest %d, want %d rest %d", round, len(got), rest, len(want), wantRest)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d token %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+		if s.Rest() != wantRest {
+			t.Fatalf("round %d: Rest() = %d, want %d", round, s.Rest(), wantRest)
+		}
+		s.Reset()
+	}
+}
+
+// TestTokenizeParallelReaderPublic: the pipelined reader matches
+// TokenizeBytes on a catalog grammar, including stats plumbing.
+func TestTokenizeParallelReaderPublic(t *testing.T) {
+	g, err := streamtok.CatalogGrammar("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := streamtok.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := "2026-02-03T04:05:06Z host proc[17]: something happened code=42\n"
+	input := []byte(strings.Repeat(line, 4000))
+	want, wantRest := tok.TokenizeBytes(input)
+	var got []streamtok.Token
+	rest, stats, err := tok.TokenizeParallelReader(bytes.NewReader(input), 4,
+		func(tk streamtok.Token, text []byte) {
+			if !bytes.Equal(text, input[tk.Start:tk.End]) {
+				t.Fatalf("token %+v text mismatch", tk)
+			}
+			got = append(got, tk)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest != wantRest || len(got) != len(want) {
+		t.Fatalf("%d tokens rest %d, want %d rest %d (stats %+v)", len(got), rest, len(want), wantRest, stats)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Segments < 1 {
+		t.Fatalf("stats not plumbed: %+v", stats)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"streamtok/internal/analysis"
 	"streamtok/internal/core"
@@ -49,6 +50,13 @@ type Token = token.Token
 // EmitFunc receives each token as it is confirmed maximal. text holds the
 // token's bytes and is valid only until the next tokenizer call.
 type EmitFunc = core.EmitFunc
+
+// BatchFunc receives tokens in batches (FeedBatch/CloseBatch): the hot
+// loop buffers confirmed tokens and flushes them together, trading one
+// indirect call per token for one per batch. The slice is reused across
+// calls — copy it out to retain it. Tokens carry offsets only; slice the
+// input yourself if you need text.
+type BatchFunc = core.BatchFunc
 
 // Grammar is a tokenization grammar: an ordered, nonempty list of rules.
 type Grammar struct {
@@ -195,8 +203,9 @@ type Options struct {
 // Tokenizer is a compiled StreamTok tokenizer. It is immutable and safe
 // for concurrent use; each concurrent stream needs its own Streamer.
 type Tokenizer struct {
-	inner *core.Tokenizer
-	an    Analysis
+	inner    *core.Tokenizer
+	an       Analysis
+	wrapPool sync.Pool // recycles the Streamer wrapper structs
 }
 
 // New compiles g, runs the static analysis, and builds the StreamTok
@@ -294,15 +303,60 @@ func (t *Tokenizer) NewStreamer() *Streamer {
 	return &Streamer{inner: t.inner.NewStreamer(), tok: t}
 }
 
+// AcquireStreamer returns a streamer for a fresh stream, reusing a
+// previously released one when available. A warm streamer keeps its
+// carry buffer, delay ring, scratch space, and counters, so the
+// steady-state serving loop (acquire, feed, close, release) performs no
+// heap allocations. Pair every acquire with ReleaseStreamer.
+func (t *Tokenizer) AcquireStreamer() *Streamer {
+	if v := t.wrapPool.Get(); v != nil {
+		s := v.(*Streamer)
+		s.inner = t.inner.AcquireStreamer()
+		return s
+	}
+	return &Streamer{inner: t.inner.AcquireStreamer(), tok: t}
+}
+
+// ReleaseStreamer recycles s for a future AcquireStreamer, folding its
+// stream's counters into the tokenizer's observability aggregate if the
+// stream did not already finish. s must have come from this tokenizer
+// and must not be used after release.
+func (t *Tokenizer) ReleaseStreamer(s *Streamer) {
+	if s == nil || s.tok != t || s.inner == nil {
+		return
+	}
+	t.inner.ReleaseStreamer(s.inner)
+	s.inner = nil
+	t.wrapPool.Put(s)
+}
+
 // Feed pushes a chunk through the tokenizer, emitting any tokens whose
 // maximality the chunk confirms. Each byte is examined O(1) times; no
 // backtracking occurs.
 func (s *Streamer) Feed(chunk []byte, emit EmitFunc) { s.inner.Feed(chunk, emit) }
 
+// FeedBatch is Feed with batched emission: tokens are buffered and sink
+// is invoked with batches of them (at buffer pressure and once at the
+// chunk boundary), cutting the per-token indirect-call overhead on
+// token-dense streams. The token stream is identical to Feed's.
+func (s *Streamer) FeedBatch(chunk []byte, sink BatchFunc) { s.inner.FeedBatch(chunk, sink) }
+
 // Close signals end of stream, drains the delayed lookahead bytes, and
 // returns the offset of the first untokenized byte.
 func (s *Streamer) Close(emit EmitFunc) int { return s.inner.Close(emit) }
 
+// CloseBatch is Close with batched emission of the drained tail tokens.
+func (s *Streamer) CloseBatch(sink BatchFunc) int { return s.inner.CloseBatch(sink) }
+
+// Reset abandons the current stream (its counters still reach the
+// tokenizer aggregate) and makes the streamer ready for a fresh one,
+// reusing every buffer it holds.
+func (s *Streamer) Reset() { s.inner.Reset() }
+
 // Stopped reports whether tokenization terminated early because the
 // remaining input matches no rule.
 func (s *Streamer) Stopped() bool { return s.inner.Stopped() }
+
+// Rest returns the offset of the first untokenized byte; it is
+// meaningful once Stopped reports true or Close has been called.
+func (s *Streamer) Rest() int { return s.inner.Rest() }
