@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// table mirrors the JSON shape paperbench -json writes (bench.Table).
+type table struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func loadTable(path string) (*table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Header) == 0 {
+		return nil, fmt.Errorf("%s: no header", path)
+	}
+	return &t, nil
+}
+
+// rowDiff is one matched row's comparison.
+type rowDiff struct {
+	Key      string
+	Old, New float64
+	// Regressed means the metric moved past tolerance in the bad
+	// direction.
+	Regressed bool
+}
+
+// result is the full comparison outcome.
+type result struct {
+	Col         string
+	Matched     []rowDiff
+	Regressions []rowDiff
+	SkippedOld  int // baseline rows with no fresh counterpart
+	SkippedNew  int // fresh rows with no baseline counterpart
+}
+
+func (r *result) String() string {
+	var sb strings.Builder
+	for _, d := range r.Matched {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&sb, "benchdiff: %-40s %s %g -> %g  %s\n", d.Key, r.Col, d.Old, d.New, verdict)
+	}
+	if r.SkippedOld+r.SkippedNew > 0 {
+		fmt.Fprintf(&sb, "benchdiff: skipped %d baseline-only and %d fresh-only rows\n", r.SkippedOld, r.SkippedNew)
+	}
+	fmt.Fprintf(&sb, "benchdiff: %d rows compared, %d regressed\n", len(r.Matched), len(r.Regressions))
+	return sb.String()
+}
+
+func splitKeys(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// columnIndex resolves a header name to its position.
+func columnIndex(t *table, name string) (int, error) {
+	for i, h := range t.Header {
+		if h == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("column %q not in header %v", name, t.Header)
+}
+
+// parseCell extracts the leading float from a metric cell, tolerating
+// unit suffixes like "1.54x", "83.3%", or "12 MB/s".
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			((c == 'e' || c == 'E') && end > 0) {
+			end++
+			continue
+		}
+		break
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("cell %q is not numeric", s)
+	}
+	return strconv.ParseFloat(s[:end], 64)
+}
+
+// rowKey joins the key-column values of one row.
+func rowKey(row []string, keyIdx []int) (string, error) {
+	parts := make([]string, len(keyIdx))
+	for i, idx := range keyIdx {
+		if idx >= len(row) {
+			return "", fmt.Errorf("row %v shorter than header", row)
+		}
+		parts[i] = row[idx]
+	}
+	return strings.Join(parts, "/"), nil
+}
+
+// diff compares the metric column col of fresh against base, matching
+// rows on the key columns. A row regresses when the fresh metric moves
+// past base*tol (plus slack) in the bad direction — down for
+// higher-is-better metrics, up for lower-is-better ones.
+func diff(base, fresh *table, keys []string, col string, tol float64, lowerBetter bool, slack float64) (*result, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no key columns")
+	}
+	colIdx := make(map[*table]int)
+	keyIdx := make(map[*table][]int)
+	for _, t := range []*table{base, fresh} {
+		ci, err := columnIndex(t, col)
+		if err != nil {
+			return nil, err
+		}
+		colIdx[t] = ci
+		for _, k := range keys {
+			ki, err := columnIndex(t, k)
+			if err != nil {
+				return nil, err
+			}
+			keyIdx[t] = append(keyIdx[t], ki)
+		}
+	}
+
+	baseRows := make(map[string]float64)
+	for _, row := range base.Rows {
+		key, err := rowKey(row, keyIdx[base])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseCell(row[colIdx[base]])
+		if err != nil {
+			return nil, fmt.Errorf("baseline row %s: %w", key, err)
+		}
+		baseRows[key] = v
+	}
+
+	res := &result{Col: col}
+	seen := make(map[string]bool)
+	for _, row := range fresh.Rows {
+		key, err := rowKey(row, keyIdx[fresh])
+		if err != nil {
+			return nil, err
+		}
+		old, ok := baseRows[key]
+		if !ok {
+			res.SkippedNew++
+			continue
+		}
+		seen[key] = true
+		v, err := parseCell(row[colIdx[fresh]])
+		if err != nil {
+			return nil, fmt.Errorf("fresh row %s: %w", key, err)
+		}
+		d := rowDiff{Key: key, Old: old, New: v}
+		if lowerBetter {
+			d.Regressed = v > old*(1+tol)+slack
+		} else {
+			d.Regressed = v < old*(1-tol)-slack
+		}
+		res.Matched = append(res.Matched, d)
+		if d.Regressed {
+			res.Regressions = append(res.Regressions, d)
+		}
+	}
+	res.SkippedOld = len(baseRows) - len(seen)
+	if len(res.Matched) == 0 {
+		return nil, fmt.Errorf("no rows matched between baseline and fresh tables — the gate would compare nothing")
+	}
+	return res, nil
+}

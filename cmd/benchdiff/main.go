@@ -1,0 +1,70 @@
+// Command benchdiff gates CI on benchmark regressions without gating on
+// hardware: it compares one metric column of a fresh BENCH_<exp>.json
+// against the committed baseline, row by row, and fails when the metric
+// moved past a tolerance in the bad direction.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_hotloop.json -new fresh/BENCH_hotloop.json \
+//	    -key workload,grammar,mode -col speedup -tol 0.25
+//	benchdiff -old BENCH_concurrency.json -new fresh/BENCH_concurrency.json \
+//	    -key mode,N -col allocs/stream -lower-better -slack 2
+//
+// Rows are matched on the -key columns; rows present on only one side
+// (a reduced-scale run drops the GOMAXPROCS row, a new machine adds
+// one) are skipped, but zero matched rows is a failure — a gate that
+// compares nothing protects nothing. Cells may carry unit suffixes
+// ("1.54x", "83.3%"); the numeric prefix is compared.
+//
+// The gate only trusts hardware-independent columns (ratios like
+// hotloop's speedup, counts like concurrency's allocs/stream). Absolute
+// MB/s on a shared CI runner is noise; don't point -col at it.
+//
+// Setting the environment variable BENCHDIFF_SKIP (to anything) skips
+// the comparison with exit 0 — the knob for known-noisy runners; the
+// skip is printed loudly so a quiet log can't hide a disabled gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline BENCH_<exp>.json")
+	newPath := flag.String("new", "", "freshly generated BENCH_<exp>.json")
+	keys := flag.String("key", "", "comma-separated key columns that identify a row")
+	col := flag.String("col", "", "metric column to compare")
+	tol := flag.Float64("tol", 0.25, "allowed relative change in the bad direction")
+	lowerBetter := flag.Bool("lower-better", false, "metric regresses by going up (default: by going down)")
+	slack := flag.Float64("slack", 0, "absolute allowance on top of the relative tolerance (for near-zero baselines)")
+	flag.Parse()
+
+	if os.Getenv("BENCHDIFF_SKIP") != "" {
+		fmt.Printf("benchdiff: SKIPPED by BENCHDIFF_SKIP — %s %q NOT compared against %s\n", *newPath, *col, *oldPath)
+		return
+	}
+	if *oldPath == "" || *newPath == "" || *keys == "" || *col == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old, -new, -key, and -col are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldT, err := loadTable(*oldPath)
+	exitOn(err)
+	newT, err := loadTable(*newPath)
+	exitOn(err)
+	report, err := diff(oldT, newT, splitKeys(*keys), *col, *tol, *lowerBetter, *slack)
+	exitOn(err)
+	fmt.Print(report.String())
+	if len(report.Regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}

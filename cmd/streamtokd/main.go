@@ -1,0 +1,132 @@
+// Command streamtokd serves tokenization over HTTP: POST a stream to
+// /tokenize and get the tokens back as they are found, as NDJSON lines
+// or fixed binary records, under per-request deadlines and byte limits
+// with load shedding and graceful drain.
+//
+// Usage:
+//
+//	streamtokd                                    # serve on :8321
+//	streamtokd -addr :9000 -preload json,csv      # pre-compile catalog grammars
+//	streamtokd -machines ./machines               # pin precompiled machines (tnd -emit)
+//	streamtokd -max-concurrent 32 -deadline 10s   # tune admission control
+//
+//	curl -s --data-binary @doc.json 'localhost:8321/tokenize?grammar=json'
+//	curl -sN -T - 'localhost:8321/tokenize?rule=%5B0-9%5D%2B&rule=%5B+%5D%2B' < nums.txt
+//
+// Endpoints: /tokenize (POST), /metrics (JSON), /statusz (text),
+// /healthz, /debug/vars (expvar). On SIGTERM or SIGINT the daemon stops
+// accepting new streams, lets in-flight ones finish (up to
+// -drain-timeout), writes a final metrics snapshot to stderr, and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamtok/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	preload := flag.String("preload", "", "comma-separated catalog grammars to compile at startup")
+	machines := flag.String("machines", "", "directory of precompiled machine files (tnd -emit) to pin")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max tokenize streams in flight (0 = 4×GOMAXPROCS)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-request body limit in bytes (0 = 64MiB)")
+	deadline := flag.Duration("deadline", 0, "per-request wall-time limit (0 = 30s)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
+	registryCap := flag.Int("registry-cap", 0, "compiled-grammar cache capacity (0 = 64)")
+	noAdhoc := flag.Bool("no-adhoc", false, "refuse ?rule= compile-on-demand grammars")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on shutdown")
+	flag.Parse()
+	logger := log.New(os.Stderr, "streamtokd: ", log.LstdFlags)
+
+	reg := server.NewRegistry(*registryCap)
+	if *machines != "" {
+		names, err := reg.LoadMachineDir(*machines)
+		if err != nil {
+			logger.Fatalf("loading machines from %s: %v", *machines, err)
+		}
+		logger.Printf("pinned %d machine grammars: %s", len(names), strings.Join(names, ", "))
+	}
+	for _, name := range splitList(*preload) {
+		if _, err := reg.Lookup(name); err != nil {
+			logger.Fatalf("preloading grammar %s: %v", name, err)
+		}
+	}
+
+	s := server.New(server.Config{
+		Registry:      reg,
+		MaxBodyBytes:  *maxBytes,
+		Deadline:      *deadline,
+		MaxConcurrent: *maxConcurrent,
+		RetryAfter:    *retryAfter,
+		DisableAdhoc:  *noAdhoc,
+	})
+	s.PublishExpvar("streamtokd")
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/debug/vars", http.DefaultServeMux) // expvar's handler
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		logger.Printf("%s: draining (up to %s, %d streams in flight)", sig, *drainTimeout, s.InFlight())
+	}
+
+	// Drain: stop admitting (healthz and tokenize go 503 so load
+	// balancers can see it), wait for in-flight streams, and only then
+	// close the listener and remaining connections. Shutdown must come
+	// after the wait — it closes the listener immediately, which would
+	// turn the 503 window into connection-refused.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	final, drainErr := s.Drain(ctx)
+	shutdownErr := hs.Shutdown(ctx)
+
+	// The final snapshot is the last word on what this process served;
+	// emit it even when the drain timed out, so nothing is lost.
+	snap, err := json.Marshal(final)
+	if err != nil {
+		logger.Fatalf("final snapshot: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, string(snap))
+
+	if drainErr != nil || (shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded)) {
+		logger.Printf("drain incomplete: %d streams cut (shutdown: %v, drain: %v)",
+			s.InFlight(), shutdownErr, drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained clean: %d streams served, %d tokens out", final.OK, final.TokensOut)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

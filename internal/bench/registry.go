@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"latency", "emission latency vs the K bound (not a paper figure)", Latency},
 		{"obsoverhead", "always-on observability counters vs no-obs build (not a paper figure)", ObsOverhead},
 		{"concurrency", "pooled serving path: stream scaling, pipelined reader, allocs/stream (not a paper figure)", Concurrency},
+		{"serverload", "streamtokd over loopback HTTP: streamed-token latency and shed rate vs concurrency (not a paper figure)", Serverload},
 	}
 }
 

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamtok/internal/server"
+	"streamtok/internal/workload"
+)
+
+// Serverload measures the network serving layer end to end: real HTTP
+// over loopback, one shared Tokenizer behind the registry, N concurrent
+// clients POSTing streams. Reported per client level:
+//
+//   - p50/p99 time to first streamed token — what a tail-latency SLO
+//     sees; the bounded-delay engine puts the first token on the wire
+//     after at most K bytes plus one chunk flush, so this tracks the
+//     connection/scheduling overhead, not the input length.
+//   - p50 whole-stream time and aggregate MB/s.
+//   - shed rate: the fraction of attempts refused with 429 once the
+//     offered concurrency exceeds the admission cap. At N ≤ cap it
+//     must be 0; past the cap shedding (not queue collapse) absorbs
+//     the excess.
+//
+// Absolute latencies are hardware-bound; the structural expectations
+// (zero shed under the cap, nonzero over it, first-token ≪ stream time)
+// are what CI checks at reduced scale.
+func Serverload(cfg Config) Table {
+	capN := runtime.GOMAXPROCS(0)
+	if capN < 2 {
+		capN = 2
+	}
+	t := Table{
+		Title:  "Serverload: streamed-token latency and shed rate vs concurrency",
+		Note:   fmt.Sprintf("streamtokd serving core over loopback HTTP, admission cap %d; shed%% is 429s per attempt", capN),
+		Header: []string{"clients", "attempts", "ok", "shed%", "p50 first-tok ms", "p99 first-tok ms", "p50 stream ms", "MB/s"},
+	}
+
+	body, err := workload.Generate("log", cfg.Seed, cfg.size(1_000_000))
+	if err != nil {
+		panic(err)
+	}
+	input := string(body)
+
+	s := server.New(server.Config{MaxConcurrent: capN})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/tokenize?grammar=log"
+
+	perClient := 4 * maxInt(cfg.Trials, 1)
+	for _, clients := range []int{1, capN, 4 * capN} {
+		res := runLoad(url, input, clients, perClient)
+		attempts := clients * perClient
+		t.Rows = append(t.Rows, []string{
+			itoa(clients),
+			itoa(attempts),
+			itoa(res.ok),
+			fmt.Sprintf("%.1f", 100*float64(res.shed)/float64(attempts)),
+			fmt.Sprintf("%.2f", quantileMs(res.firstTok, 0.5)),
+			fmt.Sprintf("%.2f", quantileMs(res.firstTok, 0.99)),
+			fmt.Sprintf("%.2f", quantileMs(res.stream, 0.5)),
+			fmt.Sprintf("%.1f", float64(res.ok)*float64(len(input))/1e6/res.wall.Seconds()),
+		})
+	}
+	return t
+}
+
+type loadResult struct {
+	ok, shed int
+	firstTok []time.Duration
+	stream   []time.Duration
+	wall     time.Duration
+}
+
+// runLoad drives clients workers through perClient attempts each and
+// collects the latency samples.
+func runLoad(url, input string, clients, perClient int) loadResult {
+	// One connection per worker: without this the default transport's
+	// two idle conns per host serialize the load through dial churn.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients + 4,
+		MaxIdleConnsPerHost: clients + 4,
+	}}
+	defer client.CloseIdleConnections()
+
+	var mu sync.Mutex
+	var res loadResult
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var first, stream []time.Duration
+			ok, shed := 0, 0
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "", strings.NewReader(input))
+				if err != nil {
+					continue
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					resp.Body.Close()
+					shed++
+					// Back off for the shed response's sake, not ours:
+					// an immediate retry measures the 429 path, a tiny
+					// pause lets a slot open.
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				if sc.Scan() {
+					first = append(first, time.Since(t0))
+				}
+				for sc.Scan() {
+				}
+				resp.Body.Close()
+				stream = append(stream, time.Since(t0))
+				ok++
+			}
+			mu.Lock()
+			res.ok += ok
+			res.shed += shed
+			res.firstTok = append(res.firstTok, first...)
+			res.stream = append(res.stream, stream...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+// quantileMs returns the q-quantile of samples in milliseconds.
+func quantileMs(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return float64(s[idx]) / float64(time.Millisecond)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

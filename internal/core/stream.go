@@ -11,12 +11,20 @@ import (
 // RQ4 finds 64 KB — the Unix pipe capacity — to be the sweet spot.
 const DefaultBufferSize = 64 * 1024
 
+// BoundaryFunc is called by TokenizeContextChunks after every fed block
+// with the total bytes consumed from the reader so far. Returning a
+// non-nil error stops tokenization at that chunk boundary — the hook the
+// serving layer uses to enforce max-bytes admission limits and to flush
+// response buffers in step with the input, without touching the feed
+// loop itself.
+type BoundaryFunc func(consumed int) error
+
 // Tokenize reads the stream block-by-block with a buffer of bufSize bytes
 // and pushes it through a Streamer, calling emit for every token. It
 // returns the offset of the first untokenized byte and any read error
 // (io.EOF is not an error).
 func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
-	return t.TokenizeContext(context.Background(), r, bufSize, emit)
+	return t.TokenizeContextChunks(context.Background(), r, bufSize, emit, nil)
 }
 
 // TokenizeContext is Tokenize with cancellation: the context is checked
@@ -28,6 +36,16 @@ func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int,
 // so a warm serving loop — many Tokenize calls on one long-lived
 // Tokenizer — allocates nothing per stream in the steady state.
 func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	return t.TokenizeContextChunks(ctx, r, bufSize, emit, nil)
+}
+
+// TokenizeContextChunks is TokenizeContext with a per-chunk boundary
+// hook: after every fed block, boundary (when non-nil) receives the
+// total bytes consumed so far and may stop the stream by returning an
+// error, which is returned to the caller with the offset reached. Both
+// cancellation and boundary errors cut at chunk boundaries only — the
+// per-byte loops never check either.
+func (t *Tokenizer) TokenizeContextChunks(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc, boundary BoundaryFunc) (rest int, err error) {
 	if bufSize <= 0 {
 		bufSize = DefaultBufferSize
 	}
@@ -36,6 +54,7 @@ func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize in
 	bp := t.acquireBuf(bufSize)
 	defer t.bufPool.Put(bp)
 	buf := *bp
+	consumed := 0
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			s.Close(nil)
@@ -43,7 +62,14 @@ func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize in
 		}
 		n, rerr := r.Read(buf)
 		if n > 0 {
+			consumed += n
 			s.Feed(buf[:n], emit)
+			if boundary != nil {
+				if berr := boundary(consumed); berr != nil {
+					s.Close(nil)
+					return s.Rest(), berr
+				}
+			}
 		}
 		if rerr == io.EOF {
 			return s.Close(emit), nil

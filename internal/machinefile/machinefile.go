@@ -97,6 +97,39 @@ func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
+// tableChunk bounds how many int32s readInt32s decodes per read, so the
+// memory committed to a table tracks the bytes actually present in the
+// file rather than the count its header claims.
+const tableChunk = 1 << 16
+
+// readInt32s decodes total little-endian int32s from r incrementally.
+// A header advertising a huge table (states is attacker-controlled in a
+// corrupted or malicious file) therefore costs at most one chunk of
+// allocation before the missing bytes surface as an error — never a
+// multi-gigabyte up-front make.
+func readInt32s(r io.Reader, total int) ([]int32, error) {
+	capHint := total
+	if capHint > tableChunk {
+		capHint = tableChunk
+	}
+	out := make([]int32, 0, capHint)
+	scratch := make([]byte, 4*capHint)
+	for len(out) < total {
+		n := total - len(out)
+		if n > tableChunk {
+			n = tableChunk
+		}
+		buf := scratch[:4*n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
 // Decode reads a machine written by Encode, verifying the checksum and
 // rebuilding the derived analyses (co-accessibility, dead state).
 func Decode(r io.Reader) (*Machine, error) {
@@ -166,13 +199,13 @@ func Decode(r io.Reader) (*Machine, error) {
 	if states <= 0 || states > 1<<24 || nfaSize < 0 {
 		return nil, fmt.Errorf("%w: %d states", ErrFormat, states)
 	}
-	trans := make([]int32, states*256)
-	if err := binary.Read(in, binary.LittleEndian, trans); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	trans, err := readInt32s(in, int(states)*256)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
 	}
-	accept := make([]int32, states)
-	if err := binary.Read(in, binary.LittleEndian, accept); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	accept, err := readInt32s(in, int(states))
+	if err != nil {
+		return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
 	}
 	for _, t := range trans {
 		if t < 0 || int64(t) >= states {

@@ -84,6 +84,100 @@ func TestDecodeErrors(t *testing.T) {
 	check("corrupted", corrupt)
 }
 
+// TestDecodeTableCorruption: bit flips inside the transition/accept
+// table region — the bulk of the file, where silent corruption would be
+// most dangerous (a flipped transition target silently retargets the
+// DFA) — are all caught by the checksum.
+func TestDecodeTableCorruption(t *testing.T) {
+	m := grammars.JSON().Machine()
+	var buf bytes.Buffer
+	if err := machinefile.Encode(&buf, m, 3); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The file tail is trans + accept + maxTND + crc32; everything
+	// before tableStart is the header (magic, rules, sizes).
+	states := m.DFA.NumStates()
+	tableLen := states*256*4 + states*4
+	tableStart := len(full) - (tableLen + 8 + 4)
+	if tableStart <= 8 {
+		t.Fatalf("implausible table start %d in %d-byte file", tableStart, len(full))
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		off := tableStart + int(frac*float64(tableLen-1))
+		for _, bit := range []byte{0x01, 0x80} {
+			corrupt := append([]byte(nil), full...)
+			corrupt[off] ^= bit
+			if _, err := machinefile.Decode(bytes.NewReader(corrupt)); !errors.Is(err, machinefile.ErrFormat) {
+				t.Errorf("flip bit %#x at offset %d: err = %v, want ErrFormat", bit, off, err)
+			}
+		}
+	}
+	// Corrupting the stored CRC itself must also fail.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := machinefile.Decode(bytes.NewReader(corrupt)); !errors.Is(err, machinefile.ErrFormat) {
+		t.Errorf("crc flip: err = %v, want ErrFormat", err)
+	}
+}
+
+// TestDecodeHugeStateHeader: a tiny file whose header claims a maximal
+// table must fail on the missing bytes without committing table-sized
+// memory first (the incremental read caps allocation per chunk). If
+// Decode pre-allocated from the header this test would OOM, not fail.
+func TestDecodeHugeStateHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("STOKDFA1")
+	wr := func(v int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		buf.Write(b[:])
+	}
+	wr(1) // ruleCount
+	wr(1) // name length
+	buf.WriteByte('a')
+	wr(1) // source length
+	buf.WriteByte('a')
+	wr(1)       // nfaSize
+	wr(1 << 24) // states: claims a 16 GB transition table
+	if _, err := machinefile.Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, machinefile.ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+// TestUnboundedRoundTrip: a grammar whose max-TND is infinite survives
+// the machinefile round trip with the -1 sentinel intact — the load
+// path reports exactly what the analysis found, and it is the serving
+// registry's job (tested in internal/server) to refuse it with a
+// diagnostic rather than this package's to lose the information.
+func TestUnboundedRoundTrip(t *testing.T) {
+	spec, err := grammars.Lookup("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.Machine()
+	res := analysis.Analyze(m)
+	if res.Bounded() {
+		t.Fatal("catalog grammar c should have unbounded max-TND")
+	}
+	var buf bytes.Buffer
+	if err := machinefile.Encode(&buf, m, res.MaxTND); err != nil {
+		t.Fatal(err)
+	}
+	got, err := machinefile.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxTND != analysis.Infinite {
+		t.Errorf("MaxTND = %d, want the Infinite sentinel", got.MaxTND)
+	}
+	if !automata.Equivalent(m.DFA, got.Machine.DFA) {
+		t.Error("decoded DFA not equivalent")
+	}
+}
+
 // TestDecodeFuzzResilience: random byte soup never panics.
 func TestDecodeFuzzResilience(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
@@ -97,6 +191,51 @@ func TestDecodeFuzzResilience(t *testing.T) {
 			t.Fatalf("garbage decoded successfully (len %d)", len(data))
 		}
 	}
+}
+
+// FuzzDecode: arbitrary bytes never panic the decoder; every failure is
+// ErrFormat-wrapped; anything that decodes re-encodes and decodes to an
+// equivalent machine (the accepted subset round-trips).
+func FuzzDecode(f *testing.F) {
+	for _, name := range []string{"json", "csv"} {
+		spec, err := grammars.Lookup(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		m := spec.Machine()
+		res := analysis.Analyze(m)
+		var buf bytes.Buffer
+		if err := machinefile.Encode(&buf, m, res.MaxTND); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(full)
+		f.Add(full[:len(full)/2])
+		mid := append([]byte(nil), full...)
+		mid[len(mid)/3] ^= 0x10
+		f.Add(mid)
+	}
+	f.Add([]byte("STOKDFA1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := machinefile.Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, machinefile.ErrFormat) {
+				t.Fatalf("decode error not ErrFormat-wrapped: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := machinefile.Encode(&buf, got.Machine, got.MaxTND); err != nil {
+			t.Fatalf("re-encode of accepted machine: %v", err)
+		}
+		again, err := machinefile.Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted machine: %v", err)
+		}
+		if again.MaxTND != got.MaxTND || !automata.Equivalent(got.Machine.DFA, again.Machine.DFA) {
+			t.Fatal("accepted machine does not round-trip")
+		}
+	})
 }
 
 // failWriter fails after n bytes, exercising Encode's error paths.

@@ -10,6 +10,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -179,6 +180,42 @@ func (c *Counters) MaxLatency() uint64 {
 		}
 	}
 	return 0
+}
+
+// LatencyQuantile returns an upper bound on the q-quantile (0 < q ≤ 1)
+// of the emission-latency distribution: the upper edge of the histogram
+// bucket the quantile falls in, 0 when no tokens were recorded. Serving
+// dashboards read p50/p99 from it; both are bounded by K in the
+// constant-K steady state.
+func (c *Counters) LatencyQuantile(q float64) uint64 {
+	var total uint64
+	for _, n := range c.EmitLatency {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// The smallest rank whose cumulative count covers q of the mass.
+	need := uint64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	for i, n := range c.EmitLatency {
+		cum += n
+		if cum >= need {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1)<<i - 1
+		}
+	}
+	return uint64(1)<<(LatencyBuckets-1) - 1
 }
 
 // LatencyBucketLabel names bucket i: "0", "1", "2-3", ... "≥16384".

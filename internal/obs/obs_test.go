@@ -73,3 +73,26 @@ func TestLatencyBucketLabel(t *testing.T) {
 		}
 	}
 }
+
+func TestLatencyQuantile(t *testing.T) {
+	var c Counters
+	if c.LatencyQuantile(0.5) != 0 {
+		t.Error("empty counters should report 0 at every quantile")
+	}
+	// 90 tokens at latency 0, 9 at latency 3 (bucket 2-3), 1 at 1000
+	// (bucket 512-1023): p50 sits in bucket 0, p99 in bucket 2-3, p100
+	// at the 1023 upper edge.
+	c.EmitLatency[0] = 90
+	c.ObserveLatency(3)
+	c.EmitLatency[2] += 8
+	c.ObserveLatency(1000)
+	if got := c.LatencyQuantile(0.5); got != 0 {
+		t.Errorf("p50 = %d, want 0", got)
+	}
+	if got := c.LatencyQuantile(0.99); got != 3 {
+		t.Errorf("p99 = %d, want 3", got)
+	}
+	if got := c.LatencyQuantile(1); got != 1023 {
+		t.Errorf("p100 = %d, want 1023", got)
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrainLosesNoTokens is the drain contract test: with N
+// streams in flight, BeginDrain must let every one of them run to its
+// done summary — no token the server confirmed is lost, and the final
+// metrics snapshot reconciles exactly with what the clients received —
+// while new streams are refused. Run under -race in CI.
+func TestGracefulDrainLosesNoTokens(t *testing.T) {
+	const (
+		streams       = 6
+		chunksPer     = 8
+		chunkInterval = 5 * time.Millisecond
+	)
+	s := New(Config{MaxConcurrent: streams * 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Each stream trickles a body in chunksPer chunks, so drain begins
+	// with every stream genuinely mid-flight.
+	chunk := strings.Repeat(`{"k": [1, 2, 3]} `, 8)
+	var (
+		wg          sync.WaitGroup
+		firstTokens sync.WaitGroup // one Done per stream after its first token line
+		clientToks  atomic.Uint64
+		clientDone  atomic.Uint64
+	)
+	firstTokens.Add(streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pr, pw := io.Pipe()
+			go func() {
+				for c := 0; c < chunksPer; c++ {
+					if _, err := pw.Write([]byte(chunk)); err != nil {
+						return
+					}
+					time.Sleep(chunkInterval)
+				}
+				pw.Close()
+			}()
+			resp, err := http.Post(ts.URL+"/tokenize?grammar=json", "", pr)
+			if err != nil {
+				t.Errorf("stream %d: %v", i, err)
+				firstTokens.Done()
+				return
+			}
+			defer resp.Body.Close()
+			toks, sum := readNDJSONSignalFirst(t, resp.Body, firstTokens.Done)
+			if sum.Error != "" || sum.Done == nil || !*sum.Done {
+				t.Errorf("stream %d cut by drain: %+v", i, sum)
+				return
+			}
+			if uint64(len(toks)) != sum.Tokens {
+				t.Errorf("stream %d: received %d tokens, summary says %d", i, len(toks), sum.Tokens)
+			}
+			clientToks.Add(uint64(len(toks)))
+			clientDone.Add(1)
+		}(i)
+	}
+
+	// Wait until every stream has tokens flowing, then pull the plug.
+	firstTokens.Wait()
+	s.BeginDrain()
+
+	// Draining refuses new streams immediately...
+	resp, err := http.Post(ts.URL+"/tokenize?grammar=json", "", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("new stream during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	// ...while the in-flight ones run to completion.
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatalf("drain did not quiesce: %v", err)
+	}
+
+	if clientDone.Load() != streams {
+		t.Fatalf("%d of %d streams finished cleanly", clientDone.Load(), streams)
+	}
+	if m.InFlight != 0 || !m.Draining {
+		t.Errorf("post-drain metrics: inflight %d, draining %v", m.InFlight, m.Draining)
+	}
+	if m.OK != streams {
+		t.Errorf("ok = %d, want %d", m.OK, streams)
+	}
+	got := clientToks.Load()
+	if m.TokensOut != got {
+		t.Errorf("server counted %d tokens out, clients received %d", m.TokensOut, got)
+	}
+	if got == 0 {
+		t.Error("no tokens flowed before drain — test proves nothing")
+	}
+	// The tokenizer-level aggregate agrees too: every stream retired,
+	// every emitted token accounted for (all streams ended cleanly, so
+	// no drained-tail ambiguity).
+	if len(m.Grammars) != 1 {
+		t.Fatalf("got %d grammars", len(m.Grammars))
+	}
+	gs := m.Grammars[0].Stats
+	if gs.Streams != streams || gs.StreamsDone != streams {
+		t.Errorf("grammar streams %d/%d done, want %d/%d", gs.StreamsDone, gs.Streams, streams, streams)
+	}
+	if gs.TokensOut != got {
+		t.Errorf("grammar aggregate %d tokens, clients received %d", gs.TokensOut, got)
+	}
+	expectBytes := uint64(streams * chunksPer * len(chunk))
+	if gs.BytesIn != expectBytes {
+		t.Errorf("grammar aggregate %d bytes in, want %d", gs.BytesIn, expectBytes)
+	}
+}
+
+// readNDJSONSignalFirst is readNDJSON, calling first exactly once as
+// soon as one token line has arrived (or on EOF, so a degenerate stream
+// cannot deadlock the test).
+func readNDJSONSignalFirst(t *testing.T, body io.Reader, first func()) (toks []tokenLine, summary tokenLine) {
+	t.Helper()
+	fired := false
+	fire := func() {
+		if !fired {
+			fired = true
+			first()
+		}
+	}
+	defer fire()
+	var all []tokenLine
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l tokenLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Errorf("bad NDJSON line %q: %v", sc.Text(), err)
+			break
+		}
+		all = append(all, l)
+		if l.Done == nil && l.Error == "" {
+			fire() // a token line, streamed before the body finished
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Error(err)
+	}
+	if len(all) == 0 {
+		t.Error("empty response")
+		return nil, tokenLine{}
+	}
+	return all[:len(all)-1], all[len(all)-1]
+}

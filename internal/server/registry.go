@@ -1,0 +1,347 @@
+// Package server is streamtokd's HTTP serving layer: a grammar registry
+// that compiles each grammar once and shares its pooled Tokenizer across
+// every connection, and an http.Handler that streams tokenized request
+// bodies back as NDJSON or binary records under per-request deadlines,
+// byte limits, a concurrency cap with load shedding, and graceful drain.
+//
+// The paper's bounded-memory guarantee is what makes this safe to
+// expose: a stream's worst-case state is the K-byte delay ring plus a
+// carry bounded by the longest token, independent of the stream length,
+// so admission control multiplies a per-stream constant by the
+// concurrency cap instead of guessing at input-dependent backtracking
+// buffers. Grammars without that guarantee (unbounded max-TND) are
+// rejected at the registry with a lint-style diagnostic, never served.
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"streamtok"
+	"streamtok/internal/grammarlint"
+	"streamtok/internal/tokdfa"
+)
+
+// Entry is one compiled grammar resident in the registry. Tok is shared
+// by every request for the grammar, so all of its connections draw from
+// one streamer pool and fold into one observability aggregate.
+type Entry struct {
+	// Name is the catalog name, the machine file's stem, or "adhoc" for
+	// rule-list grammars.
+	Name string
+	// Hash is the grammar's stable identity (streamtok.Grammar.Hash),
+	// the registry's cache key.
+	Hash    string
+	Grammar *streamtok.Grammar
+	Tok     *streamtok.Tokenizer
+
+	// quotedNames caches each rule name pre-quoted as a JSON string, so
+	// the NDJSON hot path never re-escapes them.
+	quotedNames [][]byte
+}
+
+// RejectError is a grammar the registry refuses to serve. Diagnostic is
+// a lint-style explanation (severity[code]: message, with indented
+// detail lines) ready to hand to the client.
+type RejectError struct {
+	Name       string
+	Diagnostic string
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("grammar %s rejected:\n%s", e.Name, e.Diagnostic)
+}
+
+// RegistryStats counts registry traffic. Resident is the number of
+// cached slots (including negative entries for rejected grammars);
+// Pinned the machine-file entries exempt from eviction.
+type RegistryStats struct {
+	Resident  int    `json:"resident"`
+	Pinned    int    `json:"pinned"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Rejects   uint64 `json:"rejects"`
+}
+
+// slot is one cache cell: a future other requests for the same grammar
+// wait on while the first compiles, then either an entry or a cached
+// rejection. Rejections are cached too — linting an unbounded grammar
+// costs a compile, and a client retrying a bad grammar must not pay (or
+// charge us) that repeatedly.
+type slot struct {
+	done chan struct{} // closed when ent/rej/err are filled
+	ent  *Entry
+	rej  *RejectError
+	err  error // non-diagnostic compile failure (slot is dropped, not cached)
+}
+
+// Registry caches compiled tokenizers, keyed by grammar hash, with LRU
+// eviction beyond a capacity. Machine-file entries loaded at startup
+// are pinned: they were explicitly provisioned and survive any amount
+// of ad-hoc traffic.
+type Registry struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // of string (grammar hash); front = most recent
+	byHash map[string]*list.Element
+	slots  map[string]*slot
+	pinned map[string]*Entry // by name; machine-file entries
+	stats  RegistryStats
+}
+
+// DefaultRegistryCapacity bounds the compiled-grammar cache when
+// NewRegistry is given no explicit capacity.
+const DefaultRegistryCapacity = 64
+
+// NewRegistry returns an empty registry holding at most capacity
+// compiled grammars (≤ 0 means DefaultRegistryCapacity).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultRegistryCapacity
+	}
+	return &Registry{
+		cap:    capacity,
+		lru:    list.New(),
+		byHash: make(map[string]*list.Element),
+		slots:  make(map[string]*slot),
+		pinned: make(map[string]*Entry),
+	}
+}
+
+// Lookup resolves a grammar by name: a pinned machine-file entry first,
+// then the built-in catalog (compiled on first use, cached by hash).
+func (r *Registry) Lookup(name string) (*Entry, error) {
+	r.mu.Lock()
+	ent, ok := r.pinned[name]
+	r.mu.Unlock()
+	if ok {
+		return ent, nil
+	}
+	g, err := streamtok.CatalogGrammar(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.get(name, g)
+}
+
+// Compile resolves an ad-hoc rule-list grammar, compiled on first use
+// and cached by grammar hash.
+func (r *Registry) Compile(rules []string) (*Entry, error) {
+	g, err := streamtok.ParseGrammar(rules...)
+	if err != nil {
+		return nil, err
+	}
+	return r.get("adhoc", g)
+}
+
+// get returns the cached entry for g, compiling it exactly once per
+// hash. Concurrent requests for the same uncached grammar share one
+// compilation; distinct grammars compile in parallel.
+func (r *Registry) get(name string, g *streamtok.Grammar) (*Entry, error) {
+	hash := g.Hash()
+	r.mu.Lock()
+	if el, ok := r.byHash[hash]; ok {
+		r.lru.MoveToFront(el)
+		sl := r.slots[hash]
+		r.stats.Hits++
+		r.mu.Unlock()
+		<-sl.done
+		if sl.rej != nil {
+			return nil, sl.rej
+		}
+		if sl.err != nil {
+			return nil, sl.err
+		}
+		return sl.ent, nil
+	}
+	sl := &slot{done: make(chan struct{})}
+	r.slots[hash] = sl
+	r.byHash[hash] = r.lru.PushFront(hash)
+	r.stats.Misses++
+	r.evictLocked()
+	r.mu.Unlock()
+
+	tok, err := streamtok.New(g)
+	if err != nil {
+		if errors.Is(err, streamtok.ErrUnbounded) {
+			sl.rej = &RejectError{Name: name, Diagnostic: unboundedDiagnostic(g)}
+			r.mu.Lock()
+			r.stats.Rejects++
+			r.mu.Unlock()
+			close(sl.done)
+			return nil, sl.rej
+		}
+		// Non-diagnostic failure (e.g. TeDFA budget): drop the slot so a
+		// later attempt can retry, and fail this request.
+		sl.err = err
+		r.mu.Lock()
+		if el, ok := r.byHash[hash]; ok && r.slots[hash] == sl {
+			r.lru.Remove(el)
+			delete(r.byHash, hash)
+			delete(r.slots, hash)
+		}
+		r.mu.Unlock()
+		close(sl.done)
+		return nil, err
+	}
+	sl.ent = newEntry(name, hash, g, tok)
+	close(sl.done)
+	return sl.ent, nil
+}
+
+// evictLocked drops least-recently-used slots beyond capacity. Evicted
+// tokenizers are simply released to the garbage collector; in-flight
+// requests holding the *Entry keep it alive until they finish.
+func (r *Registry) evictLocked() {
+	for r.lru.Len() > r.cap {
+		el := r.lru.Back()
+		if el == nil {
+			return
+		}
+		hash := el.Value.(string)
+		r.lru.Remove(el)
+		delete(r.byHash, hash)
+		delete(r.slots, hash)
+		r.stats.Evictions++
+	}
+}
+
+// LoadMachine decodes a compiled machine file (tnd -emit / SaveCompiled)
+// and pins it under the file's stem name. An unbounded stored machine is
+// rejected with the same lint-style diagnostic ad-hoc grammars get.
+func (r *Registry) LoadMachine(path string) (*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	tok, g, err := streamtok.LoadCompiled(f)
+	if err != nil {
+		if errors.Is(err, streamtok.ErrUnbounded) && g != nil {
+			rej := &RejectError{Name: name, Diagnostic: unboundedDiagnostic(g)}
+			r.mu.Lock()
+			r.stats.Rejects++
+			r.mu.Unlock()
+			return nil, rej
+		}
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	ent := newEntry(name, g.Hash(), g, tok)
+	r.mu.Lock()
+	r.pinned[name] = ent
+	r.mu.Unlock()
+	return ent, nil
+}
+
+// LoadMachineDir loads every regular file in dir as a machine file and
+// returns the pinned names. Any failing file aborts the load — a serving
+// fleet must not come up with a silently partial grammar set.
+func (r *Registry) LoadMachineDir(dir string) ([]string, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		ent, err := r.LoadMachine(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return names, err
+		}
+		names = append(names, ent.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Entries snapshots every resident compiled entry (pinned and cached,
+// rejections excluded), sorted by name then hash, for /metrics and
+// /statusz.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	out := make([]*Entry, 0, len(r.pinned)+len(r.slots))
+	for _, ent := range r.pinned {
+		out = append(out, ent)
+	}
+	for _, sl := range r.slots {
+		select {
+		case <-sl.done:
+			if sl.ent != nil {
+				out = append(out, sl.ent)
+			}
+		default: // still compiling; skip
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	st := r.stats
+	st.Resident = len(r.byHash)
+	st.Pinned = len(r.pinned)
+	r.mu.Unlock()
+	return st
+}
+
+func newEntry(name, hash string, g *streamtok.Grammar, tok *streamtok.Tokenizer) *Entry {
+	quoted := make([][]byte, g.NumRules())
+	for i := range quoted {
+		quoted[i] = appendJSONString(nil, g.RuleName(i))
+	}
+	return &Entry{Name: name, Hash: hash, Grammar: g, Tok: tok, quotedNames: quoted}
+}
+
+// unboundedDiagnostic renders the lint-style rejection for a grammar
+// whose max-TND is infinite, in grammarlint's severity[code] format with
+// the pump witness when the lint pass can produce one. Culprit
+// delta-debugging is skipped: rejections are client-triggerable, so the
+// diagnostic must cost one compile, not a subset search.
+func unboundedDiagnostic(g *streamtok.Grammar) string {
+	fallback := "error[unbounded-tnd]: grammar has unbounded max token neighbor distance; " +
+		"bounded-memory streaming is impossible (run `tnd -lint` for the pump certificate and culprit rules)"
+	tg, err := tokdfa.ParseGrammar(g.Rules()...)
+	if err != nil {
+		return fallback
+	}
+	names := make([]string, g.NumRules())
+	for i := range names {
+		names[i] = g.RuleName(i)
+	}
+	tg.Named(names...)
+	rep, err := grammarlint.Run(tg, grammarlint.Options{NoCulprits: true})
+	if err != nil {
+		return fallback
+	}
+	for _, d := range rep.Diags {
+		if d.Code != grammarlint.CodeUnboundedTND {
+			continue
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s[%s]: %s", d.Severity, d.Code, d.Message)
+		for _, line := range d.Detail {
+			fmt.Fprintf(&sb, "\n    %s", line)
+		}
+		sb.WriteString("\n    the serving registry only admits grammars with finite max-TND (run `tnd -lint` for culprit rules)")
+		return sb.String()
+	}
+	return fallback
+}

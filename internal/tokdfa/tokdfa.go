@@ -62,6 +62,11 @@ func (g *Grammar) Named(names ...string) *Grammar {
 	return g
 }
 
+// RuleSource returns rule β's regular expression re-rendered as
+// parseable source (the form machinefile persists and the serving
+// registry hashes).
+func (g *Grammar) RuleSource(beta int) string { return regex.String(g.Rules[beta].Expr) }
+
 // RuleName returns the name of rule β, or "rule-β" when out of range.
 func (g *Grammar) RuleName(beta int) string {
 	if beta >= 0 && beta < len(g.Rules) && g.Rules[beta].Name != "" {

@@ -118,6 +118,17 @@ func (t *Tokenizer) AggregateStats() Stats { return t.statsFrom(t.inner.Counters
 // called by the stream's owner, not concurrently with Feed or Close.
 func (s *Streamer) Stats() Stats { return s.tok.statsFrom(s.inner.StreamCounters()) }
 
+// LatencyQuantile returns an upper bound on the q-quantile (0 < q ≤ 1)
+// of the emission-latency distribution: the upper edge of the histogram
+// bucket the quantile falls in, 0 when no tokens were emitted. The
+// paper bounds every steady-state emission by K, so p50 and p99 agree
+// with MaxLatency on long streams; the serving layer's /statusz reads
+// them from here.
+func (s *Stats) LatencyQuantile(q float64) uint64 {
+	c := obs.Counters{EmitLatency: s.EmitLatency}
+	return c.LatencyQuantile(q)
+}
+
 // MaxLatency returns the upper edge of the highest non-empty EmitLatency
 // bucket (0 when no tokens were emitted) — an upper bound on the worst
 // emission latency observed, tight in the constant-K steady state.

@@ -29,6 +29,8 @@ package streamtok
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +95,34 @@ func (g *Grammar) RuleName(beta int) string { return g.g.RuleName(beta) }
 
 // NumRules returns the number of rules.
 func (g *Grammar) NumRules() int { return len(g.g.Rules) }
+
+// Rules returns the grammar's rules re-rendered as parseable regex
+// source, in order. The rendering is canonical for a parsed grammar
+// (parse → render → parse is a fixpoint), which is what makes Hash a
+// stable identity for caches.
+func (g *Grammar) Rules() []string {
+	out := make([]string, len(g.g.Rules))
+	for i := range out {
+		out[i] = g.g.RuleSource(i)
+	}
+	return out
+}
+
+// Hash returns a stable hex identity for the grammar: a SHA-256 over
+// the rule names and canonical rule sources, in order. Two grammars
+// hash equal exactly when they have the same rules (same regexes, same
+// order, same names) — the key the serving registry caches compiled
+// tokenizers under.
+func (g *Grammar) Hash() string {
+	h := sha256.New()
+	for i := range g.g.Rules {
+		io.WriteString(h, g.g.RuleName(i))
+		h.Write([]byte{0})
+		io.WriteString(h, g.g.RuleSource(i))
+		h.Write([]byte{0xff})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // String renders the grammar as r_0 | r_1 | ... .
 func (g *Grammar) String() string { return g.g.String() }
@@ -283,6 +313,22 @@ func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int,
 // along with the offset reached.
 func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
 	return t.inner.TokenizeContext(ctx, r, bufSize, emit)
+}
+
+// BoundaryFunc is the per-chunk hook of TokenizeContextChunks: it
+// receives the total bytes consumed after each fed block and may stop
+// the stream at that chunk boundary by returning an error.
+type BoundaryFunc = core.BoundaryFunc
+
+// TokenizeContextChunks is TokenizeContext with a chunk-boundary hook:
+// after each fed block, boundary (when non-nil) receives the total
+// bytes consumed so far and may stop the stream by returning an error,
+// which is returned along with the offset reached. This is how the
+// serving layer enforces max-bytes admission limits and flushes
+// responses in step with the input — limits cut at chunk boundaries,
+// never inside the feed loop.
+func (t *Tokenizer) TokenizeContextChunks(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc, boundary BoundaryFunc) (rest int, err error) {
+	return t.inner.TokenizeContextChunks(ctx, r, bufSize, emit, boundary)
 }
 
 // TokenizeBytes tokenizes an in-memory input and returns the tokens and
