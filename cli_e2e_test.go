@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"streamtok"
 )
 
 // buildTool compiles one of the cmd/ binaries into a shared temp dir.
@@ -127,6 +129,77 @@ func TestCLITndLint(t *testing.T) {
 	}
 	if rep.Diagnostics[0].Code != "unbounded-tnd" || len(rep.Diagnostics[0].Pump) == 0 {
 		t.Errorf("lint -json first diagnostic should be unbounded-tnd with a pump: %+v", rep.Diagnostics[0])
+	}
+}
+
+// TestCLITndCertify: `tnd -certify` emits a verified certificate for
+// every bounded catalog grammar (and refuses the unbounded ones), in
+// both human and JSON form, and `tnd -emit` machines carry the cert
+// that `streamtok -machine -stats` then prints.
+func TestCLITndCertify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "tnd")
+
+	for _, name := range streamtok.Catalog() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := streamtok.CatalogGrammar(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := streamtok.Analyze(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, code := run(t, bin, "", "-certify", "-json", "-catalog", name)
+			if !an.Bounded {
+				if code != 1 {
+					t.Fatalf("unbounded certify: code %d, want 1\n%s", code, out)
+				}
+				return
+			}
+			if code != 0 {
+				t.Fatalf("certify: code %d\n%s", code, out)
+			}
+			var c struct {
+				DelayK         int    `json:"delay_k"`
+				Dichotomy      int    `json:"dichotomy_bound"`
+				GrammarHash    string `json:"grammar_hash"`
+				EngineMode     string `json:"engine_mode"`
+				TableBytes     int    `json:"table_bytes"`
+				ParallelRework int    `json:"parallel_rework_x"`
+			}
+			if err := json.Unmarshal([]byte(out), &c); err != nil {
+				t.Fatalf("certify -json output is not JSON: %v\n%s", err, out)
+			}
+			if c.DelayK != an.MaxTND {
+				t.Errorf("delay_k = %d, want max-TND %d", c.DelayK, an.MaxTND)
+			}
+			if c.DelayK > c.Dichotomy || c.GrammarHash == "" || c.EngineMode == "" ||
+				c.TableBytes <= 0 || c.ParallelRework != 2 {
+				t.Errorf("implausible certificate: %+v", c)
+			}
+		})
+	}
+
+	out, code := run(t, bin, "", "-certify", "-catalog", "json")
+	if code != 0 || !strings.Contains(out, "cert:") || !strings.Contains(out, "verified:") {
+		t.Errorf("certify text: code %d\n%s", code, out)
+	}
+
+	// An emitted machine carries the certificate; the streamtok CLI
+	// loads it (verifying on load) and prints it next to the stats.
+	dir := t.TempDir()
+	machine := filepath.Join(dir, "json.stok")
+	if out, code := run(t, bin, "", "-catalog", "json", "-emit", machine); code != 0 {
+		t.Fatalf("tnd -emit: code %d\n%s", code, out)
+	}
+	stok := buildTool(t, "streamtok")
+	out, code = run(t, stok, `{"a": 1}`, "-machine", machine, "-count", "-stats", "text")
+	if code != 0 || !strings.Contains(out, "certified:") || !strings.Contains(out, "dichotomy") {
+		t.Errorf("streamtok -machine -stats: code %d\n%s", code, out)
 	}
 }
 

@@ -125,19 +125,27 @@ func main() {
 }
 
 // printStats renders the run's observability snapshot plus the engine
-// description on stderr, keeping stdout clean for the token stream.
+// description and its resource certificate on stderr, keeping stdout
+// clean for the token stream. Printing the certificate next to the
+// observed counters lets a reader eyeball that the run stayed under its
+// static bounds (ring high-water vs certified ring bytes, table bytes).
 func printStats(tok *streamtok.Tokenizer, format string) {
 	st := tok.AggregateStats()
 	if format == "json" {
 		out, err := json.Marshal(struct {
-			Engine streamtok.EngineInfo `json:"engine"`
-			Stats  streamtok.Stats      `json:"stats"`
-		}{tok.Engine(), st})
+			Engine streamtok.EngineInfo   `json:"engine"`
+			Cert   *streamtok.Certificate `json:"cert,omitempty"`
+			Stats  streamtok.Stats        `json:"stats"`
+		}{tok.Engine(), tok.Certificate(), st})
 		exitOn(err)
 		fmt.Fprintln(os.Stderr, string(out))
 		return
 	}
-	fmt.Fprintf(os.Stderr, "engine:       %s\n%s", tok.Engine(), st)
+	fmt.Fprintf(os.Stderr, "engine:       %s\n", tok.Engine())
+	if c := tok.Certificate(); c != nil {
+		fmt.Fprintf(os.Stderr, "certified:    %s\n", c)
+	}
+	fmt.Fprintf(os.Stderr, "%s", st)
 }
 
 // countingReader counts the bytes handed to the tokenizer.

@@ -9,6 +9,7 @@
 //	streamtokd -addr :9000 -preload json,csv      # pre-compile catalog grammars
 //	streamtokd -machines ./machines               # pin precompiled machines (tnd -emit)
 //	streamtokd -max-concurrent 32 -deadline 10s   # tune admission control
+//	streamtokd -mem-budget 4M                     # cap certified resident table bytes
 //
 //	curl -s --data-binary @doc.json 'localhost:8321/tokenize?grammar=json'
 //	curl -sN -T - 'localhost:8321/tokenize?rule=%5B0-9%5D%2B&rule=%5B+%5D%2B' < nums.txt
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,11 +49,20 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
 	registryCap := flag.Int("registry-cap", 0, "compiled-grammar cache capacity (0 = 64)")
 	noAdhoc := flag.Bool("no-adhoc", false, "refuse ?rule= compile-on-demand grammars")
+	memBudget := flag.String("mem-budget", "", "cap on certified resident table bytes across grammars, e.g. 4M or 256K (empty = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on shutdown")
 	flag.Parse()
 	logger := log.New(os.Stderr, "streamtokd: ", log.LstdFlags)
 
 	reg := server.NewRegistry(*registryCap)
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			logger.Fatalf("-mem-budget: %v", err)
+		}
+		reg.SetMemBudget(budget)
+		logger.Printf("memory budget: %d B of certified resident tables", budget)
+	}
 	if *machines != "" {
 		names, err := reg.LoadMachineDir(*machines)
 		if err != nil {
@@ -119,6 +130,25 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Printf("drained clean: %d streams served, %d tokens out", final.OK, final.TokensOut)
+}
+
+// parseBytes reads a byte count with an optional K/M/G suffix (powers
+// of two, case-insensitive): "256K" = 262144, "4M" = 4194304.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a byte count like 1048576, 256K, 4M, or 1G, got %q", s)
+	}
+	return n * mult, nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,185 @@
+// Command streamtokvet runs streamtok's repo-specific static checks
+// (see internal/vet): streamer pool acquire/release pairing and
+// chunk-level obs counters kept out of loops.
+//
+// It runs two ways:
+//
+//	streamtokvet ./...                     # standalone: walk and check the tree
+//	go vet -vettool=$(which streamtokvet) ./...  # as a go vet analysis tool
+//
+// In vettool mode it speaks the cmd/go unit-checking protocol by hand
+// (-V=full version stamp, -flags query, then one JSON .cfg argument per
+// package) so it needs nothing outside the standard library. Exit
+// status 0 when clean, 2 when findings are reported, 1 on usage or
+// internal errors.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamtok/internal/vet"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes the tool before using it: -V=full must print a
+	// "name version <v>" line where <v> becomes part of the vet cache
+	// key, and -flags must dump the supported analyzer flags as JSON.
+	// Hash our own binary into the version so rebuilding the tool
+	// (changed checks) invalidates cached vet results.
+	if len(args) == 1 && args[0] == "-V=full" {
+		fmt.Printf("streamtokvet version v0.0.0-%s\n", selfHash())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVettool(args[0]))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: streamtokvet [./... | dirs | files.go] (or via go vet -vettool)")
+		os.Exit(1)
+	}
+	os.Exit(runStandalone(args))
+}
+
+// selfHash returns a short content hash of the running executable, or a
+// fixed stamp if it cannot be read (the tool still works, vet results
+// just cache across rebuilds).
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unversioned"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unversioned"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// vetConfig is the subset of cmd/go's vet.cfg JSON the checks need:
+// which files make up the package, and where to leave the facts file
+// the protocol requires even though these checks export none.
+type vetConfig struct {
+	ID         string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtokvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "streamtokvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	findings, err := checkFiles(cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtokvet:", err)
+		return 1
+	}
+	// The facts file must exist for cmd/go to cache the result; these
+	// checks are local to each file, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "streamtokvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2
+}
+
+func runStandalone(args []string) int {
+	var files []string
+	for _, arg := range args {
+		expanded, err := expandArg(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamtokvet:", err)
+			return 1
+		}
+		files = append(files, expanded...)
+	}
+	findings, err := checkFiles(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtokvet:", err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2
+}
+
+// expandArg turns one command-line argument into Go files: a .go file
+// is itself, a directory is its *.go entries, and dir/... walks the
+// tree (skipping testdata and hidden directories, like cmd/go does).
+func expandArg(arg string) ([]string, error) {
+	if strings.HasSuffix(arg, ".go") {
+		return []string{arg}, nil
+	}
+	root, recurse := arg, false
+	if strings.HasSuffix(arg, "/...") {
+		root, recurse = strings.TrimSuffix(arg, "/..."), true
+	}
+	if root == "" || root == "." {
+		root = "."
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (!recurse || name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+func checkFiles(files []string) ([]vet.Finding, error) {
+	fset := token.NewFileSet()
+	var all []vet.Finding
+	for _, path := range files {
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, vet.CheckFile(fset, file)...)
+	}
+	return all, nil
+}

@@ -11,6 +11,7 @@
 //	tnd -lint '[0-9]*0' '[ ]+'      # full diagnostics with witnesses
 //	tnd -lint -json -catalog csv    # machine-readable lint report
 //	tnd -json -catalog json         # machine-readable analysis
+//	tnd -certify -catalog json      # derive and verify the resource certificate
 //
 // Exit status 0 when the grammar has bounded max-TND (StreamTok applies),
 // 1 when unbounded, 2 on usage errors. With -lint, additionally 3 when
@@ -29,11 +30,14 @@ import (
 
 	"streamtok"
 	"streamtok/internal/analysis"
+	"streamtok/internal/analysis/cert"
 	"streamtok/internal/bench"
+	"streamtok/internal/core"
 	"streamtok/internal/grammarfile"
 	"streamtok/internal/grammarlint"
 	"streamtok/internal/grammars"
 	"streamtok/internal/machinefile"
+	"streamtok/internal/tepath"
 	"streamtok/internal/tokdfa"
 )
 
@@ -46,7 +50,8 @@ func main() {
 	emitMachine := flag.String("emit", "", "write the compiled machine (tables + analysis) to a file")
 	dot := flag.Bool("dot", false, "print the tokenization DFA as Graphviz DOT and exit")
 	lint := flag.Bool("lint", false, "run the full diagnostic suite (unbounded-TND root cause, shadowed rules, overlaps, ε-rules, error traps)")
-	jsonOut := flag.Bool("json", false, "print the analysis (or, with -lint, the report) as JSON")
+	certify := flag.Bool("certify", false, "derive the static resource certificate, verify it, and print it")
+	jsonOut := flag.Bool("json", false, "print the analysis (or, with -lint/-certify, the report) as JSON")
 	flag.Parse()
 
 	if *listGrammars {
@@ -82,6 +87,10 @@ func main() {
 		return
 	}
 	res := analysis.Analyze(m)
+	if *certify {
+		runCertify(m, res, *jsonOut)
+		return
+	}
 	if *jsonOut {
 		// Render through the public Analysis type so tnd -json and the
 		// library's MarshalJSON stay one format.
@@ -121,7 +130,7 @@ func main() {
 		}
 	}
 	if *emitMachine != "" {
-		if err := writeMachine(*emitMachine, m, res.MaxTND); err != nil {
+		if err := writeMachine(*emitMachine, m, res); err != nil {
 			fmt.Fprintln(os.Stderr, "tnd:", err)
 			os.Exit(2)
 		}
@@ -163,12 +172,68 @@ func runLint(g *tokdfa.Grammar, jsonOut bool) {
 	os.Exit(exit)
 }
 
-func writeMachine(path string, m *tokdfa.Machine, maxTND int) error {
+// runCertify derives the static resource certificate for the grammar's
+// engine, runs the full machine-checkable verification on it (the same
+// pass a loader applies), and prints it. Exits 1 when the grammar is
+// unbounded (no certificate exists), 2 when certification or
+// verification fails — either means the toolchain is broken.
+func runCertify(m *tokdfa.Machine, res analysis.Result, jsonOut bool) {
+	if !res.Bounded() {
+		fmt.Fprintf(os.Stderr, "tnd: grammar %s has unbounded max-TND; no resource certificate exists\n", m.Grammar.String())
+		os.Exit(1)
+	}
+	inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnd:", err)
+		os.Exit(2)
+	}
+	c, err := cert.New(m, res, inner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnd: certify:", err)
+		os.Exit(2)
+	}
+	if err := c.Verify(m, res.MaxTND, inner); err != nil {
+		fmt.Fprintln(os.Stderr, "tnd: certificate failed its own verification:", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnd:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	fmt.Printf("grammar:   %s\n", m.Grammar.String())
+	fmt.Printf("hash:      %s\n", c.GrammarHash)
+	fmt.Printf("cert:      %s\n", c)
+	fmt.Printf("verified:  static bounds recomputed, witness replayed, engine matched\n")
+}
+
+func writeMachine(path string, m *tokdfa.Machine, res analysis.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := machinefile.Encode(f, m, maxTND); err != nil {
+	err = func() error {
+		if !res.Bounded() {
+			return machinefile.Encode(f, m, res.MaxTND)
+		}
+		// Bounded machines are emitted with their resource certificate so
+		// loaders (streamtokd -machines, LoadCompiled) can verify the
+		// file's cost claims before serving it.
+		inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		if err != nil {
+			return err
+		}
+		c, err := cert.New(m, res, inner)
+		if err != nil {
+			return err
+		}
+		return machinefile.EncodeWithCert(f, m, res.MaxTND, c)
+	}()
+	if err != nil {
 		f.Close()
 		return err
 	}

@@ -5,31 +5,58 @@ import (
 	"io"
 
 	"streamtok/internal/analysis"
+	"streamtok/internal/analysis/cert"
 	"streamtok/internal/core"
 	"streamtok/internal/machinefile"
 	"streamtok/internal/tepath"
 	"streamtok/internal/tokdfa"
 )
 
+// ErrCertMismatch is wrapped by LoadCompiled when a machine file's
+// resource certificate does not verify against the machine or the
+// rebuilt engine: the file's cost claims were tampered with or produced
+// by a broken toolchain, and the load is refused.
+var ErrCertMismatch = cert.ErrMismatch
+
 // SaveCompiled compiles g, runs the static analysis, and writes the
 // machine (tables, rule names, max-TND) to w in a versioned binary
-// format. A saved machine can be loaded with LoadCompiled without paying
-// determinization or analysis again — the deployment path for tools that
-// compile grammars ahead of time (see also cmd/lexgen for source-level
-// generation).
+// format, together with its resource certificate — the statically
+// derived cost bounds a loader verifies before trusting the file. A
+// saved machine can be loaded with LoadCompiled without paying
+// determinization or analysis again — the deployment path for tools
+// that compile grammars ahead of time (see also cmd/lexgen for
+// source-level generation). Unbounded grammars are saved without a
+// certificate (they have none; loaders reject them for serving).
 func SaveCompiled(g *Grammar, w io.Writer) error {
 	m, err := tokdfa.Compile(g.g, tokdfa.Options{Minimize: true})
 	if err != nil {
 		return err
 	}
 	res := analysis.Analyze(m)
-	return machinefile.Encode(w, m, res.MaxTND)
+	if !res.Bounded() {
+		return machinefile.Encode(w, m, res.MaxTND)
+	}
+	// Certify against the engine LoadCompiled will rebuild (the fused
+	// default), so the engine-dependent bounds verify exactly on load.
+	inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		return err
+	}
+	c, err := cert.New(m, res, inner)
+	if err != nil {
+		return err
+	}
+	return machinefile.EncodeWithCert(w, m, res.MaxTND, c)
 }
 
 // LoadCompiled reads a machine written by SaveCompiled and builds a
 // ready-to-use Tokenizer. It fails with an error wrapping ErrUnbounded
-// when the stored grammar's max-TND is infinite, and with a format error
-// on corrupted input.
+// when the stored grammar's max-TND is infinite, with a format error on
+// corrupted input, and with an error wrapping ErrCertMismatch when the
+// file carries a resource certificate that does not verify against the
+// rebuilt engine (the static half is already verified during decode).
+// A version-1 file without a certificate still loads; its tokenizer is
+// certified fresh.
 func LoadCompiled(r io.Reader) (*Tokenizer, *Grammar, error) {
 	mf, err := machinefile.Decode(r)
 	if err != nil {
@@ -43,14 +70,29 @@ func LoadCompiled(r io.Reader) (*Tokenizer, *Grammar, error) {
 	if err != nil {
 		return nil, g, err
 	}
-	res := analysis.Result{MaxTND: mf.MaxTND, NFASize: mf.Machine.NFASize, DFASize: mf.Machine.DFA.NumStates()}
+	c := mf.Cert
+	if c != nil {
+		if err := c.VerifyAgainst(inner); err != nil {
+			return nil, g, fmt.Errorf("machinefile certificate refused: %w", err)
+		}
+	} else {
+		// Legacy file with no certificate: re-run the analysis (cheap
+		// next to the compile the file saved us) and certify the engine
+		// we just built, so every loaded tokenizer carries verified
+		// bounds for budgeted admission.
+		res := analysis.Analyze(mf.Machine)
+		if c, err = cert.New(mf.Machine, res, inner); err != nil {
+			return nil, g, err
+		}
+	}
 	return &Tokenizer{
 		inner: inner,
+		cert:  c,
 		an: Analysis{
-			MaxTND:  res.MaxTND,
+			MaxTND:  mf.MaxTND,
 			Bounded: true,
-			NFASize: res.NFASize,
-			DFASize: res.DFASize,
+			NFASize: mf.Machine.NFASize,
+			DFASize: mf.Machine.DFA.NumStates(),
 		},
 	}, g, nil
 }

@@ -134,6 +134,64 @@ func TestDaemonE2E(t *testing.T) {
 	}
 }
 
+// TestDaemonMemBudget drives the -mem-budget flag end to end: a daemon
+// with a budget smaller than any catalog grammar's certified tables
+// refuses to serve it with a 422 carrying the certificate, and /statusz
+// reports the budget and the reject.
+func TestDaemonMemBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "streamtokd")
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr, "-mem-budget", "8K")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+	base := "http://" + addr
+	waitE2E(t, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	resp, err := http.Post(base+"/tokenize?grammar=json", "", strings.NewReader(`{"a": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body:\n%s\nstderr:\n%s", resp.StatusCode, body, stderr.String())
+	}
+	for _, want := range []string{"mem-budget", "certificate:", "tables"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("422 body missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"budget:", "8192 B", "1 budget rejects"} {
+		if !strings.Contains(string(statusz), want) {
+			t.Errorf("/statusz missing %q:\n%s", want, statusz)
+		}
+	}
+}
+
 // assertLiveMetrics checks /metrics mid-stream: one stream in flight on
 // the json grammar.
 func assertLiveMetrics(t *testing.T, base string) {

@@ -1,0 +1,172 @@
+// Package cert derives resource certificates for compiled tokenization
+// grammars: machine-checkable statements of what a grammar costs to
+// serve, produced by the static analysis and pinned to the concrete
+// engine the tokenizer selected.
+//
+// A certificate bundles
+//
+//   - the emission delay K (the grammar's max-TND) with its Lemma 11
+//     dichotomy bound and a witness token neighbor pair replaying the
+//     lower bound;
+//   - the exact per-stream byte bounds: the delay-ring allocation and
+//     the retained-carry cap;
+//   - the shared per-grammar bytes: the precomputed automata and fused
+//     action tables;
+//   - the accel-state coverage fraction (share of fused slots with bulk
+//     run skipping);
+//   - the windowed-parallel worst-case rework factor (2×: every
+//     unsynchronized segment is scanned at most twice).
+//
+// Each bound is either replayable from the certificate itself
+// (the witness pair) or recomputable from the machine and engine it
+// describes (everything else), which is what Verify does: a certificate
+// that does not verify against the artifact it ships with is refused,
+// so a machinefile's cost claims can be trusted without re-running the
+// analysis pipeline that produced them.
+package cert
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"streamtok/internal/analysis"
+	"streamtok/internal/core"
+	"streamtok/internal/tokdfa"
+)
+
+// ParallelReworkBound is the windowed-parallel worst-case rework factor:
+// a segment whose speculative tokenization fails to synchronize is
+// re-scanned sequentially, so every input byte is processed at most
+// twice. The bound is structural (it follows from the stitching
+// algorithm, not the grammar), so every certificate carries the same
+// value and verification checks it as a constant.
+const ParallelReworkBound = 2
+
+// Certificate is a statically derived resource certificate for one
+// compiled grammar on one engine. It is immutable once built.
+type Certificate struct {
+	// GrammarHash is the grammar identity the certificate binds to
+	// (tokdfa.Grammar.Hash / streamtok.Grammar.Hash).
+	GrammarHash string
+
+	// DelayK is the emission delay bound: the grammar's max-TND. Every
+	// steady-state emission is confirmed at most DelayK bytes past the
+	// token's end.
+	DelayK int
+	// DichotomyBound is the Lemma 11 bound DelayK is certified against:
+	// max-TND is either ∞ or ≤ minimal-DFA-size + 1.
+	DichotomyBound int
+	// WitnessU and WitnessV, present when DelayK > 0, replay the lower
+	// bound: both are tokens, WitnessU a strict prefix of WitnessV,
+	// nothing strictly between them is a token, and
+	// len(WitnessV)-len(WitnessU) == DelayK.
+	WitnessU []byte
+	WitnessV []byte
+
+	// EngineMode is the execution mode the bounds below are exact for
+	// (core.Tokenizer.EngineMode).
+	EngineMode string
+	// RingBytes is the exact delay-ring allocation per stream.
+	RingBytes int
+	// CarryRetainedCap is the bound on the carry backing array a stream
+	// retains between tokens (core.MaxRetainedCarryCap).
+	CarryRetainedCap int
+	// TableBytes is the shared, per-grammar footprint of the precomputed
+	// automata and action tables — the resident bytes the serving
+	// registry's memory budget sums.
+	TableBytes int
+	// AccelStates and AccelSlots give the accel coverage fraction:
+	// AccelStates of AccelSlots fused slots carry bulk run skipping
+	// (both 0 when the fused engine is off).
+	AccelStates int
+	AccelSlots  int
+
+	// ParallelReworkX is the windowed-parallel worst-case rework factor
+	// (always ParallelReworkBound).
+	ParallelReworkX int
+}
+
+// New derives the certificate for machine m with analysis result res,
+// bound to the concrete engine t (which must have been built from m
+// with k = res.MaxTND). It returns an error when res is unbounded —
+// unbounded grammars have no resource certificate, only a rejection.
+func New(m *tokdfa.Machine, res analysis.Result, t *core.Tokenizer) (*Certificate, error) {
+	if !res.Bounded() {
+		return nil, fmt.Errorf("cert: grammar has unbounded max-TND, no resource certificate exists")
+	}
+	if t.K() != res.MaxTND {
+		return nil, fmt.Errorf("cert: engine built with K=%d but analysis says max-TND %d", t.K(), res.MaxTND)
+	}
+	c := &Certificate{
+		GrammarHash:      m.Grammar.Hash(),
+		DelayK:           res.MaxTND,
+		DichotomyBound:   analysis.DichotomyBound(m.DFA.NumStates()),
+		EngineMode:       t.EngineMode(),
+		RingBytes:        t.RingBytes(),
+		CarryRetainedCap: core.MaxRetainedCarryCap,
+		TableBytes:       t.TableBytes(),
+		AccelStates:      t.AccelStates(),
+		AccelSlots:       t.AccelSlots(),
+		ParallelReworkX:  ParallelReworkBound,
+	}
+	if res.MaxTND > 0 {
+		u, v, ok := analysis.WitnessStrings(m, res)
+		if !ok {
+			return nil, fmt.Errorf("cert: no witness pair for max-TND %d", res.MaxTND)
+		}
+		c.WitnessU, c.WitnessV = u, v
+	}
+	return c, nil
+}
+
+// AccelCoverage returns the fraction of fused slots with bulk run
+// skipping (0 when the fused engine is off).
+func (c *Certificate) AccelCoverage() float64 {
+	if c.AccelSlots == 0 {
+		return 0
+	}
+	return float64(c.AccelStates) / float64(c.AccelSlots)
+}
+
+// ResidentBytes is the per-grammar shared footprint a registry charges
+// against its memory budget: the certified table bytes. (Per-stream
+// state — ring and carry — scales with the concurrency cap instead and
+// is reported by StreamBytes.)
+func (c *Certificate) ResidentBytes() int { return c.TableBytes }
+
+// StreamBytes is the certified worst-case retained per-stream state:
+// the delay-ring allocation plus the carry retention cap.
+func (c *Certificate) StreamBytes() int { return c.RingBytes + c.CarryRetainedCap }
+
+// String renders the certificate on one line, for status pages and CLI
+// output next to EngineInfo.
+func (c *Certificate) String() string {
+	return fmt.Sprintf("K=%d (≤ dichotomy %d), ring %d B, carry ≤ %d B, tables %d B, accel %d/%d slots, parallel rework ≤ %dx",
+		c.DelayK, c.DichotomyBound, c.RingBytes, c.CarryRetainedCap,
+		c.TableBytes, c.AccelStates, c.AccelSlots, c.ParallelReworkX)
+}
+
+// MarshalJSON renders the certificate with stable snake_case keys
+// (shared by tnd -certify -json, streamtok -stats json, and /metrics).
+func (c *Certificate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		GrammarHash      string  `json:"grammar_hash"`
+		DelayK           int     `json:"delay_k"`
+		DichotomyBound   int     `json:"dichotomy_bound"`
+		WitnessU         string  `json:"witness_u,omitempty"`
+		WitnessV         string  `json:"witness_v,omitempty"`
+		EngineMode       string  `json:"engine_mode"`
+		RingBytes        int     `json:"ring_bytes"`
+		CarryRetainedCap int     `json:"carry_retained_cap"`
+		TableBytes       int     `json:"table_bytes"`
+		AccelStates      int     `json:"accel_states"`
+		AccelSlots       int     `json:"accel_slots"`
+		AccelCoverage    float64 `json:"accel_coverage"`
+		ParallelReworkX  int     `json:"parallel_rework_x"`
+	}{
+		c.GrammarHash, c.DelayK, c.DichotomyBound,
+		string(c.WitnessU), string(c.WitnessV),
+		c.EngineMode, c.RingBytes, c.CarryRetainedCap, c.TableBytes,
+		c.AccelStates, c.AccelSlots, c.AccelCoverage(), c.ParallelReworkX,
+	})
+}

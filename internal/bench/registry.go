@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"obsoverhead", "always-on observability counters vs no-obs build (not a paper figure)", ObsOverhead},
 		{"concurrency", "pooled serving path: stream scaling, pipelined reader, allocs/stream (not a paper figure)", Concurrency},
 		{"serverload", "streamtokd over loopback HTTP: streamed-token latency and shed rate vs concurrency (not a paper figure)", Serverload},
+		{"certstats", "resource-certificate derivation and verification cost per catalog grammar (not a paper figure)", Certstats},
 	}
 }
 

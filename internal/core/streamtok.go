@@ -297,6 +297,40 @@ func (t *Tokenizer) AccelStates() int {
 	return t.fe.AccelStates()
 }
 
+// RingBytes returns the exact size in bytes of the delay ring each of
+// this tokenizer's streams allocates: 0 when no ring is needed (k ≤ 1
+// fused, or k == 0), 1 for the split k == 1 delay slot, k for the split
+// general loops, and the next power of two ≥ k for the fused general
+// loop (which indexes the ring with a mask). This is the per-stream
+// figure resource certificates bind; the observed RingMax high-water
+// mark never exceeds it.
+func (t *Tokenizer) RingBytes() int {
+	switch {
+	case t.te != nil && t.fe != nil && t.fe.Mode == fused.ModeGeneral:
+		return nextPow2(t.k)
+	case t.te != nil || t.lazy != nil:
+		return t.k
+	case t.fe == nil && t.k == 1:
+		return 1 // the split Fig. 5 one-byte delay slot
+	default:
+		return 0
+	}
+}
+
+// AccelSlots returns how many fused states (ModeSmall) or (q_A, s_B)
+// pairs (ModeGeneral) the engine has at all — the denominator of the
+// accel-state coverage fraction. 0 when the fused engine is off.
+func (t *Tokenizer) AccelSlots() int {
+	if t.fe == nil {
+		return 0
+	}
+	return t.fe.Slots()
+}
+
+// MaxRetainedCarryCap is the bound on the carry backing array retained
+// between tokens (resource certificates record it; see resetCarry).
+const MaxRetainedCarryCap = maxRetainedCarryCap
+
 // TableBytes returns the memory footprint of the precomputed automata and
 // tables: the tokenization DFA, the token-extension DFA (k ≥ 2), or the
 // Fig. 5 table (k == 1). Together with the input buffer and the K-byte

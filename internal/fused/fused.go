@@ -124,6 +124,19 @@ type Engine struct {
 // acceleration.
 func (e *Engine) AccelStates() int { return e.accelStates }
 
+// Slots returns how many states (ModeSmall) or (q_A, s_B) pairs
+// (ModeGeneral) the engine has at all — the denominator of the
+// accel-state coverage fraction AccelStates/Slots.
+func (e *Engine) Slots() int {
+	if e == nil {
+		return 0
+	}
+	if e.Mode == ModeSmall {
+		return len(e.Words) / 256
+	}
+	return len(e.Act)
+}
+
 // Bytes returns the fused tables' memory footprint (for the RQ6-style
 // accounting next to TableBytes).
 func (e *Engine) Bytes() int {

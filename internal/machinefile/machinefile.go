@@ -2,11 +2,22 @@
 // grammar can be compiled once (analysis included) and shipped as tables
 // — the deployment mode of generated lexers, without code generation.
 //
-// The format is a versioned little-endian binary:
+// The current format (version 2) is a versioned little-endian binary:
 //
-//	magic "STOKDFA1" | ruleCount | rules (name, regex source) |
+//	magic "STOKDFA2" | ruleCount | rules (name, regex source) |
 //	nfaSize | dfaStates | trans[dfaStates*256] | accept[dfaStates] |
+//	certPresent | [resource certificate] |
 //	maxTND (-1 = unbounded) | crc32 of everything before it
+//
+// The resource certificate (internal/analysis/cert) carries the
+// machine-checkable cost claims: delay K with its dichotomy bound and
+// witness pair, ring/carry/table byte bounds, accel coverage, and the
+// parallel rework factor. Decode verifies the static half of a present
+// certificate and refuses the file on any mismatch, so a shipped
+// machinefile's cost claims can be trusted without re-analysis.
+//
+// Version 1 files ("STOKDFA1", no certificate section) still decode:
+// they load with Cert == nil — certificate absent, claims unknown.
 //
 // Rule regexes are stored as re-parsable source, so the machine can be
 // fully rebuilt (and re-verified) on load; the tables make loading
@@ -22,77 +33,133 @@ import (
 	"io"
 
 	"streamtok/internal/analysis"
+	"streamtok/internal/analysis/cert"
 	"streamtok/internal/automata"
 	"streamtok/internal/regex"
 	"streamtok/internal/tokdfa"
 )
 
-var magic = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '1'}
+var (
+	magicV1 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '1'}
+	magicV2 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '2'}
+)
 
-// ErrFormat is wrapped by all decoding errors caused by malformed input.
+// ErrFormat is wrapped by all decoding errors caused by malformed input,
+// including a certificate that fails static verification.
 var ErrFormat = errors.New("machinefile: invalid or corrupted file")
 
-// Machine bundles a compiled machine with its analysis result for
-// round-tripping.
+// Machine bundles a compiled machine with its analysis result and
+// resource certificate for round-tripping.
 type Machine struct {
 	Machine *tokdfa.Machine
 	// MaxTND is the stored analysis result (analysis.Infinite if
 	// unbounded).
 	MaxTND int
+	// Cert is the stored resource certificate, statically verified at
+	// decode time; nil when the file carries none (version 1 files, or
+	// unbounded machines, which have no certificate).
+	Cert *cert.Certificate
 }
 
-// Encode writes m (with its known max-TND) to w.
-func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
-	crc := crc32.NewIEEE()
-	out := io.MultiWriter(w, crc)
+// encoder wraps the shared little-endian + CRC plumbing.
+type encoder struct {
+	out io.Writer
+	err error
+}
 
-	if _, err := out.Write(magic[:]); err != nil {
-		return err
-	}
-	wr := func(vals ...int64) error {
-		for _, v := range vals {
-			if err := binary.Write(out, binary.LittleEndian, v); err != nil {
-				return err
-			}
+func (e *encoder) ints(vals ...int64) {
+	for _, v := range vals {
+		if e.err == nil {
+			e.err = binary.Write(e.out, binary.LittleEndian, v)
 		}
-		return nil
 	}
-	writeString := func(s string) error {
-		if err := wr(int64(len(s))); err != nil {
-			return err
-		}
-		_, err := io.WriteString(out, s)
-		return err
-	}
+}
 
+func (e *encoder) bytes(b []byte) {
+	e.ints(int64(len(b)))
+	if e.err == nil {
+		_, e.err = e.out.Write(b)
+	}
+}
+
+// writeCommon writes everything from the rule list through the accept
+// table (identical in both versions).
+func (e *encoder) writeCommon(m *tokdfa.Machine) {
 	g := m.Grammar
-	if err := wr(int64(len(g.Rules))); err != nil {
-		return err
-	}
+	e.ints(int64(len(g.Rules)))
 	for i, r := range g.Rules {
-		if err := writeString(g.RuleName(i)); err != nil {
-			return err
-		}
-		if err := writeString(regex.String(r.Expr)); err != nil {
-			return err
-		}
+		e.bytes([]byte(g.RuleName(i)))
+		e.bytes([]byte(regex.String(r.Expr)))
 	}
 	d := m.DFA
-	if err := wr(int64(m.NFASize), int64(d.NumStates())); err != nil {
+	e.ints(int64(m.NFASize), int64(d.NumStates()))
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, d.Trans)
+	}
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, d.Accept)
+	}
+}
+
+// Encode writes m (with its known max-TND) to w in the current format,
+// without a certificate section. Prefer EncodeWithCert for artifacts
+// that ship cost claims.
+func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
+	return EncodeWithCert(w, m, maxTND, nil)
+}
+
+// EncodeWithCert writes m with its resource certificate (nil c writes
+// "certificate absent"). The certificate is covered by the trailing
+// checksum like every other section.
+func EncodeWithCert(w io.Writer, m *tokdfa.Machine, maxTND int, c *cert.Certificate) error {
+	crc := crc32.NewIEEE()
+	e := &encoder{out: io.MultiWriter(w, crc)}
+
+	if _, err := e.out.Write(magicV2[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(out, binary.LittleEndian, d.Trans); err != nil {
-		return err
-	}
-	if err := binary.Write(out, binary.LittleEndian, d.Accept); err != nil {
-		return err
+	e.writeCommon(m)
+	if c == nil {
+		e.ints(0)
+	} else {
+		e.ints(1)
+		e.bytes([]byte(c.GrammarHash))
+		e.ints(int64(c.DelayK), int64(c.DichotomyBound),
+			int64(c.RingBytes), int64(c.CarryRetainedCap), int64(c.TableBytes),
+			int64(c.AccelStates), int64(c.AccelSlots), int64(c.ParallelReworkX))
+		e.bytes([]byte(c.EngineMode))
+		e.bytes(c.WitnessU)
+		e.bytes(c.WitnessV)
 	}
 	tnd := int64(maxTND)
 	if maxTND == analysis.Infinite {
 		tnd = -1
 	}
-	if err := wr(tnd); err != nil {
+	e.ints(tnd)
+	if e.err != nil {
+		return e.err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// EncodeV1 writes the legacy version-1 layout (no certificate section).
+// It exists for cross-version compatibility tests and for producing
+// files older readers accept; new artifacts should use EncodeWithCert.
+func EncodeV1(w io.Writer, m *tokdfa.Machine, maxTND int) error {
+	crc := crc32.NewIEEE()
+	e := &encoder{out: io.MultiWriter(w, crc)}
+
+	if _, err := e.out.Write(magicV1[:]); err != nil {
 		return err
+	}
+	e.writeCommon(m)
+	tnd := int64(maxTND)
+	if maxTND == analysis.Infinite {
+		tnd = -1
+	}
+	e.ints(tnd)
+	if e.err != nil {
+		return e.err
 	}
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
@@ -130,8 +197,11 @@ func readInt32s(r io.Reader, total int) ([]int32, error) {
 	return out, nil
 }
 
-// Decode reads a machine written by Encode, verifying the checksum and
-// rebuilding the derived analyses (co-accessibility, dead state).
+// Decode reads a machine written by Encode/EncodeWithCert (or the
+// legacy EncodeV1), verifying the checksum, rebuilding the derived
+// analyses (co-accessibility, dead state), and statically verifying the
+// resource certificate when one is present — a certificate that does
+// not match the machine it ships with refuses the whole file.
 func Decode(r io.Reader) (*Machine, error) {
 	br := bufio.NewReader(r)
 	crc := crc32.NewIEEE()
@@ -141,7 +211,13 @@ func Decode(r io.Reader) (*Machine, error) {
 	if _, err := io.ReadFull(in, gotMagic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	if gotMagic != magic {
+	var version int
+	switch gotMagic {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, gotMagic[:])
 	}
 	rd := func() (int64, error) {
@@ -217,6 +293,25 @@ func Decode(r io.Reader) (*Machine, error) {
 			return nil, fmt.Errorf("%w: accept label %d", ErrFormat, a)
 		}
 	}
+
+	var c *cert.Certificate
+	if version >= 2 {
+		present, err := rd()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		switch present {
+		case 0:
+		case 1:
+			c, err = decodeCert(rd, readString)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: certificate flag %d", ErrFormat, present)
+		}
+	}
+
 	tnd, err := rd()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
@@ -249,9 +344,72 @@ func Decode(r io.Reader) (*Machine, error) {
 			Dead:    dead,
 		},
 		MaxTND: int(tnd),
+		Cert:   c,
 	}
 	if tnd < 0 {
 		out.MaxTND = analysis.Infinite
 	}
+	if c != nil {
+		// The checksum only proves the file arrived as written; the
+		// certificate must additionally *verify* — its replayable claims
+		// must hold on the machine it ships with. A mismatch means the
+		// claims were tampered with (or the producer was broken), and a
+		// file whose cost claims cannot be trusted is refused whole.
+		if err := c.VerifyStatic(out.Machine, out.MaxTND); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrFormat, err)
+		}
+	}
 	return out, nil
+}
+
+// decodeCert reads the certificate section (bounds on every
+// variable-length field keep a corrupted header from committing
+// memory).
+func decodeCert(rd func() (int64, error), readString func(int64) (string, error)) (*cert.Certificate, error) {
+	hash, err := readString(128)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate hash: %v", ErrFormat, err)
+	}
+	var fields [8]int64
+	for i := range fields {
+		if fields[i], err = rd(); err != nil {
+			return nil, fmt.Errorf("%w: certificate: %v", ErrFormat, err)
+		}
+	}
+	for i, v := range fields {
+		if v < 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: certificate field %d = %d", ErrFormat, i, v)
+		}
+	}
+	mode, err := readString(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate mode: %v", ErrFormat, err)
+	}
+	u, err := readString(1 << 20)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate witness: %v", ErrFormat, err)
+	}
+	v, err := readString(1 << 20)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate witness: %v", ErrFormat, err)
+	}
+	c := &cert.Certificate{
+		GrammarHash:      hash,
+		DelayK:           int(fields[0]),
+		DichotomyBound:   int(fields[1]),
+		RingBytes:        int(fields[2]),
+		CarryRetainedCap: int(fields[3]),
+		TableBytes:       int(fields[4]),
+		AccelStates:      int(fields[5]),
+		AccelSlots:       int(fields[6]),
+		ParallelReworkX:  int(fields[7]),
+		EngineMode:       mode,
+	}
+	if u != "" {
+		c.WitnessU = []byte(u)
+	}
+	if v != "" {
+		c.WitnessV = []byte(v)
+	}
+	return c, nil
 }

@@ -3,15 +3,23 @@ package machinefile_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"streamtok/internal/analysis"
+	"streamtok/internal/analysis/cert"
 	"streamtok/internal/automata"
+	"streamtok/internal/core"
 	"streamtok/internal/grammars"
 	"streamtok/internal/machinefile"
 	"streamtok/internal/reference"
+	"streamtok/internal/tepath"
 	"streamtok/internal/testutil"
+	"streamtok/internal/tokdfa"
 )
 
 // TestRoundTrip: every catalog grammar encodes and decodes to an
@@ -95,11 +103,11 @@ func TestDecodeTableCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// The file tail is trans + accept + maxTND + crc32; everything
-	// before tableStart is the header (magic, rules, sizes).
+	// The file tail is trans + accept + certPresent + maxTND + crc32;
+	// everything before tableStart is the header (magic, rules, sizes).
 	states := m.DFA.NumStates()
 	tableLen := states*256*4 + states*4
-	tableStart := len(full) - (tableLen + 8 + 4)
+	tableStart := len(full) - (tableLen + 8 + 8 + 4)
 	if tableStart <= 8 {
 		t.Fatalf("implausible table start %d in %d-byte file", tableStart, len(full))
 	}
@@ -214,8 +222,23 @@ func FuzzDecode(f *testing.F) {
 		mid := append([]byte(nil), full...)
 		mid[len(mid)/3] ^= 0x10
 		f.Add(mid)
+		// Certificate-bearing and legacy v1 encodings of the same
+		// machine, so the fuzzer mutates the cert section and the
+		// version switch, not just the common layout.
+		c := certFor(f, m, res)
+		var certBuf bytes.Buffer
+		if err := machinefile.EncodeWithCert(&certBuf, m, res.MaxTND, c); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(certBuf.Bytes())
+		var v1 bytes.Buffer
+		if err := machinefile.EncodeV1(&v1, m, res.MaxTND); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
 	}
 	f.Add([]byte("STOKDFA1"))
+	f.Add([]byte("STOKDFA2"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := machinefile.Decode(bytes.NewReader(data))
 		if err != nil {
@@ -225,7 +248,7 @@ func FuzzDecode(f *testing.F) {
 			return
 		}
 		var buf bytes.Buffer
-		if err := machinefile.Encode(&buf, got.Machine, got.MaxTND); err != nil {
+		if err := machinefile.EncodeWithCert(&buf, got.Machine, got.MaxTND, got.Cert); err != nil {
 			t.Fatalf("re-encode of accepted machine: %v", err)
 		}
 		again, err := machinefile.Decode(&buf)
@@ -235,7 +258,209 @@ func FuzzDecode(f *testing.F) {
 		if again.MaxTND != got.MaxTND || !automata.Equivalent(got.Machine.DFA, again.Machine.DFA) {
 			t.Fatal("accepted machine does not round-trip")
 		}
+		if (again.Cert == nil) != (got.Cert == nil) {
+			t.Fatal("certificate presence does not round-trip")
+		}
 	})
+}
+
+// certFor builds the engine for m and derives its resource certificate,
+// the same way SaveCompiled does.
+func certFor(tb testing.TB, m *tokdfa.Machine, res analysis.Result) *cert.Certificate {
+	tb.Helper()
+	tok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, err := cert.New(m, res, tok)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// TestCertRoundTrip: every bounded catalog grammar's certificate
+// survives the machinefile round trip field-for-field, and the decoded
+// file passes the same static verification a loader runs.
+func TestCertRoundTrip(t *testing.T) {
+	for _, spec := range grammars.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Machine()
+			res := analysis.Analyze(m)
+			if !res.Bounded() {
+				t.Skipf("%s is unbounded; no certificate", spec.Name)
+			}
+			c := certFor(t, m, res)
+			var buf bytes.Buffer
+			if err := machinefile.EncodeWithCert(&buf, m, res.MaxTND, c); err != nil {
+				t.Fatal(err)
+			}
+			got, err := machinefile.Decode(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cert == nil {
+				t.Fatal("decoded file lost its certificate")
+			}
+			if !reflect.DeepEqual(got.Cert, c) {
+				t.Errorf("cert round trip:\n got %+v\nwant %+v", got.Cert, c)
+			}
+			// Decode already verified statically; verifying again here
+			// guards against Decode forgetting to.
+			if err := got.Cert.VerifyStatic(got.Machine, got.MaxTND); err != nil {
+				t.Errorf("decoded cert fails static verification: %v", err)
+			}
+		})
+	}
+}
+
+// TestCertTruncationSweep: cutting a cert-bearing file at every offset
+// in the cert region fails with ErrFormat — the same resilience the
+// common layout already has.
+func TestCertTruncationSweep(t *testing.T) {
+	m := grammars.JSON().Machine()
+	res := analysis.Analyze(m)
+	c := certFor(t, m, res)
+	var withCert, without bytes.Buffer
+	if err := machinefile.EncodeWithCert(&withCert, m, res.MaxTND, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := machinefile.Encode(&without, m, res.MaxTND); err != nil {
+		t.Fatal(err)
+	}
+	full := withCert.Bytes()
+	// The cert section sits between the accept table and maxTND: its
+	// size is the file-length delta, its start is certPresent's offset
+	// in the smaller file.
+	certLen := len(full) - without.Len()
+	certStart := without.Len() - (8 + 8 + 4)
+	if certLen <= 0 || certStart <= 8 {
+		t.Fatalf("implausible cert section: start %d len %d", certStart, certLen)
+	}
+	for cut := certStart - 1; cut < certStart+certLen+1; cut++ {
+		if _, err := machinefile.Decode(bytes.NewReader(full[:cut])); !errors.Is(err, machinefile.ErrFormat) {
+			t.Fatalf("truncate at %d: err = %v, want ErrFormat", cut, err)
+		}
+	}
+	// Bit flips across the cert section: the checksum catches each.
+	for off := certStart; off < certStart+certLen; off += 7 {
+		corrupt := append([]byte(nil), full...)
+		corrupt[off] ^= 0x20
+		if _, err := machinefile.Decode(bytes.NewReader(corrupt)); !errors.Is(err, machinefile.ErrFormat) {
+			t.Fatalf("flip at %d: err = %v, want ErrFormat", off, err)
+		}
+	}
+}
+
+// TestCertSemanticTamper: a cert whose claims disagree with the machine
+// is refused at decode even when the file itself is intact (valid CRC).
+// This is the attack the checksum cannot catch — a well-formed file
+// making false cost claims — and the reason Decode replays the cheap
+// bounds and the witness instead of trusting the bytes.
+func TestCertSemanticTamper(t *testing.T) {
+	m := grammars.JSON().Machine()
+	res := analysis.Analyze(m)
+	good := certFor(t, m, res)
+
+	tampers := map[string]func(c *cert.Certificate){
+		"grammar hash":    func(c *cert.Certificate) { c.GrammarHash = "0000" + c.GrammarHash[4:] },
+		"delay K":         func(c *cert.Certificate) { c.DelayK++ },
+		"dichotomy bound": func(c *cert.Certificate) { c.DichotomyBound += 3 },
+		"carry cap":       func(c *cert.Certificate) { c.CarryRetainedCap /= 2 },
+		"parallel rework": func(c *cert.Certificate) { c.ParallelReworkX = 1 },
+		"witness byte":    func(c *cert.Certificate) { c.WitnessV[len(c.WitnessV)-1] ^= 0xff },
+		"witness length":  func(c *cert.Certificate) { c.WitnessV = append(c.WitnessV, 'x') },
+		"witness dropped": func(c *cert.Certificate) { c.WitnessU, c.WitnessV = nil, nil },
+	}
+	for name, tamper := range tampers {
+		t.Run(name, func(t *testing.T) {
+			bad := *good
+			bad.WitnessU = append([]byte(nil), good.WitnessU...)
+			bad.WitnessV = append([]byte(nil), good.WitnessV...)
+			tamper(&bad)
+			// Encode computes an honest CRC over the tampered cert: only
+			// semantic verification can reject this file.
+			var buf bytes.Buffer
+			if err := machinefile.EncodeWithCert(&buf, m, res.MaxTND, &bad); err != nil {
+				t.Fatal(err)
+			}
+			_, err := machinefile.Decode(&buf)
+			if !errors.Is(err, machinefile.ErrFormat) || !errors.Is(err, cert.ErrMismatch) {
+				t.Fatalf("err = %v, want ErrFormat wrapping cert.ErrMismatch", err)
+			}
+		})
+	}
+}
+
+// TestV1CrossVersionLoad: a legacy version-1 file (no certificate)
+// still decodes — old machine files keep working, they just carry no
+// cost claims (Cert == nil tells the loader to certify fresh).
+func TestV1CrossVersionLoad(t *testing.T) {
+	m := grammars.JSON().Machine()
+	res := analysis.Analyze(m)
+	var buf bytes.Buffer
+	if err := machinefile.EncodeV1(&buf, m, res.MaxTND); err != nil {
+		t.Fatal(err)
+	}
+	got, err := machinefile.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cert != nil {
+		t.Error("v1 file decoded with a certificate from nowhere")
+	}
+	if got.MaxTND != res.MaxTND {
+		t.Errorf("MaxTND = %d, want %d", got.MaxTND, res.MaxTND)
+	}
+	if !automata.Equivalent(m.DFA, got.Machine.DFA) {
+		t.Error("decoded DFA not equivalent")
+	}
+}
+
+// TestRegenFuzzSeeds rewrites the certificate-related fuzz seed corpus
+// under testdata/fuzz/FuzzDecode when MACHINEFILE_REGEN_SEEDS=1 — run
+// it after changing the cert section layout so the committed corpus
+// keeps exercising the current format. A no-op (skip) otherwise.
+func TestRegenFuzzSeeds(t *testing.T) {
+	if os.Getenv("MACHINEFILE_REGEN_SEEDS") == "" {
+		t.Skip("set MACHINEFILE_REGEN_SEEDS=1 to rewrite the seed corpus")
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		path := filepath.Join("testdata", "fuzz", "FuzzDecode", name)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"json", "csv"} {
+		spec, err := grammars.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := spec.Machine()
+		res := analysis.Analyze(m)
+		c := certFor(t, m, res)
+		var buf bytes.Buffer
+		if err := machinefile.EncodeWithCert(&buf, m, res.MaxTND, c); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		write("seed-cert-"+name, full)
+		// Cut and flip inside the cert section (the tail before
+		// maxTND+crc), so the fuzzer starts from cert-shaped damage.
+		write("seed-cert-trunc-"+name, full[:len(full)-(8+4+20)])
+		flip := append([]byte(nil), full...)
+		flip[len(flip)-(8+4+40)] ^= 0x08
+		write("seed-cert-flip-"+name, flip)
+		var v1 bytes.Buffer
+		if err := machinefile.EncodeV1(&v1, m, res.MaxTND); err != nil {
+			t.Fatal(err)
+		}
+		write("seed-v1-"+name, v1.Bytes())
+	}
+	write("seed-magic-v2", []byte("STOKDFA2"))
 }
 
 // failWriter fails after n bytes, exercising Encode's error paths.

@@ -48,10 +48,13 @@ type Entry struct {
 
 // RejectError is a grammar the registry refuses to serve. Diagnostic is
 // a lint-style explanation (severity[code]: message, with indented
-// detail lines) ready to hand to the client.
+// detail lines) ready to hand to the client. Cert, when non-nil, is the
+// grammar's resource certificate — attached to memory-budget rejections
+// so the client can see exactly why the grammar is too expensive.
 type RejectError struct {
 	Name       string
 	Diagnostic string
+	Cert       *streamtok.Certificate
 }
 
 func (e *RejectError) Error() string {
@@ -60,14 +63,22 @@ func (e *RejectError) Error() string {
 
 // RegistryStats counts registry traffic. Resident is the number of
 // cached slots (including negative entries for rejected grammars);
-// Pinned the machine-file entries exempt from eviction.
+// Pinned the machine-file entries exempt from eviction. ResidentBytes
+// and PinnedBytes sum the certified table bytes of cached and pinned
+// entries; MemBudget is the admission cap over their sum (0 = no
+// budget), and BudgetRejects counts grammars refused because their
+// certified footprint cannot fit it.
 type RegistryStats struct {
-	Resident  int    `json:"resident"`
-	Pinned    int    `json:"pinned"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Rejects   uint64 `json:"rejects"`
+	Resident      int    `json:"resident"`
+	Pinned        int    `json:"pinned"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	PinnedBytes   int64  `json:"pinned_bytes"`
+	MemBudget     int64  `json:"mem_budget"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Rejects       uint64 `json:"rejects"`
+	BudgetRejects uint64 `json:"budget_rejects"`
 }
 
 // slot is one cache cell: a future other requests for the same grammar
@@ -76,10 +87,11 @@ type RegistryStats struct {
 // costs a compile, and a client retrying a bad grammar must not pay (or
 // charge us) that repeatedly.
 type slot struct {
-	done chan struct{} // closed when ent/rej/err are filled
-	ent  *Entry
-	rej  *RejectError
-	err  error // non-diagnostic compile failure (slot is dropped, not cached)
+	done  chan struct{} // closed when ent/rej/err are filled
+	ent   *Entry
+	rej   *RejectError
+	err   error // non-diagnostic compile failure (slot is dropped, not cached)
+	bytes int64 // certified resident bytes charged to the memory budget
 }
 
 // Registry caches compiled tokenizers, keyed by grammar hash, with LRU
@@ -93,7 +105,15 @@ type Registry struct {
 	byHash map[string]*list.Element
 	slots  map[string]*slot
 	pinned map[string]*Entry // by name; machine-file entries
-	stats  RegistryStats
+
+	// memBudget caps the sum of certified resident bytes (table bytes)
+	// across pinned and cached entries; 0 = unlimited. residentBytes and
+	// pinnedBytes track the two halves of that sum.
+	memBudget     int64
+	residentBytes int64
+	pinnedBytes   int64
+
+	stats RegistryStats
 }
 
 // DefaultRegistryCapacity bounds the compiled-grammar cache when
@@ -113,6 +133,27 @@ func NewRegistry(capacity int) *Registry {
 		slots:  make(map[string]*slot),
 		pinned: make(map[string]*Entry),
 	}
+}
+
+// SetMemBudget caps the sum of certified resident bytes (each entry's
+// Certificate().ResidentBytes()) across pinned and cached grammars;
+// 0 removes the cap. LRU eviction honors the budget, and a grammar
+// whose certified footprint cannot fit even an empty cache is rejected
+// with its certificate attached. Call before serving traffic.
+func (r *Registry) SetMemBudget(bytes int64) {
+	r.mu.Lock()
+	if bytes < 0 {
+		bytes = 0
+	}
+	r.memBudget = bytes
+	r.mu.Unlock()
+}
+
+// MemBudget returns the configured budget (0 = unlimited).
+func (r *Registry) MemBudget() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memBudget
 }
 
 // Lookup resolves a grammar by name: a pinned machine-file entry first,
@@ -191,9 +232,70 @@ func (r *Registry) get(name string, g *streamtok.Grammar) (*Entry, error) {
 		close(sl.done)
 		return nil, err
 	}
-	sl.ent = newEntry(name, hash, g, tok)
+	ent := newEntry(name, hash, g, tok)
+
+	// Budget admission: the compiled grammar's certified resident bytes
+	// must fit the memory budget (less the pinned share), evicting
+	// unpinned LRU entries to make room. A grammar too large for even
+	// an empty cache is cached as a rejection — retrying it must not
+	// re-pay the compile.
+	rb := int64(tok.Certificate().ResidentBytes())
+	r.mu.Lock()
+	if r.memBudget > 0 && r.slots[hash] == sl {
+		avail := r.memBudget - r.pinnedBytes
+		if rb > avail {
+			sl.rej = &RejectError{
+				Name:       name,
+				Diagnostic: budgetDiagnostic(tok.Certificate(), rb, avail, r.memBudget, r.pinnedBytes),
+				Cert:       tok.Certificate(),
+			}
+			r.stats.Rejects++
+			r.stats.BudgetRejects++
+			r.mu.Unlock()
+			close(sl.done)
+			return nil, sl.rej
+		}
+		r.evictForBudgetLocked(rb, sl)
+		sl.bytes = rb
+		r.residentBytes += rb
+	}
+	r.mu.Unlock()
+
+	sl.ent = ent
 	close(sl.done)
 	return sl.ent, nil
+}
+
+// budgetDiagnostic renders the lint-style rejection for a grammar whose
+// certified footprint cannot fit the memory budget, certificate
+// attached so the client sees why the grammar is expensive.
+func budgetDiagnostic(c *streamtok.Certificate, rb, avail, budget, pinned int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "error[mem-budget]: certified resident tables %d B exceed the registry memory budget (%d B available of %d B; %d B pinned)",
+		rb, avail, budget, pinned)
+	fmt.Fprintf(&sb, "\n    certificate: %s", c)
+	sb.WriteString("\n    raise -mem-budget, shrink the grammar, or serve it from a dedicated instance")
+	return sb.String()
+}
+
+// evictForBudgetLocked drops completed, unpinned LRU entries (never
+// keep, never a slot still compiling) until need more certified bytes
+// fit the budget's cache share.
+func (r *Registry) evictForBudgetLocked(need int64, keep *slot) {
+	avail := r.memBudget - r.pinnedBytes
+	el := r.lru.Back()
+	for el != nil && r.residentBytes+need > avail {
+		prev := el.Prev()
+		hash := el.Value.(string)
+		if sl := r.slots[hash]; sl != keep && sl != nil && sl.bytes > 0 {
+			r.lru.Remove(el)
+			delete(r.byHash, hash)
+			delete(r.slots, hash)
+			r.residentBytes -= sl.bytes
+			r.stats.Evictions++
+		}
+		el = prev
+	}
 }
 
 // evictLocked drops least-recently-used slots beyond capacity. Evicted
@@ -207,6 +309,9 @@ func (r *Registry) evictLocked() {
 		}
 		hash := el.Value.(string)
 		r.lru.Remove(el)
+		if sl := r.slots[hash]; sl != nil {
+			r.residentBytes -= sl.bytes
+		}
 		delete(r.byHash, hash)
 		delete(r.slots, hash)
 		r.stats.Evictions++
@@ -235,8 +340,24 @@ func (r *Registry) LoadMachine(path string) (*Entry, error) {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	ent := newEntry(name, g.Hash(), g, tok)
+	rb := int64(tok.Certificate().ResidentBytes())
 	r.mu.Lock()
+	if old, ok := r.pinned[name]; ok {
+		r.pinnedBytes -= int64(old.Tok.Certificate().ResidentBytes())
+	}
+	if r.memBudget > 0 && r.pinnedBytes+rb > r.memBudget {
+		over := r.pinnedBytes + rb - r.memBudget
+		r.mu.Unlock()
+		return nil, fmt.Errorf("pin %s: certified resident tables %d B overflow the %d B memory budget by %d B (certificate: %s)",
+			name, rb, r.memBudget, over, tok.Certificate())
+	}
+	r.pinnedBytes += rb
 	r.pinned[name] = ent
+	// Pinned bytes shrink the cache's share of the budget; evict cached
+	// entries that no longer fit.
+	if r.memBudget > 0 {
+		r.evictForBudgetLocked(0, nil)
+	}
 	r.mu.Unlock()
 	return ent, nil
 }
@@ -298,6 +419,9 @@ func (r *Registry) Stats() RegistryStats {
 	st := r.stats
 	st.Resident = len(r.byHash)
 	st.Pinned = len(r.pinned)
+	st.ResidentBytes = r.residentBytes
+	st.PinnedBytes = r.pinnedBytes
+	st.MemBudget = r.memBudget
 	r.mu.Unlock()
 	return st
 }

@@ -428,12 +428,15 @@ func (s *Server) finishStream(tokens, bytesIn uint64, err error) {
 	}
 }
 
-// GrammarMetrics is one resident grammar's slice of /metrics.
+// GrammarMetrics is one resident grammar's slice of /metrics. Cert is
+// the grammar's verified resource certificate — the statically derived
+// bounds its runtime counters (Stats) must stay under.
 type GrammarMetrics struct {
-	Name   string               `json:"name"`
-	Hash   string               `json:"hash"`
-	Engine streamtok.EngineInfo `json:"engine"`
-	Stats  streamtok.Stats      `json:"stats"`
+	Name   string                 `json:"name"`
+	Hash   string                 `json:"hash"`
+	Engine streamtok.EngineInfo   `json:"engine"`
+	Cert   *streamtok.Certificate `json:"cert,omitempty"`
+	Stats  streamtok.Stats        `json:"stats"`
 }
 
 // Metrics is the full /metrics document: server-level request counters
@@ -481,6 +484,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			Name:   ent.Name,
 			Hash:   ent.Hash,
 			Engine: ent.Tok.Engine(),
+			Cert:   ent.Tok.Certificate(),
 			Stats:  ent.Tok.AggregateStats(),
 		})
 	}
@@ -518,9 +522,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "registry:   %d resident (%d pinned), %d hits, %d misses, %d evictions, %d rejects\n",
 		m.Registry.Resident, m.Registry.Pinned, m.Registry.Hits, m.Registry.Misses,
 		m.Registry.Evictions, m.Registry.Rejects)
+	if m.Registry.MemBudget > 0 {
+		fmt.Fprintf(w, "budget:     %d B resident (%d B pinned) of %d B, %d budget rejects\n",
+			m.Registry.ResidentBytes, m.Registry.PinnedBytes, m.Registry.MemBudget,
+			m.Registry.BudgetRejects)
+	}
 	for _, g := range m.Grammars {
 		fmt.Fprintf(w, "\ngrammar %s (%.12s)\n", g.Name, g.Hash)
 		fmt.Fprintf(w, "  engine:   %s\n", g.Engine)
+		if g.Cert != nil {
+			fmt.Fprintf(w, "  cert:     %s\n", g.Cert)
+		}
 		fmt.Fprintf(w, "  latency:  p50 %d B, p99 %d B, max %d B past token end (bound K=%d)\n",
 			g.Stats.LatencyQuantile(0.5), g.Stats.LatencyQuantile(0.99), g.Stats.MaxLatency(), g.Engine.K)
 		fmt.Fprintf(w, "  streams:  %d started, %d done; %d tokens, %d bytes in\n",

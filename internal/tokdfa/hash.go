@@ -1,0 +1,23 @@
+package tokdfa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// Hash returns a stable hex identity for the grammar: a SHA-256 over the
+// rule names and canonical rule sources, in order. Two grammars hash
+// equal exactly when they have the same rules (same regexes, same order,
+// same names). The serving registry caches compiled tokenizers under
+// this key, and resource certificates bind to it.
+func (g *Grammar) Hash() string {
+	h := sha256.New()
+	for i := range g.Rules {
+		io.WriteString(h, g.RuleName(i))
+		h.Write([]byte{0})
+		io.WriteString(h, g.RuleSource(i))
+		h.Write([]byte{0xff})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

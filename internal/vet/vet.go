@@ -1,0 +1,176 @@
+// Package vet implements repo-specific static checks for streamtok,
+// run by cmd/streamtokvet (standalone or as a `go vet -vettool`). The
+// checks enforce two invariants the library's performance contract
+// depends on but the compiler cannot see:
+//
+//  1. Pool discipline: every function that calls AcquireStreamer must
+//     also release (ReleaseStreamer) within the same function, or be an
+//     Acquire* wrapper that passes the obligation to its caller. A
+//     leaked streamer silently defeats the zero-allocation serving path
+//     — the pool drains and every stream allocates again.
+//
+//  2. Counter granularity: the chunk-level observability counters
+//     (Streams, StreamsDone, BytesIn, Chunks on the embedded `c`
+//     counter block) must never be updated inside a loop. They are
+//     per-chunk/per-stream by design; moving one into a per-byte loop
+//     reintroduces exactly the counter overhead the obs layer was
+//     engineered to avoid. Per-event counters (TokensByRule,
+//     AccelBackoffs, ...) legitimately live in loops and are not
+//     flagged.
+//
+// The checks are purely syntactic (go/ast, no type information), which
+// keeps the tool dependency-free and fast; the patterns are specific
+// enough that false positives name real design questions.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// chunkCounters are the obs counter fields that must stay out of loops.
+var chunkCounters = map[string]bool{
+	"Streams":     true,
+	"StreamsDone": true,
+	"BytesIn":     true,
+	"Chunks":      true,
+}
+
+// Finding is one diagnostic: a position and what is wrong there.
+type Finding struct {
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// CheckFile runs every check on one parsed file and returns the
+// findings in source order.
+func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Body != nil {
+			out = append(out, checkPoolPairing(fset, fn)...)
+			out = append(out, checkCounterLoops(fset, fn)...)
+		}
+	}
+	return out
+}
+
+// checkPoolPairing flags AcquireStreamer calls in functions that never
+// mention ReleaseStreamer. The scope is the whole top-level function
+// (closures included), so acquire-in-loop / release-in-deferred-closure
+// patterns pass; only a function that can never release is flagged.
+// Functions named Acquire* are exempt: they are wrappers re-exporting
+// the acquire, and the release obligation is their caller's.
+func checkPoolPairing(fset *token.FileSet, fn *ast.FuncDecl) []Finding {
+	if len(fn.Name.Name) >= 7 && fn.Name.Name[:7] == "Acquire" {
+		return nil
+	}
+	var acquires []token.Pos
+	releases := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AcquireStreamer" {
+				acquires = append(acquires, n.Pos())
+			}
+		case *ast.Ident:
+			if n.Name == "ReleaseStreamer" {
+				releases = true
+			}
+		}
+		return true
+	})
+	if releases {
+		return nil
+	}
+	var out []Finding
+	for _, pos := range acquires {
+		out = append(out, Finding{
+			Pos: fset.Position(pos),
+			Message: fmt.Sprintf("AcquireStreamer in %s without a ReleaseStreamer in the same function; "+
+				"release the streamer (usually deferred) or name the function Acquire* to pass the obligation to callers",
+				fn.Name.Name),
+		})
+	}
+	return out
+}
+
+// checkCounterLoops flags assignments and ++/-- on chunk-level obs
+// counters (x.c.BytesIn and friends) that sit lexically inside a for or
+// range statement.
+func checkCounterLoops(fset *token.FileSet, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			walk(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(n.Body, true)
+			return
+		case *ast.FuncLit:
+			// A closure body is a fresh scope: it may run outside the
+			// loop that defines it (deferred, goroutine), so do not
+			// inherit the loop context.
+			walk(n.Body, false)
+			return
+		case *ast.AssignStmt:
+			if inLoop {
+				for _, lhs := range n.Lhs {
+					if name, ok := chunkCounterTarget(lhs); ok {
+						out = append(out, counterFinding(fset, lhs.Pos(), name, fn))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if inLoop {
+				if name, ok := chunkCounterTarget(n.X); ok {
+					out = append(out, counterFinding(fset, n.Pos(), name, fn))
+				}
+			}
+		}
+		// Generic descent, preserving the loop context.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, inLoop)
+			return false
+		})
+	}
+	walk(fn.Body, false)
+	return out
+}
+
+func counterFinding(fset *token.FileSet, pos token.Pos, name string, fn *ast.FuncDecl) Finding {
+	return Finding{
+		Pos: fset.Position(pos),
+		Message: fmt.Sprintf("chunk-level obs counter %s updated inside a loop in %s; "+
+			"these counters are per-chunk by design — hoist the update into the Feed preamble",
+			name, fn.Name.Name),
+	}
+}
+
+// chunkCounterTarget reports whether expr is `<anything>.c.<counter>`
+// for one of the chunk-level counters, returning the counter name.
+func chunkCounterTarget(expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || !chunkCounters[sel.Sel.Name] {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "c" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

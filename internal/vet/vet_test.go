@@ -1,0 +1,107 @@
+package vet
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFile(fset, f)
+}
+
+func wantFindings(t *testing.T, src string, substrs ...string) {
+	t.Helper()
+	got := check(t, src)
+	if len(got) != len(substrs) {
+		t.Fatalf("got %d findings %v, want %d", len(got), got, len(substrs))
+	}
+	for i, want := range substrs {
+		if !strings.Contains(got[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i].Message, want)
+		}
+	}
+}
+
+func TestPoolPairing(t *testing.T) {
+	// Leak: acquire with no release anywhere in the function.
+	wantFindings(t, `package p
+func leak(t *T) {
+	s := t.AcquireStreamer()
+	s.Feed(nil, nil)
+}`, "AcquireStreamer in leak without a ReleaseStreamer")
+
+	// Paired in the same function: clean.
+	wantFindings(t, `package p
+func ok(t *T) {
+	s := t.AcquireStreamer()
+	defer t.ReleaseStreamer(s)
+}`)
+
+	// Released inside a closure within the same function: clean (the
+	// scope is the whole top-level function).
+	wantFindings(t, `package p
+func okClosure(t *T) {
+	s := t.AcquireStreamer()
+	go func() { t.ReleaseStreamer(s) }()
+}`)
+
+	// Acquire* wrappers pass the obligation to their caller.
+	wantFindings(t, `package p
+func (t *T) AcquireStreamer() *S {
+	return &S{inner: t.inner.AcquireStreamer()}
+}`)
+}
+
+func TestCounterLoops(t *testing.T) {
+	// Per-byte counter update inside a range loop: flagged.
+	wantFindings(t, `package p
+func feed(s *S, chunk []byte) {
+	for range chunk {
+		s.c.BytesIn++
+	}
+}`, "chunk-level obs counter BytesIn updated inside a loop in feed")
+
+	// Assignment form, nested for loop: flagged.
+	wantFindings(t, `package p
+func feed(s *S, chunk []byte) {
+	for i := 0; i < len(chunk); i++ {
+		s.c.Chunks += 1
+	}
+}`, "chunk-level obs counter Chunks updated inside a loop in feed")
+
+	// The preamble pattern the real Feed uses: clean.
+	wantFindings(t, `package p
+func feed(s *S, chunk []byte) {
+	s.c.BytesIn += uint64(len(chunk))
+	s.c.Chunks++
+	for range chunk {
+		s.c.TokensOut++ // per-event counters are fine in loops
+	}
+}`)
+
+	// The counter type's own methods (receiver c, plain ident): clean.
+	wantFindings(t, `package p
+func (c *Counters) Merge(o *Counters) {
+	for i := range o.TokensByRule {
+		c.BytesIn += o.BytesIn
+	}
+}`)
+
+	// A closure defined in a loop but run later does not inherit the
+	// loop context.
+	wantFindings(t, `package p
+func feed(s *S, chunks [][]byte) {
+	for _, ch := range chunks {
+		defer func() { s.c.StreamsDone = 1 }()
+		_ = ch
+	}
+}`)
+}

@@ -159,6 +159,28 @@ func reconcileOneStream(t *testing.T, tok *streamtok.Tokenizer, an streamtok.Ana
 		t.Errorf("CarryMax=%d > max token len %d + K %d", st.CarryMax, maxTokenLen, k)
 	}
 
+	// Certificate ↔ observation reconciliation: every bounded tokenizer
+	// carries a certificate, and the run's observed high-water marks must
+	// stay under its static claims — a certified bound an execution can
+	// exceed is a broken certifier, the one failure mode load-time
+	// verification cannot catch.
+	c := tok.Certificate()
+	if c == nil {
+		t.Fatal("bounded tokenizer has no resource certificate")
+	}
+	if c.DelayK != k {
+		t.Errorf("certified DelayK=%d != engine K=%d", c.DelayK, k)
+	}
+	if st.RingMax > uint64(c.RingBytes) {
+		t.Errorf("observed RingMax=%d exceeds certified ring %d B", st.RingMax, c.RingBytes)
+	}
+	if eng := tok.Engine(); c.TableBytes != eng.TableBytes {
+		t.Errorf("certified TableBytes=%d != engine's %d", c.TableBytes, eng.TableBytes)
+	}
+	if c.DelayK > c.DichotomyBound {
+		t.Errorf("certified K=%d exceeds its dichotomy bound %d", c.DelayK, c.DichotomyBound)
+	}
+
 	if st.Streams != 1 || st.StreamsDone != 1 {
 		t.Errorf("Streams=%d StreamsDone=%d, want 1/1 after Close", st.Streams, st.StreamsDone)
 	}

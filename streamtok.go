@@ -29,8 +29,6 @@ package streamtok
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +36,7 @@ import (
 	"sync"
 
 	"streamtok/internal/analysis"
+	"streamtok/internal/analysis/cert"
 	"streamtok/internal/core"
 	"streamtok/internal/grammars"
 	"streamtok/internal/tepath"
@@ -112,17 +111,8 @@ func (g *Grammar) Rules() []string {
 // the rule names and canonical rule sources, in order. Two grammars
 // hash equal exactly when they have the same rules (same regexes, same
 // order, same names) — the key the serving registry caches compiled
-// tokenizers under.
-func (g *Grammar) Hash() string {
-	h := sha256.New()
-	for i := range g.g.Rules {
-		io.WriteString(h, g.g.RuleName(i))
-		h.Write([]byte{0})
-		io.WriteString(h, g.g.RuleSource(i))
-		h.Write([]byte{0xff})
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
+// tokenizers under, and the identity resource certificates bind to.
+func (g *Grammar) Hash() string { return g.g.Hash() }
 
 // String renders the grammar as r_0 | r_1 | ... .
 func (g *Grammar) String() string { return g.g.String() }
@@ -230,11 +220,19 @@ type Options struct {
 	DisableFused bool
 }
 
+// Certificate is a statically derived resource certificate: the
+// machine-checkable cost claims (delay K with witness, ring/carry/table
+// byte bounds, accel coverage, parallel rework factor) for one grammar
+// on the engine the tokenizer selected. See internal/analysis/cert for
+// the claim-by-claim documentation and the verification rules.
+type Certificate = cert.Certificate
+
 // Tokenizer is a compiled StreamTok tokenizer. It is immutable and safe
 // for concurrent use; each concurrent stream needs its own Streamer.
 type Tokenizer struct {
 	inner    *core.Tokenizer
 	an       Analysis
+	cert     *Certificate
 	wrapPool sync.Pool // recycles the Streamer wrapper structs
 }
 
@@ -263,8 +261,13 @@ func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	c, err := cert.New(m, res, inner)
+	if err != nil {
+		return nil, err
+	}
 	return &Tokenizer{
 		inner: inner,
+		cert:  c,
 		an: Analysis{
 			MaxTND:  res.MaxTND,
 			Bounded: true,
@@ -277,6 +280,11 @@ func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
 // Analysis returns the static-analysis result the tokenizer was built
 // from.
 func (t *Tokenizer) Analysis() Analysis { return t.an }
+
+// Certificate returns the tokenizer's resource certificate: the
+// statically derived, machine-checkable cost bounds for this grammar on
+// the engine the tokenizer selected. Never nil for a built tokenizer.
+func (t *Tokenizer) Certificate() *Certificate { return t.cert }
 
 // K returns the lookahead bound (the grammar's max-TND).
 func (t *Tokenizer) K() int { return t.inner.K() }
