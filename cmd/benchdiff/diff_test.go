@@ -131,6 +131,8 @@ func TestAgainstCommittedArtifacts(t *testing.T) {
 	}{
 		{"BENCH_hotloop.json", "workload,grammar,mode", "speedup", false},
 		{"BENCH_concurrency.json", "mode,N", "allocs/stream", true},
+		{"BENCH_biggrammar.json", "grammar", "ratio", true},
+		{"BENCH_biggrammar.json", "grammar", "dfa_bytes", true},
 	} {
 		path := filepath.Join("..", "..", c.file)
 		tb, err := loadTable(path)

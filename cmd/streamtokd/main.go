@@ -50,6 +50,7 @@ func main() {
 	registryCap := flag.Int("registry-cap", 0, "compiled-grammar cache capacity (0 = 64)")
 	noAdhoc := flag.Bool("no-adhoc", false, "refuse ?rule= compile-on-demand grammars")
 	memBudget := flag.String("mem-budget", "", "cap on certified resident table bytes across grammars, e.g. 4M or 256K (empty = unlimited)")
+	fusedBudget := flag.String("fused-budget", "", "per-grammar cap on fused action tables, e.g. 4M (empty = 16M default; over-budget grammars serve from the split loops)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on shutdown")
 	flag.Parse()
 	logger := log.New(os.Stderr, "streamtokd: ", log.LstdFlags)
@@ -62,6 +63,14 @@ func main() {
 		}
 		reg.SetMemBudget(budget)
 		logger.Printf("memory budget: %d B of certified resident tables", budget)
+	}
+	if *fusedBudget != "" {
+		budget, err := parseBytes(*fusedBudget)
+		if err != nil {
+			logger.Fatalf("-fused-budget: %v", err)
+		}
+		reg.SetFusedBudget(int(budget))
+		logger.Printf("fused table budget: %d B per grammar", budget)
 	}
 	if *machines != "" {
 		names, err := reg.LoadMachineDir(*machines)

@@ -52,6 +52,7 @@ func main() {
 	lint := flag.Bool("lint", false, "run the full diagnostic suite (unbounded-TND root cause, shadowed rules, overlaps, ε-rules, error traps)")
 	certify := flag.Bool("certify", false, "derive the static resource certificate, verify it, and print it")
 	jsonOut := flag.Bool("json", false, "print the analysis (or, with -lint/-certify, the report) as JSON")
+	fusedBudget := flag.Int("fused-budget", 0, "cap on fused action table bytes for -certify/-emit engines (0 = 16M default)")
 	flag.Parse()
 
 	if *listGrammars {
@@ -88,7 +89,7 @@ func main() {
 	}
 	res := analysis.Analyze(m)
 	if *certify {
-		runCertify(m, res, *jsonOut)
+		runCertify(m, res, *jsonOut, *fusedBudget)
 		return
 	}
 	if *jsonOut {
@@ -130,7 +131,7 @@ func main() {
 		}
 	}
 	if *emitMachine != "" {
-		if err := writeMachine(*emitMachine, m, res); err != nil {
+		if err := writeMachine(*emitMachine, m, res, *fusedBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "tnd:", err)
 			os.Exit(2)
 		}
@@ -177,12 +178,12 @@ func runLint(g *tokdfa.Grammar, jsonOut bool) {
 // pass a loader applies), and prints it. Exits 1 when the grammar is
 // unbounded (no certificate exists), 2 when certification or
 // verification fails — either means the toolchain is broken.
-func runCertify(m *tokdfa.Machine, res analysis.Result, jsonOut bool) {
+func runCertify(m *tokdfa.Machine, res analysis.Result, jsonOut bool, fusedBudget int) {
 	if !res.Bounded() {
 		fmt.Fprintf(os.Stderr, "tnd: grammar %s has unbounded max-TND; no resource certificate exists\n", m.Grammar.String())
 		os.Exit(1)
 	}
-	inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	inner, err := core.NewWithKBudget(m, res.MaxTND, tepath.Limits{}, fusedBudget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnd:", err)
 		os.Exit(2)
@@ -211,7 +212,7 @@ func runCertify(m *tokdfa.Machine, res analysis.Result, jsonOut bool) {
 	fmt.Printf("verified:  static bounds recomputed, witness replayed, engine matched\n")
 }
 
-func writeMachine(path string, m *tokdfa.Machine, res analysis.Result) error {
+func writeMachine(path string, m *tokdfa.Machine, res analysis.Result, fusedBudget int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -222,8 +223,10 @@ func writeMachine(path string, m *tokdfa.Machine, res analysis.Result) error {
 		}
 		// Bounded machines are emitted with their resource certificate so
 		// loaders (streamtokd -machines, LoadCompiled) can verify the
-		// file's cost claims before serving it.
-		inner, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+		// file's cost claims before serving it. A non-default
+		// -fused-budget shapes the certified engine; loaders configured
+		// with a different budget re-certify on load.
+		inner, err := core.NewWithKBudget(m, res.MaxTND, tepath.Limits{}, fusedBudget)
 		if err != nil {
 			return err
 		}

@@ -58,6 +58,18 @@ func SaveCompiled(g *Grammar, w io.Writer) error {
 // A version-1 file without a certificate still loads; its tokenizer is
 // certified fresh.
 func LoadCompiled(r io.Reader) (*Tokenizer, *Grammar, error) {
+	return LoadCompiledWithOptions(r, Options{})
+}
+
+// LoadCompiledWithOptions is LoadCompiled with engine options (only the
+// engine-selection fields apply: MaxFusedTableBytes, DisableFused,
+// MaxTeDFAStates — the machine's tables are already compiled). A
+// certificate from a current-format file verifies against the rebuilt
+// engine when the options select the default engine; a non-default
+// engine (or a dense-era file, whose byte accounting predates class
+// compression) is re-certified instead, so the returned tokenizer
+// always carries bounds that describe the engine actually serving.
+func LoadCompiledWithOptions(r io.Reader, opts Options) (*Tokenizer, *Grammar, error) {
 	mf, err := machinefile.Decode(r)
 	if err != nil {
 		return nil, nil, err
@@ -66,20 +78,32 @@ func LoadCompiled(r io.Reader) (*Tokenizer, *Grammar, error) {
 	if mf.MaxTND == analysis.Infinite {
 		return nil, g, fmt.Errorf("%w (grammar %s)", ErrUnbounded, g.g.String())
 	}
-	inner, err := core.NewWithK(mf.Machine, mf.MaxTND, tepath.Limits{})
+	limits := tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates}
+	var inner *core.Tokenizer
+	if opts.DisableFused {
+		inner, err = core.NewSplitWithK(mf.Machine, mf.MaxTND, limits)
+	} else {
+		inner, err = core.NewWithKBudget(mf.Machine, mf.MaxTND, limits, opts.MaxFusedTableBytes)
+	}
 	if err != nil {
 		return nil, g, err
 	}
 	c := mf.Cert
-	if c != nil {
+	defaultEngine := !opts.DisableFused && opts.MaxFusedTableBytes == 0 && opts.MaxTeDFAStates == 0
+	switch {
+	case c != nil && mf.Version >= 3 && defaultEngine:
 		if err := c.VerifyAgainst(inner); err != nil {
 			return nil, g, fmt.Errorf("machinefile certificate refused: %w", err)
 		}
-	} else {
-		// Legacy file with no certificate: re-run the analysis (cheap
-		// next to the compile the file saved us) and certify the engine
-		// we just built, so every loaded tokenizer carries verified
-		// bounds for budgeted admission.
+	default:
+		// No certificate (legacy v1 files), a dense-era certificate whose
+		// byte accounting no longer matches any engine this build
+		// constructs, or a non-default engine the stored certificate was
+		// not derived for: re-run the analysis (cheap next to the compile
+		// the file saved us) and certify the engine we just built, so
+		// every loaded tokenizer carries verified bounds for budgeted
+		// admission. The stored certificate's static half was already
+		// verified during decode.
 		res := analysis.Analyze(mf.Machine)
 		if c, err = cert.New(mf.Machine, res, inner); err != nil {
 			return nil, g, err

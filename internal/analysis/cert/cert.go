@@ -73,8 +73,19 @@ type Certificate struct {
 	CarryRetainedCap int
 	// TableBytes is the shared, per-grammar footprint of the precomputed
 	// automata and action tables — the resident bytes the serving
-	// registry's memory budget sums.
+	// registry's memory budget sums. Tables are byte-class compressed,
+	// so this is the real (compressed) footprint, class maps included.
 	TableBytes int
+	// NumClasses is the byte-class count C of the compressed tables:
+	// the 256 byte values partition into C column-equivalence classes
+	// and every table stores C columns per state. 0 on certificates
+	// decoded from dense-era (format < 3) files, which predate the field.
+	NumClasses int
+	// DenseTableBytes is what the tokenization DFA's transition and
+	// accept tables would occupy in the dense 256-ary layout of format
+	// versions < 3 — the baseline the ~C/256 compression ratio is quoted
+	// against. 0 on dense-era certificates.
+	DenseTableBytes int
 	// AccelStates and AccelSlots give the accel coverage fraction:
 	// AccelStates of AccelSlots fused slots carry bulk run skipping
 	// (both 0 when the fused engine is off).
@@ -105,6 +116,8 @@ func New(m *tokdfa.Machine, res analysis.Result, t *core.Tokenizer) (*Certificat
 		RingBytes:        t.RingBytes(),
 		CarryRetainedCap: core.MaxRetainedCarryCap,
 		TableBytes:       t.TableBytes(),
+		NumClasses:       m.DFA.NumClasses(),
+		DenseTableBytes:  DenseDFABytes(m),
 		AccelStates:      t.AccelStates(),
 		AccelSlots:       t.AccelSlots(),
 		ParallelReworkX:  ParallelReworkBound,
@@ -117,6 +130,24 @@ func New(m *tokdfa.Machine, res analysis.Result, t *core.Tokenizer) (*Certificat
 		c.WitnessU, c.WitnessV = u, v
 	}
 	return c, nil
+}
+
+// DenseDFABytes returns the bytes m's tokenization DFA tables would
+// occupy in the dense 256-ary layout (4-byte entry per state per byte
+// value, plus the accept labels) — the baseline a certificate's
+// compression ratio is quoted against.
+func DenseDFABytes(m *tokdfa.Machine) int {
+	return m.DFA.NumStates()*256*4 + len(m.DFA.Accept)*4
+}
+
+// CompressionRatio returns TableBytes relative to the dense-layout DFA
+// baseline (0 when the certificate predates class compression). Values
+// well under 1 are the point: C/256 scaling with C typically 10–60.
+func (c *Certificate) CompressionRatio() float64 {
+	if c.DenseTableBytes == 0 {
+		return 0
+	}
+	return float64(c.TableBytes) / float64(c.DenseTableBytes)
 }
 
 // AccelCoverage returns the fraction of fused slots with bulk run
@@ -141,9 +172,13 @@ func (c *Certificate) StreamBytes() int { return c.RingBytes + c.CarryRetainedCa
 // String renders the certificate on one line, for status pages and CLI
 // output next to EngineInfo.
 func (c *Certificate) String() string {
-	return fmt.Sprintf("K=%d (≤ dichotomy %d), ring %d B, carry ≤ %d B, tables %d B, accel %d/%d slots, parallel rework ≤ %dx",
+	classes := ""
+	if c.NumClasses > 0 {
+		classes = fmt.Sprintf(" (%d classes)", c.NumClasses)
+	}
+	return fmt.Sprintf("K=%d (≤ dichotomy %d), ring %d B, carry ≤ %d B, tables %d B%s, accel %d/%d slots, parallel rework ≤ %dx",
 		c.DelayK, c.DichotomyBound, c.RingBytes, c.CarryRetainedCap,
-		c.TableBytes, c.AccelStates, c.AccelSlots, c.ParallelReworkX)
+		c.TableBytes, classes, c.AccelStates, c.AccelSlots, c.ParallelReworkX)
 }
 
 // MarshalJSON renders the certificate with stable snake_case keys
@@ -159,6 +194,8 @@ func (c *Certificate) MarshalJSON() ([]byte, error) {
 		RingBytes        int     `json:"ring_bytes"`
 		CarryRetainedCap int     `json:"carry_retained_cap"`
 		TableBytes       int     `json:"table_bytes"`
+		NumClasses       int     `json:"num_classes,omitempty"`
+		DenseTableBytes  int     `json:"dense_table_bytes,omitempty"`
 		AccelStates      int     `json:"accel_states"`
 		AccelSlots       int     `json:"accel_slots"`
 		AccelCoverage    float64 `json:"accel_coverage"`
@@ -167,6 +204,7 @@ func (c *Certificate) MarshalJSON() ([]byte, error) {
 		c.GrammarHash, c.DelayK, c.DichotomyBound,
 		string(c.WitnessU), string(c.WitnessV),
 		c.EngineMode, c.RingBytes, c.CarryRetainedCap, c.TableBytes,
+		c.NumClasses, c.DenseTableBytes,
 		c.AccelStates, c.AccelSlots, c.AccelCoverage(), c.ParallelReworkX,
 	})
 }

@@ -53,6 +53,20 @@ func (c *Certificate) VerifyStatic(m *tokdfa.Machine, maxTND int) error {
 	if c.ParallelReworkX != ParallelReworkBound {
 		return fmt.Errorf("%w: parallel rework %dx != structural bound %dx", ErrMismatch, c.ParallelReworkX, ParallelReworkBound)
 	}
+	// The compression fields are recomputable from the machine alone.
+	// Certificates decoded from dense-era (format < 3) files predate them
+	// and carry zeros; those files are re-certified by their loaders, so
+	// zeros pass here.
+	if c.NumClasses != 0 {
+		if got := m.DFA.NumClasses(); c.NumClasses != got {
+			return fmt.Errorf("%w: %d byte classes != machine's %d", ErrMismatch, c.NumClasses, got)
+		}
+		if want := DenseDFABytes(m); c.DenseTableBytes != want {
+			return fmt.Errorf("%w: dense table bytes %d != recomputed %d", ErrMismatch, c.DenseTableBytes, want)
+		}
+	} else if c.DenseTableBytes != 0 {
+		return fmt.Errorf("%w: dense table bytes %d with no class count", ErrMismatch, c.DenseTableBytes)
+	}
 	if c.DelayK == 0 {
 		if len(c.WitnessU) != 0 || len(c.WitnessV) != 0 {
 			return fmt.Errorf("%w: witness pair on a K=0 certificate", ErrMismatch)

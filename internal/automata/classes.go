@@ -56,16 +56,9 @@ func ByteClasses(numStates int, step func(q int, b byte) int) (classOf [256]uint
 }
 
 // CompressDFA returns the class-compressed form of d's transition table:
-// Step(q, b) == trans[q*len(reps)+int(classOf[b])].
+// Step(q, b) == trans[q*numClasses+int(classOf[b])]. The DFA is stored
+// compressed (and tightened to the exact column partition), so this is a
+// view of the DFA's own table, not a recomputation.
 func CompressDFA(d *DFA) (classOf [256]uint8, trans []int32, numClasses int) {
-	var reps []byte
-	classOf, reps = ByteClasses(d.NumStates(), d.Step)
-	numClasses = len(reps)
-	trans = make([]int32, d.NumStates()*numClasses)
-	for q := 0; q < d.NumStates(); q++ {
-		for ci, rep := range reps {
-			trans[q*numClasses+ci] = int32(d.Step(q, rep))
-		}
-	}
-	return classOf, trans, numClasses
+	return d.ClassOf, d.Trans, len(d.Reps)
 }

@@ -7,12 +7,16 @@ import "sort"
 // states are equivalent only if they accept the same rule id, so the
 // minimal automaton is still a valid tokenization DFA.
 //
-// The implementation is Moore partition refinement over the reachable part
-// (adequate for the grammar sizes in this domain; rows are 256-ary so the
-// constant factor is dominated by table scans either way).
+// The implementation is Moore partition refinement over the reachable part.
+// Signatures range over the C byte classes rather than 256 bytes — states
+// that agree on every class agree on every byte by construction — so each
+// refinement round costs O(C·M) instead of O(256·M). The output keeps the
+// compressed layout; merging states can make previously distinct columns
+// identical, so a final tighten pass re-canonicalizes the class partition.
 func Minimize(d *DFA) *DFA {
 	reach := d.Reachable()
 	m := d.NumStates()
+	nc := len(d.Reps)
 
 	// Initial partition by accept label (NoRule and each rule id).
 	part := make([]int, m) // state -> block id
@@ -33,12 +37,12 @@ func Minimize(d *DFA) *DFA {
 	}
 
 	for {
-		// Signature of a state: (block, block of each byte successor).
+		// Signature of a state: (block, block of each class successor).
 		type sigKey string
 		sig := make(map[sigKey]int)
 		newPart := make([]int, m)
 		newNext := 0
-		buf := make([]byte, 0, 257*4)
+		buf := make([]byte, 0, (nc+1)*4)
 		for q := 0; q < m; q++ {
 			if !reach[q] {
 				newPart[q] = -1
@@ -46,8 +50,8 @@ func Minimize(d *DFA) *DFA {
 			}
 			buf = buf[:0]
 			buf = appendInt(buf, part[q])
-			for b := 0; b < 256; b++ {
-				buf = appendInt(buf, part[d.Trans[q<<8|b]])
+			for c := 0; c < nc; c++ {
+				buf = appendInt(buf, part[d.Trans[q*nc+c]])
 			}
 			k := sigKey(buf)
 			id, ok := sig[k]
@@ -97,8 +101,8 @@ func Minimize(d *DFA) *DFA {
 		rep := repOf[blk]
 		seen := map[int]bool{}
 		var succ []int
-		for b := 0; b < 256; b++ {
-			t := part[d.Trans[rep<<8|b]]
+		for c := 0; c < nc; c++ {
+			t := part[d.Trans[rep*nc+c]]
 			if !seen[t] {
 				seen[t] = true
 				succ = append(succ, t)
@@ -114,9 +118,11 @@ func Minimize(d *DFA) *DFA {
 	}
 
 	out := &DFA{
-		Trans:  make([]int32, rank*256),
-		Accept: make([]int32, rank),
-		Start:  0,
+		Trans:   make([]int32, rank*nc),
+		ClassOf: d.ClassOf,
+		Reps:    append([]byte(nil), d.Reps...),
+		Accept:  make([]int32, rank),
+		Start:   0,
 	}
 	for blk := 0; blk < next; blk++ {
 		if order[blk] == -1 {
@@ -125,10 +131,11 @@ func Minimize(d *DFA) *DFA {
 		rep := repOf[blk]
 		nq := order[blk]
 		out.Accept[nq] = d.Accept[rep]
-		for b := 0; b < 256; b++ {
-			out.Trans[nq<<8|b] = int32(order[part[d.Trans[rep<<8|b]]])
+		for c := 0; c < nc; c++ {
+			out.Trans[nq*nc+c] = int32(order[part[d.Trans[rep*nc+c]]])
 		}
 	}
+	out.tighten()
 	return out
 }
 
@@ -138,8 +145,22 @@ func appendInt(buf []byte, v int) []byte {
 }
 
 // Equivalent reports whether two complete DFAs accept the same language
-// with the same rule labeling, by BFS over the product automaton.
+// with the same rule labeling, by BFS over the product automaton. The two
+// DFAs may carry different byte-class partitions; the product steps over
+// the joint refinement (each pair of (a-class, b-class) that some byte
+// realizes) rather than all 256 bytes.
 func Equivalent(a, b *DFA) bool {
+	// Joint representatives: one byte per distinct (a-class, b-class) pair.
+	var joint []byte
+	pairSeen := make(map[int]bool, 64)
+	for by := 0; by < 256; by++ {
+		k := int(a.ClassOf[by])<<8 | int(b.ClassOf[by])
+		if !pairSeen[k] {
+			pairSeen[k] = true
+			joint = append(joint, byte(by))
+		}
+	}
+
 	type pair struct{ p, q int32 }
 	seen := map[pair]bool{}
 	stack := []pair{{int32(a.Start), int32(b.Start)}}
@@ -150,8 +171,8 @@ func Equivalent(a, b *DFA) bool {
 		if a.Accept[pr.p] != b.Accept[pr.q] {
 			return false
 		}
-		for by := 0; by < 256; by++ {
-			np := pair{a.Trans[int(pr.p)<<8|by], b.Trans[int(pr.q)<<8|by]}
+		for _, by := range joint {
+			np := pair{int32(a.Step(int(pr.p), by)), int32(b.Step(int(pr.q), by))}
 			if !seen[np] {
 				seen[np] = true
 				stack = append(stack, np)

@@ -1,7 +1,8 @@
 // Package automata implements the finite-automata substrate: Thompson NFAs
-// with ε-transitions, dense-table DFAs over the byte alphabet, the subset
-// construction with rule priorities, reachability and co-accessibility
-// analyses, and Hopcroft minimization.
+// with ε-transitions, byte-class compressed DFAs over the byte alphabet,
+// the subset construction with rule priorities (run per class, not per
+// byte), reachability and co-accessibility analyses, and partition-
+// refinement minimization over the compressed rows.
 package automata
 
 import (

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"concurrency", "pooled serving path: stream scaling, pipelined reader, allocs/stream (not a paper figure)", Concurrency},
 		{"serverload", "streamtokd over loopback HTTP: streamed-token latency and shed rate vs concurrency (not a paper figure)", Serverload},
 		{"certstats", "resource-certificate derivation and verification cost per catalog grammar (not a paper figure)", Certstats},
+		{"biggrammar", "byte-class compressed tables vs dense baseline, catalog and 1k-10k-rule grammars (not a paper figure)", Biggrammar},
 	}
 }
 

@@ -111,6 +111,10 @@ func (c Class) Minus(d Class) Class {
 // Equal reports whether c and d contain the same bytes.
 func (c Class) Equal(d Class) bool { return c.w == d.w }
 
+// Words returns the raw 256-bit bitmap as four uint64 words. The value is
+// comparable, so it doubles as an exact map key for deduplicating classes.
+func (c Class) Words() [4]uint64 { return c.w }
+
 // Overlaps reports whether c ∩ d is nonempty.
 func (c Class) Overlaps(d Class) bool {
 	for i := range c.w {

@@ -20,6 +20,8 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 	words := e.Words
 	infos := e.Infos
 	accelIdx := e.AccelIdx
+	classOf := &e.ClassOf // 256-entry class map: L1-resident, one load per byte
+	nc := e.NumClasses
 	q := s.qa
 	base := s.pos // stream offset of chunk[0]; A is not delayed here
 	n := len(chunk)
@@ -33,7 +35,7 @@ func (s *Streamer) feedFusedSmall(chunk []byte, emit EmitFunc) {
 	// counters at the exits (before stop(), which retires the block).
 	attempts, skipped := 0, 0
 	for i := 0; i < n; i++ {
-		w := words[q<<8|int(chunk[i])]
+		w := words[q*nc+int(classOf[chunk[i]])]
 		q = int(w & fused.StateMask)
 		if w <= fused.StateMask {
 			continue // plain continue: no action, no accel
@@ -80,6 +82,8 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 	bt := e.TeTrans
 	act := e.Act
 	nS := e.TeStates
+	classOf := &e.ClassOf // shared A/B class map, hoisted for the loop
+	nc := e.NumClasses
 	gInfos := e.Infos
 	gAccelIdx := e.AccelIdx
 	ring := s.ring
@@ -93,7 +97,7 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 	// once per stream).
 	for ; i < n && s.filled < k; i++ {
 		b := chunk[i]
-		sb = int(bt[sb<<8|int(b)])
+		sb = int(bt[sb*nc+int(classOf[b])])
 		ring[(h+s.filled)&mask] = b
 		s.filled++
 	}
@@ -116,14 +120,14 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 			}
 			for ; i < lim; i++ {
 				b := chunk[i]
-				sb = int(bt[sb<<8|int(b)])
+				sb = int(bt[sb*nc+int(classOf[b])])
 				a := ring[h]
 				ring[(h+k)&mask] = b
 				h = (h + 1) & mask
 				if pos < base {
 					s.carry = append(s.carry, a)
 				}
-				qa = int(at[qa<<8|int(a)])
+				qa = int(at[qa*nc+int(classOf[a])])
 				pos++
 				w := act[qa*nS+sb] & fused.GActionBit
 				if w == fused.GContinue {
@@ -146,7 +150,7 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 		// i+1 ≥ noAccel throughout, so the accel arm does not re-check it.
 		for ; i < n; i++ {
 			b := chunk[i]
-			sb = int(bt[sb<<8|int(b)]) // B is k symbols ahead of A
+			sb = int(bt[sb*nc+int(classOf[b])]) // B is k symbols ahead of A
 			a := ring[h]
 			ring[(h+k)&mask] = b
 			h = (h + 1) & mask
@@ -155,7 +159,7 @@ func (s *Streamer) feedFusedGeneral(chunk []byte, emit EmitFunc) {
 				// pending token's text.
 				s.carry = append(s.carry, a)
 			}
-			qa = int(at[qa<<8|int(a)])
+			qa = int(at[qa*nc+int(classOf[a])])
 			pos++
 			w := act[qa*nS+sb]
 			if w == fused.GContinue {

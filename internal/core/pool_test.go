@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"streamtok/internal/testutil"
 	"streamtok/internal/tokdfa"
 	"streamtok/internal/token"
+	"streamtok/internal/workload"
 )
 
 // servingCase is one engine-mode configuration for the serving-path
@@ -378,5 +380,100 @@ func TestPooledTokenizeConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestBigGrammarFusedZeroAllocs: the byte-class compressed fused engine
+// stays allocation-free on the warm path at keyword-grammar scale (1k
+// rules, K=2 paired action tables) — the regime where the dense layout
+// blew the fused budget and fell back to the split loops. The compressed
+// tables fit the default budget, so this also pins that a 1k-rule
+// grammar actually serves fused.
+func TestBigGrammarFusedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rules, err := workload.BigGrammarRules(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(rules...), tokdfa.Options{Minimize: true})
+	res := analysis.Analyze(m)
+	if !res.Bounded() || res.MaxTND != 2 {
+		t.Fatalf("big grammar k regime: bounded=%v k=%d, want k=2", res.Bounded(), res.MaxTND)
+	}
+	tok, err := core.NewWithKBudget(m, res.MaxTND, tepath.Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := tok.EngineMode(); mode != "fused-general" {
+		t.Fatalf("engine mode = %s, want fused-general (compressed tables under default budget)", mode)
+	}
+	chunk, err := workload.BigGrammarInput(7, 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last token.Token
+	emit := func(tk token.Token, _ []byte) { last = tk }
+	s := tok.AcquireStreamer()
+	defer tok.ReleaseStreamer(s)
+	for i := 0; i < 16; i++ {
+		s.Feed(chunk, emit)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { s.Feed(chunk, emit) }); allocs != 0 {
+		t.Errorf("steady-state Feed allocates %.1f/op, want 0", allocs)
+	}
+	_ = last
+}
+
+// TestBigGrammarDifferential: on a 1k-rule keyword grammar the
+// compressed fused engine and the split interpreter loops emit
+// byte-identical token streams under adversarial chunking — the
+// correctness half of the big-grammar scaling claim.
+func TestBigGrammarDifferential(t *testing.T) {
+	rules, err := workload.BigGrammarRules(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(rules...), tokdfa.Options{Minimize: true})
+	res := analysis.Analyze(m)
+	fusedTok, err := core.NewWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitTok, err := core.NewSplitWithK(m, res.MaxTND, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := workload.BigGrammarInput(11, 64<<10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	collect := func(tok *core.Tokenizer, chunks [][]byte) []token.Token {
+		var out []token.Token
+		emit := func(tk token.Token, _ []byte) { out = append(out, tk) }
+		s := tok.NewStreamer()
+		for _, c := range chunks {
+			s.Feed(c, emit)
+		}
+		s.Close(emit)
+		return out
+	}
+	for round := 0; round < 4; round++ {
+		var chunks [][]byte
+		for off := 0; off < len(input); {
+			n := 1 + rng.Intn(777)
+			if off+n > len(input) {
+				n = len(input) - off
+			}
+			chunks = append(chunks, input[off:off+n])
+			off += n
+		}
+		got := collect(fusedTok, chunks)
+		want := collect(splitTok, chunks)
+		if len(got) == 0 || !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: fused (%d tokens) and split (%d tokens) streams differ", round, len(got), len(want))
+		}
 	}
 }

@@ -159,11 +159,20 @@ func New(m *tokdfa.Machine, limits tepath.Limits) (*Tokenizer, int, error) {
 // through it; the split loops remain the fallback and the ablation
 // baseline (NewSplitWithK).
 func NewWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	return NewWithKBudget(m, k, limits, 0)
+}
+
+// NewWithKBudget is NewWithK with an explicit fused-table byte budget
+// (0 selects the 16 MB default). The budget caps every array the fused
+// hot loop touches — packed/action tables, accel index, class maps, and
+// the compressed A/B transition rows — so raising it lets larger grammars
+// stay fused and lowering it forces the split loops earlier.
+func NewWithKBudget(m *tokdfa.Machine, k int, limits tepath.Limits, fusedBudget int) (*Tokenizer, error) {
 	t, err := newSplit(m, k, limits)
 	if err != nil {
 		return nil, err
 	}
-	t.fe = fused.Build(m, k, t.te, fused.Options{})
+	t.fe = fused.Build(m, k, t.te, fused.Options{MaxTableBytes: fusedBudget})
 	return t, nil
 }
 
@@ -338,12 +347,12 @@ const MaxRetainedCarryCap = maxRetainedCarryCap
 // accounting).
 func (t *Tokenizer) TableBytes() int {
 	d := t.m.DFA
-	n := len(d.Trans)*4 + len(d.Accept)*4
+	n := d.TableBytes()
 	if t.te != nil {
 		n += t.te.Bytes()
 	}
 	if t.k1 != nil {
-		n += d.NumStates() * 256 * 4 // fused Fig. 5 action table
+		n += t.k1.Bytes() // fused Fig. 5 action table
 	}
 	n += t.fe.Bytes()
 	return n
@@ -666,10 +675,12 @@ func (s *Streamer) PendingStart() int { return s.startP }
 func (s *Streamer) feedK0(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
 	trans := d.Trans
+	classOf := &d.ClassOf
+	nc := d.NumClasses()
 	base := s.pos // stream offset of chunk[0]
 	qa, pos := s.qa, s.pos
 	for _, b := range chunk {
-		qa = int(trans[qa<<8|int(b)])
+		qa = int(trans[qa*nc+int(classOf[b])])
 		pos++
 		if d.IsFinal(qa) {
 			s.qa, s.pos = qa, pos
@@ -690,6 +701,8 @@ func (s *Streamer) feedK0(chunk []byte, emit EmitFunc) {
 func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
 	trans := d.Trans
+	classOf := &d.ClassOf
+	nc := d.NumClasses()
 	k1 := s.k1
 	base := s.pos // stream offset chunk[0] will have for A
 	if s.prevOK {
@@ -709,7 +722,7 @@ func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
 			// pending token's text.
 			s.carry = append(s.carry, a)
 		}
-		qa = int(trans[qa<<8|int(a)])
+		qa = int(trans[qa*nc+int(classOf[a])])
 		pos++
 		if act := k1.Action(qa, b); act != tepath.ActContinue {
 			if act == tepath.ActDead {
@@ -732,6 +745,8 @@ func (s *Streamer) feedK1(chunk []byte, emit EmitFunc) {
 func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
 	trans := d.Trans
+	classOf := &d.ClassOf
+	nc := d.NumClasses()
 	te := s.te
 	k := s.k
 	ring := s.ring
@@ -753,7 +768,7 @@ func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
 		if pos < base {
 			s.carry = append(s.carry, a)
 		}
-		qa = int(trans[qa<<8|int(a)]) // line 12
+		qa = int(trans[qa*nc+int(classOf[a])]) // line 12
 		pos++
 		if te.MaximalFinal(qa, sb) { // line 14: T[q][S]
 			s.qa, s.s, s.head, s.pos = qa, sb, head, pos
@@ -774,6 +789,8 @@ func (s *Streamer) feedGeneral(chunk []byte, emit EmitFunc) {
 func (s *Streamer) feedGeneralLazy(chunk []byte, emit EmitFunc) {
 	d := s.m.DFA
 	trans := d.Trans
+	classOf := &d.ClassOf
+	nc := d.NumClasses()
 	eval := s.eval
 	k := s.k
 	ring := s.ring
@@ -795,7 +812,7 @@ func (s *Streamer) feedGeneralLazy(chunk []byte, emit EmitFunc) {
 		if pos < base {
 			s.carry = append(s.carry, a)
 		}
-		qa = int(trans[qa<<8|int(a)])
+		qa = int(trans[qa*nc+int(classOf[a])])
 		pos++
 		if eval.MaximalFinal(qa, sb) {
 			s.qa, s.s, s.head, s.pos = qa, sb, head, pos

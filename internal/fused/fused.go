@@ -7,7 +7,7 @@
 //
 //  1. Action-table fusion. For K ≤ 1 the Fig. 5 sequence (A step,
 //     finality/maximality check, dead check, rule lookup, restart) is
-//     packed into one uint32 per (state, byte): the next state already
+//     packed into one uint32 per (state, byte-class): the next state already
 //     accounts for the restart after an emission, and the action
 //     (continue / dead / emit rule β) sits in the top byte — one load and
 //     one predictable branch per input byte. For K ≥ 2 the tokenization
@@ -81,8 +81,11 @@ const (
 
 // Options bounds the construction.
 type Options struct {
-	// MaxTableBytes caps the fused tables' memory (default 16 MB); a
-	// grammar whose pair table would exceed it keeps the split engine.
+	// MaxTableBytes caps the memory of every array the fused hot loop
+	// touches (default 16 MB): the packed/action tables and accel index
+	// built here, plus the class-compressed A and B transition tables the
+	// general loop indexes directly. A grammar that would exceed it keeps
+	// the split engine.
 	MaxTableBytes int
 	// NoAccel builds the engine without accel states (ablation).
 	NoAccel bool
@@ -97,17 +100,30 @@ func (o Options) withDefaults() Options {
 
 // Engine is an immutable compiled fast path for one tokenizer; safe for
 // concurrent use by any number of streams.
+//
+// Every table is byte-class compressed: rows have NumClasses columns and
+// the hot loop maps each input byte through ClassOf (one extra L1-resident
+// load per byte) before indexing. The class partition is the tokenization
+// DFA's, shared by A, B, and the fused tables.
 type Engine struct {
 	Mode Mode
 	K    int
 
-	// Words is the ModeSmall packed table, stride 256 per state.
+	// ClassOf is the tokenization DFA's byte-class map, copied here so
+	// the hot loop touches one cache-resident array.
+	ClassOf [256]uint8
+	// NumClasses is the compressed row width C.
+	NumClasses int
+
+	// Words is the ModeSmall packed table, stride NumClasses per state.
 	Words []uint32
 
 	// Act is the ModeGeneral action table, Act[qa*TeStates+s].
 	Act []int32
 	// TeTrans and TeStates mirror the eager TeDFA so the hot loop can
-	// index the raw slice (B steps via TeTrans[s<<8|b]).
+	// index the raw slice (B steps via TeTrans[s*NumClasses+c]). The
+	// slice shares its backing array with the tepath.Table, so its bytes
+	// are accounted there, not in Engine.Bytes.
 	TeTrans  []int32
 	TeStates int
 
@@ -132,18 +148,21 @@ func (e *Engine) Slots() int {
 		return 0
 	}
 	if e.Mode == ModeSmall {
-		return len(e.Words) / 256
+		return len(e.Words) / e.NumClasses
 	}
 	return len(e.Act)
 }
 
-// Bytes returns the fused tables' memory footprint (for the RQ6-style
-// accounting next to TableBytes).
+// Bytes returns the memory footprint of every array the engine owns (for
+// the RQ6-style accounting next to TableBytes): the packed/action tables,
+// accel index, interned accel infos, and the engine's class-map copy.
+// TeTrans is excluded — it aliases the tepath.Table's transition slice,
+// which the tokenizer-level accounting already counts once.
 func (e *Engine) Bytes() int {
 	if e == nil {
 		return 0
 	}
-	return len(e.Words)*4 + len(e.Act)*4 + len(e.AccelIdx)*4 + len(e.Infos)*40
+	return len(e.Words)*4 + len(e.Act)*4 + len(e.AccelIdx)*4 + len(e.Infos)*40 + 256
 }
 
 // ModeName names the engine for diagnostics.
@@ -176,10 +195,11 @@ func Build(m *tokdfa.Machine, k int, te *tepath.Table, opts Options) *Engine {
 }
 
 // buildSmall packs the Fig. 5 (K=1) or immediate-emission (K=0) decision
-// into one word per (state, byte).
+// into one word per (state, class).
 func buildSmall(m *tokdfa.Machine, k int, opts Options) *Engine {
 	d := m.DFA
 	n := d.NumStates()
+	nc := d.NumClasses()
 	if n > StateMask || len(m.Grammar.Rules)+int(SActEmitBase) > 255 {
 		return nil
 	}
@@ -190,17 +210,18 @@ func buildSmall(m *tokdfa.Machine, k int, opts Options) *Engine {
 		// consumed at least one byte of the token.
 		return nil
 	}
-	if n*256*4+n*4 > opts.MaxTableBytes {
+	// Budget: packed words + accel index + class map.
+	if n*nc*4+n*4+256 > opts.MaxTableBytes {
 		return nil
 	}
-	e := &Engine{Mode: ModeSmall, K: k}
-	e.Words = make([]uint32, n*256)
+	e := &Engine{Mode: ModeSmall, K: k, ClassOf: d.ClassOf, NumClasses: nc}
+	e.Words = make([]uint32, n*nc)
 	start := uint32(d.Start)
 	for q := 0; q < n; q++ {
 		qFinal := d.IsFinal(q)
 		qDead := m.IsDead(q)
-		for b := 0; b < 256; b++ {
-			nxt := d.Step(q, byte(b))
+		for c := 0; c < nc; c++ {
+			nxt := d.StepClass(q, c)
 			var w uint32
 			switch {
 			case k <= 0:
@@ -223,12 +244,12 @@ func buildSmall(m *tokdfa.Machine, k int, opts Options) *Engine {
 				// Maximal token ends before this byte; the byte starts
 				// the next token, so the packed next state already took
 				// the restart transition.
-				w = uint32(d.Step(d.Start, byte(b))) |
+				w = uint32(d.StepClass(d.Start, c)) |
 					(SActEmitBase+uint32(d.Rule(q)))<<SmallActShift
 			default:
 				w = uint32(nxt)
 			}
-			e.Words[q<<8|b] = w
+			e.Words[q*nc+c] = w
 		}
 	}
 	if !opts.NoAccel {
@@ -237,22 +258,35 @@ func buildSmall(m *tokdfa.Machine, k int, opts Options) *Engine {
 	return e
 }
 
+// classBytes expands the class map into per-class byte bitmaps, the
+// currency of the accel layer (ScanRun inspects raw input bytes).
+func (e *Engine) classBytes() [][4]uint64 {
+	out := make([][4]uint64, e.NumClasses)
+	for b := 0; b < 256; b++ {
+		c := e.ClassOf[b]
+		out[c][b>>6] |= 1 << (b & 63)
+	}
+	return out
+}
+
 // addSmallAccel finds the self-loop classes of the small engine and
 // flags transitions entering accel states.
 func (e *Engine) addSmallAccel(n int) {
+	nc := e.NumClasses
+	cb := e.classBytes()
 	e.AccelIdx = make([]int32, n)
 	interned := newInfoInterner(e)
 	for q := 0; q < n; q++ {
 		var class [4]uint64
-		size := 0
-		for b := 0; b < 256; b++ {
-			w := e.Words[q<<8|b]
+		for c := 0; c < nc; c++ {
+			w := e.Words[q*nc+c]
 			if w>>SmallActShift == SActContinue && int(w&StateMask) == q {
-				class[b>>6] |= 1 << (b & 63)
-				size++
+				for wi := 0; wi < 4; wi++ {
+					class[wi] |= cb[c][wi]
+				}
 			}
 		}
-		e.AccelIdx[q] = interned.intern(class, size)
+		e.AccelIdx[q] = interned.intern(class, popcount(class))
 		if e.AccelIdx[q] >= 0 {
 			e.accelStates++
 		}
@@ -270,17 +304,25 @@ func (e *Engine) addSmallAccel(n int) {
 func buildGeneral(m *tokdfa.Machine, k int, te *tepath.Table, opts Options) *Engine {
 	d := m.DFA
 	nA := d.NumStates()
-	teTrans, emitOK, _ := te.Dump()
+	teTrans, nc, emitOK, _ := te.Dump()
 	nS := te.NumStates()
-	if nA*nS*8 > opts.MaxTableBytes {
+	// Budget everything the fused general loop indexes per byte: the
+	// action table and accel index built here, plus the class-compressed
+	// A and B transition rows and the class map. Dense rows made the A
+	// table alone blow the default budget at a few thousand states; the
+	// compressed substrate keeps grammars ~256/C larger fused.
+	resident := nA*nS*8 + nA*nc*4 + nS*nc*4 + 256
+	if resident > opts.MaxTableBytes {
 		return nil
 	}
 	e := &Engine{
-		Mode:     ModeGeneral,
-		K:        k,
-		TeTrans:  teTrans,
-		TeStates: nS,
-		Act:      make([]int32, nA*nS),
+		Mode:       ModeGeneral,
+		K:          k,
+		ClassOf:    d.ClassOf,
+		NumClasses: nc,
+		TeTrans:    teTrans,
+		TeStates:   nS,
+		Act:        make([]int32, nA*nS),
 	}
 	for q := 0; q < nA; q++ {
 		var w int32
@@ -313,8 +355,9 @@ func buildGeneral(m *tokdfa.Machine, k int, te *tepath.Table, opts Options) *Eng
 // addGeneralAccel intersects A's and B's self-loop classes per pair.
 func (e *Engine) addGeneralAccel(m *tokdfa.Machine, nA, nS int) {
 	d := m.DFA
-	loopA := selfLoops(d.Trans, nA)
-	loopB := selfLoops(e.TeTrans, nS)
+	cb := e.classBytes()
+	loopA := selfLoops(d.Trans, nA, e.NumClasses, cb)
+	loopB := selfLoops(e.TeTrans, nS, e.NumClasses, cb)
 	e.AccelIdx = make([]int32, nA*nS)
 	interned := newInfoInterner(e)
 	for q := 0; q < nA; q++ {
@@ -348,14 +391,17 @@ func popcount(class [4]uint64) int {
 	return n
 }
 
-// selfLoops computes, per state of a 256-ary table, the bitmap of bytes
-// on which the state transitions to itself.
-func selfLoops(trans []int32, n int) [][4]uint64 {
+// selfLoops computes, per state of a class-compressed table (nc columns,
+// classBytes expanding each column to its byte bitmap), the bitmap of
+// bytes on which the state transitions to itself.
+func selfLoops(trans []int32, n, nc int, classBytes [][4]uint64) [][4]uint64 {
 	out := make([][4]uint64, n)
 	for q := 0; q < n; q++ {
-		for b := 0; b < 256; b++ {
-			if int(trans[q<<8|b]) == q {
-				out[q][b>>6] |= 1 << (b & 63)
+		for c := 0; c < nc; c++ {
+			if int(trans[q*nc+c]) == q {
+				for wi := 0; wi < 4; wi++ {
+					out[q][wi] |= classBytes[c][wi]
+				}
 			}
 		}
 	}

@@ -2,22 +2,30 @@
 // grammar can be compiled once (analysis included) and shipped as tables
 // — the deployment mode of generated lexers, without code generation.
 //
-// The current format (version 2) is a versioned little-endian binary:
+// The current format (version 3) is a versioned little-endian binary
+// carrying the byte-class compressed transition table — files shrink
+// roughly C/256 versus the dense rows of earlier versions (C is the
+// byte-class count, typically 10–60):
 //
-//	magic "STOKDFA2" | ruleCount | rules (name, regex source) |
-//	nfaSize | dfaStates | trans[dfaStates*256] | accept[dfaStates] |
+//	magic "STOKDFA3" | ruleCount | rules (name, regex source) |
+//	nfaSize | dfaStates | numClasses | classOf[256] |
+//	trans[dfaStates*numClasses] | accept[dfaStates] |
 //	certPresent | [resource certificate] |
 //	maxTND (-1 = unbounded) | crc32 of everything before it
 //
 // The resource certificate (internal/analysis/cert) carries the
 // machine-checkable cost claims: delay K with its dichotomy bound and
-// witness pair, ring/carry/table byte bounds, accel coverage, and the
-// parallel rework factor. Decode verifies the static half of a present
-// certificate and refuses the file on any mismatch, so a shipped
-// machinefile's cost claims can be trusted without re-analysis.
+// witness pair, ring/carry/table byte bounds, class count, accel
+// coverage, and the parallel rework factor. Decode verifies the static
+// half of a present certificate and refuses the file on any mismatch, so
+// a shipped machinefile's cost claims can be trusted without re-analysis.
 //
-// Version 1 files ("STOKDFA1", no certificate section) still decode:
-// they load with Cert == nil — certificate absent, claims unknown.
+// Version 1 files ("STOKDFA1", dense rows, no certificate section) and
+// version 2 files ("STOKDFA2", dense rows + certificate) still decode:
+// the dense table is compressed on load. Version 2 certificates predate
+// class compression, so their byte-accounting fields describe the dense
+// layout; loaders should re-certify (Machine.Version tells them to) —
+// the static half is layout-independent and is still verified here.
 //
 // Rule regexes are stored as re-parsable source, so the machine can be
 // fully rebuilt (and re-verified) on load; the tables make loading
@@ -29,6 +37,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 
@@ -42,6 +51,7 @@ import (
 var (
 	magicV1 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '1'}
 	magicV2 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '2'}
+	magicV3 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '3'}
 )
 
 // ErrFormat is wrapped by all decoding errors caused by malformed input,
@@ -59,6 +69,11 @@ type Machine struct {
 	// decode time; nil when the file carries none (version 1 files, or
 	// unbounded machines, which have no certificate).
 	Cert *cert.Certificate
+	// Version is the file format version the machine was decoded from
+	// (3 for current files). Certificates from versions < 3 describe the
+	// dense table layout, so loaders re-certify instead of matching the
+	// stored byte accounting against the compressed engine.
+	Version int
 }
 
 // encoder wraps the shared little-endian + CRC plumbing.
@@ -82,23 +97,80 @@ func (e *encoder) bytes(b []byte) {
 	}
 }
 
-// writeCommon writes everything from the rule list through the accept
-// table (identical in both versions).
-func (e *encoder) writeCommon(m *tokdfa.Machine) {
+// writeRules writes the rule list and the NFA/DFA size header (identical
+// in all versions).
+func (e *encoder) writeRules(m *tokdfa.Machine) {
 	g := m.Grammar
 	e.ints(int64(len(g.Rules)))
 	for i, r := range g.Rules {
 		e.bytes([]byte(g.RuleName(i)))
 		e.bytes([]byte(regex.String(r.Expr)))
 	}
+	e.ints(int64(m.NFASize), int64(m.DFA.NumStates()))
+}
+
+// writeDenseTables writes the version 1/2 table section: dense 256-ary
+// rows plus the accept labels.
+func (e *encoder) writeDenseTables(m *tokdfa.Machine) {
 	d := m.DFA
-	e.ints(int64(m.NFASize), int64(d.NumStates()))
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, d.DenseTrans())
+	}
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, d.Accept)
+	}
+}
+
+// writeCompressedTables writes the version 3 table section: the class
+// count, the 256-entry class map, the compressed rows, and the accept
+// labels.
+func (e *encoder) writeCompressedTables(m *tokdfa.Machine) {
+	d := m.DFA
+	e.ints(int64(d.NumClasses()))
+	if e.err == nil {
+		_, e.err = e.out.Write(d.ClassOf[:])
+	}
 	if e.err == nil {
 		e.err = binary.Write(e.out, binary.LittleEndian, d.Trans)
 	}
 	if e.err == nil {
 		e.err = binary.Write(e.out, binary.LittleEndian, d.Accept)
 	}
+}
+
+// writeCert writes the certificate section: the presence flag and, when
+// c is non-nil, the certificate fields. v3 files carry the two
+// compression-era fields (class count, dense-equivalent table bytes)
+// after the original eight.
+func (e *encoder) writeCert(c *cert.Certificate, version int) {
+	if c == nil {
+		e.ints(0)
+		return
+	}
+	e.ints(1)
+	e.bytes([]byte(c.GrammarHash))
+	e.ints(int64(c.DelayK), int64(c.DichotomyBound),
+		int64(c.RingBytes), int64(c.CarryRetainedCap), int64(c.TableBytes),
+		int64(c.AccelStates), int64(c.AccelSlots), int64(c.ParallelReworkX))
+	if version >= 3 {
+		e.ints(int64(c.NumClasses), int64(c.DenseTableBytes))
+	}
+	e.bytes([]byte(c.EngineMode))
+	e.bytes(c.WitnessU)
+	e.bytes(c.WitnessV)
+}
+
+// writeTail writes the max-TND word and the trailing checksum.
+func (e *encoder) writeTail(w io.Writer, crc hash.Hash32, maxTND int) error {
+	tnd := int64(maxTND)
+	if maxTND == analysis.Infinite {
+		tnd = -1
+	}
+	e.ints(tnd)
+	if e.err != nil {
+		return e.err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
 // Encode writes m (with its known max-TND) to w in the current format,
@@ -109,42 +181,43 @@ func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
 }
 
 // EncodeWithCert writes m with its resource certificate (nil c writes
-// "certificate absent"). The certificate is covered by the trailing
-// checksum like every other section.
+// "certificate absent") in the current (version 3, class-compressed)
+// format. The certificate is covered by the trailing checksum like every
+// other section.
 func EncodeWithCert(w io.Writer, m *tokdfa.Machine, maxTND int, c *cert.Certificate) error {
+	crc := crc32.NewIEEE()
+	e := &encoder{out: io.MultiWriter(w, crc)}
+
+	if _, err := e.out.Write(magicV3[:]); err != nil {
+		return err
+	}
+	e.writeRules(m)
+	e.writeCompressedTables(m)
+	e.writeCert(c, 3)
+	return e.writeTail(w, crc, maxTND)
+}
+
+// EncodeV2 writes the legacy version-2 layout: dense 256-ary rows plus
+// the original eight-field certificate section. It exists for
+// cross-version compatibility tests (v2 → v3 round-trips, fuzz seeds)
+// and for producing files older readers accept.
+func EncodeV2(w io.Writer, m *tokdfa.Machine, maxTND int, c *cert.Certificate) error {
 	crc := crc32.NewIEEE()
 	e := &encoder{out: io.MultiWriter(w, crc)}
 
 	if _, err := e.out.Write(magicV2[:]); err != nil {
 		return err
 	}
-	e.writeCommon(m)
-	if c == nil {
-		e.ints(0)
-	} else {
-		e.ints(1)
-		e.bytes([]byte(c.GrammarHash))
-		e.ints(int64(c.DelayK), int64(c.DichotomyBound),
-			int64(c.RingBytes), int64(c.CarryRetainedCap), int64(c.TableBytes),
-			int64(c.AccelStates), int64(c.AccelSlots), int64(c.ParallelReworkX))
-		e.bytes([]byte(c.EngineMode))
-		e.bytes(c.WitnessU)
-		e.bytes(c.WitnessV)
-	}
-	tnd := int64(maxTND)
-	if maxTND == analysis.Infinite {
-		tnd = -1
-	}
-	e.ints(tnd)
-	if e.err != nil {
-		return e.err
-	}
-	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+	e.writeRules(m)
+	e.writeDenseTables(m)
+	e.writeCert(c, 2)
+	return e.writeTail(w, crc, maxTND)
 }
 
-// EncodeV1 writes the legacy version-1 layout (no certificate section).
-// It exists for cross-version compatibility tests and for producing
-// files older readers accept; new artifacts should use EncodeWithCert.
+// EncodeV1 writes the legacy version-1 layout (dense rows, no
+// certificate section). It exists for cross-version compatibility tests
+// and for producing files older readers accept; new artifacts should use
+// EncodeWithCert.
 func EncodeV1(w io.Writer, m *tokdfa.Machine, maxTND int) error {
 	crc := crc32.NewIEEE()
 	e := &encoder{out: io.MultiWriter(w, crc)}
@@ -152,16 +225,9 @@ func EncodeV1(w io.Writer, m *tokdfa.Machine, maxTND int) error {
 	if _, err := e.out.Write(magicV1[:]); err != nil {
 		return err
 	}
-	e.writeCommon(m)
-	tnd := int64(maxTND)
-	if maxTND == analysis.Infinite {
-		tnd = -1
-	}
-	e.ints(tnd)
-	if e.err != nil {
-		return e.err
-	}
-	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+	e.writeRules(m)
+	e.writeDenseTables(m)
+	return e.writeTail(w, crc, maxTND)
 }
 
 // tableChunk bounds how many int32s readInt32s decodes per read, so the
@@ -217,6 +283,8 @@ func Decode(r io.Reader) (*Machine, error) {
 		version = 1
 	case magicV2:
 		version = 2
+	case magicV3:
+		version = 3
 	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, gotMagic[:])
 	}
@@ -275,23 +343,69 @@ func Decode(r io.Reader) (*Machine, error) {
 	if states <= 0 || states > 1<<24 || nfaSize < 0 {
 		return nil, fmt.Errorf("%w: %d states", ErrFormat, states)
 	}
-	trans, err := readInt32s(in, int(states)*256)
-	if err != nil {
-		return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
-	}
-	accept, err := readInt32s(in, int(states))
-	if err != nil {
-		return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
-	}
-	for _, t := range trans {
-		if t < 0 || int64(t) >= states {
-			return nil, fmt.Errorf("%w: transition target %d", ErrFormat, t)
+
+	// Table section. Version 3 files carry the byte-class compressed
+	// layout natively; dense v1/v2 tables are compressed on load so the
+	// rest of the engine only ever sees the class-native DFA.
+	var dfa *automata.DFA
+	if version >= 3 {
+		numClasses, err := rd()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
-	}
-	for _, a := range accept {
-		if a < -1 || int64(a) >= ruleCount {
-			return nil, fmt.Errorf("%w: accept label %d", ErrFormat, a)
+		if numClasses < 1 || numClasses > 256 {
+			return nil, fmt.Errorf("%w: %d byte classes", ErrFormat, numClasses)
 		}
+		var classOf [256]uint8
+		if _, err := io.ReadFull(in, classOf[:]); err != nil {
+			return nil, fmt.Errorf("%w: class map: %v", ErrFormat, err)
+		}
+		// Every map entry must name a real class, and every class must be
+		// named by at least one byte — classes without a representative
+		// would be uncompressible columns nothing can exercise, which only
+		// a corrupted (or malicious) file produces.
+		reps := make([]byte, numClasses)
+		seen := make([]bool, numClasses)
+		for b := 0; b < 256; b++ {
+			c := int(classOf[b])
+			if c >= int(numClasses) {
+				return nil, fmt.Errorf("%w: class map entry %d = %d (have %d classes)", ErrFormat, b, c, numClasses)
+			}
+			if !seen[c] {
+				seen[c] = true
+				reps[c] = byte(b)
+			}
+		}
+		for c, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("%w: byte class %d has no representative", ErrFormat, c)
+			}
+		}
+		trans, err := readInt32s(in, int(states)*int(numClasses))
+		if err != nil {
+			return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
+		}
+		accept, err := readInt32s(in, int(states))
+		if err != nil {
+			return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
+		}
+		if err := validateTables(trans, accept, states, ruleCount); err != nil {
+			return nil, err
+		}
+		dfa = &automata.DFA{Trans: trans, ClassOf: classOf, Reps: reps, Accept: accept, Start: 0}
+	} else {
+		trans, err := readInt32s(in, int(states)*256)
+		if err != nil {
+			return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
+		}
+		accept, err := readInt32s(in, int(states))
+		if err != nil {
+			return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
+		}
+		if err := validateTables(trans, accept, states, ruleCount); err != nil {
+			return nil, err
+		}
+		dfa = automata.FromDense(trans, accept, 0)
 	}
 
 	var c *cert.Certificate
@@ -303,7 +417,7 @@ func Decode(r io.Reader) (*Machine, error) {
 		switch present {
 		case 0:
 		case 1:
-			c, err = decodeCert(rd, readString)
+			c, err = decodeCert(rd, readString, version)
 			if err != nil {
 				return nil, err
 			}
@@ -326,7 +440,6 @@ func Decode(r io.Reader) (*Machine, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
 	}
 
-	dfa := &automata.DFA{Trans: trans, Accept: accept, Start: 0}
 	coacc := dfa.CoAccessible()
 	dead := -1
 	for q := 0; q < dfa.NumStates(); q++ {
@@ -343,8 +456,9 @@ func Decode(r io.Reader) (*Machine, error) {
 			CoAcc:   coacc,
 			Dead:    dead,
 		},
-		MaxTND: int(tnd),
-		Cert:   c,
+		MaxTND:  int(tnd),
+		Cert:    c,
+		Version: version,
 	}
 	if tnd < 0 {
 		out.MaxTND = analysis.Infinite
@@ -362,15 +476,35 @@ func Decode(r io.Reader) (*Machine, error) {
 	return out, nil
 }
 
+// validateTables rejects transition targets and accept labels outside
+// the decoded machine, whichever layout they arrived in.
+func validateTables(trans, accept []int32, states, ruleCount int64) error {
+	for _, t := range trans {
+		if t < 0 || int64(t) >= states {
+			return fmt.Errorf("%w: transition target %d", ErrFormat, t)
+		}
+	}
+	for _, a := range accept {
+		if a < -1 || int64(a) >= ruleCount {
+			return fmt.Errorf("%w: accept label %d", ErrFormat, a)
+		}
+	}
+	return nil
+}
+
 // decodeCert reads the certificate section (bounds on every
 // variable-length field keep a corrupted header from committing
-// memory).
-func decodeCert(rd func() (int64, error), readString func(int64) (string, error)) (*cert.Certificate, error) {
+// memory). Version 3 files carry two extra integer fields.
+func decodeCert(rd func() (int64, error), readString func(int64) (string, error), version int) (*cert.Certificate, error) {
 	hash, err := readString(128)
 	if err != nil {
 		return nil, fmt.Errorf("%w: certificate hash: %v", ErrFormat, err)
 	}
-	var fields [8]int64
+	numFields := 8
+	if version >= 3 {
+		numFields = 10
+	}
+	fields := make([]int64, numFields)
 	for i := range fields {
 		if fields[i], err = rd(); err != nil {
 			return nil, fmt.Errorf("%w: certificate: %v", ErrFormat, err)
@@ -404,6 +538,10 @@ func decodeCert(rd func() (int64, error), readString func(int64) (string, error)
 		AccelSlots:       int(fields[6]),
 		ParallelReworkX:  int(fields[7]),
 		EngineMode:       mode,
+	}
+	if version >= 3 {
+		c.NumClasses = int(fields[8])
+		c.DenseTableBytes = int(fields[9])
 	}
 	if u != "" {
 		c.WitnessU = []byte(u)

@@ -103,10 +103,12 @@ func TestDecodeTableCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// The file tail is trans + accept + certPresent + maxTND + crc32;
+	// The file tail is the table section + certPresent + maxTND + crc32;
 	// everything before tableStart is the header (magic, rules, sizes).
+	// The v3 table section is numClasses + classOf[256] + compressed
+	// trans + accept.
 	states := m.DFA.NumStates()
-	tableLen := states*256*4 + states*4
+	tableLen := 8 + 256 + states*m.DFA.NumClasses()*4 + states*4
 	tableStart := len(full) - (tableLen + 8 + 8 + 4)
 	if tableStart <= 8 {
 		t.Fatalf("implausible table start %d in %d-byte file", tableStart, len(full))
@@ -236,9 +238,23 @@ func FuzzDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(v1.Bytes())
+		var v2 bytes.Buffer
+		if err := machinefile.EncodeV2(&v2, m, res.MaxTND, c); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2.Bytes())
+		// v3-specific damage: truncation inside the class map and an
+		// out-of-range class index, so the fuzzer starts from the
+		// compressed-table validation paths.
+		cmOff := classMapOffset(m, full)
+		f.Add(full[:cmOff+100])
+		oob := append([]byte(nil), full...)
+		oob[cmOff+5] = 0xff
+		f.Add(oob)
 	}
 	f.Add([]byte("STOKDFA1"))
 	f.Add([]byte("STOKDFA2"))
+	f.Add([]byte("STOKDFA3"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := machinefile.Decode(bytes.NewReader(data))
 		if err != nil {
@@ -459,8 +475,27 @@ func TestRegenFuzzSeeds(t *testing.T) {
 			t.Fatal(err)
 		}
 		write("seed-v1-"+name, v1.Bytes())
+		var v2 bytes.Buffer
+		if err := machinefile.EncodeV2(&v2, m, res.MaxTND, c); err != nil {
+			t.Fatal(err)
+		}
+		write("seed-v2-"+name, v2.Bytes())
+		// Compressed-table damage: a cert-free v3 file truncated inside
+		// the class map, and one whose class map names an undeclared
+		// class.
+		var plain bytes.Buffer
+		if err := machinefile.Encode(&plain, m, res.MaxTND); err != nil {
+			t.Fatal(err)
+		}
+		p := plain.Bytes()
+		cmOff := classMapOffset(m, p)
+		write("seed-classmap-trunc-"+name, p[:cmOff+100])
+		oob := append([]byte(nil), p...)
+		oob[cmOff+5] = 0xff
+		write("seed-classmap-oob-"+name, oob)
 	}
 	write("seed-magic-v2", []byte("STOKDFA2"))
+	write("seed-magic-v3", []byte("STOKDFA3"))
 }
 
 // failWriter fails after n bytes, exercising Encode's error paths.
@@ -492,5 +527,106 @@ func TestEncodeWriterErrors(t *testing.T) {
 		if err := machinefile.Encode(&failWriter{n: budget}, m, 1); !errors.Is(err, errShort) {
 			t.Errorf("budget %d: err = %v, want short write", budget, err)
 		}
+	}
+}
+
+// classMapOffset locates the 256-byte class map inside a certificate-free
+// v3 encoding of m: the tail after it is fixed-size (compressed trans,
+// accept, certPresent=0, maxTND, crc32).
+func classMapOffset(m *tokdfa.Machine, full []byte) int {
+	states := m.DFA.NumStates()
+	return len(full) - 4 - 8 - 8 - states*4 - states*m.DFA.NumClasses()*4 - 256
+}
+
+// TestDecodeClassMapCorruption: the v3-specific failure modes — a file
+// truncated inside the class map, a class map entry naming a class the
+// header doesn't declare, and a class map that leaves a declared class
+// with no representative byte — are all rejected as ErrFormat, never a
+// panic or a silently wrong machine.
+func TestDecodeClassMapCorruption(t *testing.T) {
+	m := grammars.JSON().Machine()
+	var buf bytes.Buffer
+	if err := machinefile.Encode(&buf, m, 3); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	off := classMapOffset(m, full)
+	if off <= 8 {
+		t.Fatalf("implausible class map offset %d in %d-byte file", off, len(full))
+	}
+
+	trunc := full[:off+100]
+	if _, err := machinefile.Decode(bytes.NewReader(trunc)); !errors.Is(err, machinefile.ErrFormat) {
+		t.Errorf("truncated class map: err = %v, want ErrFormat", err)
+	}
+
+	oob := append([]byte(nil), full...)
+	oob[off+5] = 0xff // class 255 with NumClasses ~20 declared
+	if _, err := machinefile.Decode(bytes.NewReader(oob)); !errors.Is(err, machinefile.ErrFormat) {
+		t.Errorf("out-of-range class index: err = %v, want ErrFormat", err)
+	}
+
+	norep := append([]byte(nil), full...)
+	for i := 0; i < 256; i++ {
+		norep[off+i] = 0 // every byte in class 0: classes 1.. lose their representative
+	}
+	if _, err := machinefile.Decode(bytes.NewReader(norep)); !errors.Is(err, machinefile.ErrFormat) {
+		t.Errorf("class without representative: err = %v, want ErrFormat", err)
+	}
+}
+
+// TestV2CrossVersionLoad: a legacy dense v2 file (certificate included)
+// still decodes — the dense rows are compressed on load, the version
+// marker tells loaders to re-certify — and re-encoding the decoded
+// machine produces a current v3 file carrying the same language.
+func TestV2CrossVersionLoad(t *testing.T) {
+	m := grammars.JSON().Machine()
+	res := analysis.Analyze(m)
+	c := certFor(t, m, res)
+	var buf bytes.Buffer
+	if err := machinefile.EncodeV2(&buf, m, res.MaxTND, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := machinefile.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Errorf("Version = %d, want 2", got.Version)
+	}
+	if got.Cert == nil {
+		t.Fatal("v2 file decoded without its certificate")
+	}
+	if got.Cert.NumClasses != 0 || got.Cert.DenseTableBytes != 0 {
+		t.Errorf("v2 cert carries compression fields (%d classes, %d dense bytes), want zeros",
+			got.Cert.NumClasses, got.Cert.DenseTableBytes)
+	}
+	if !automata.Equivalent(m.DFA, got.Machine.DFA) {
+		t.Error("decoded DFA not equivalent to the dense original")
+	}
+	if got.Machine.DFA.NumClasses() != m.DFA.NumClasses() {
+		t.Errorf("recompressed class count = %d, want %d (tighten is canonical)",
+			got.Machine.DFA.NumClasses(), m.DFA.NumClasses())
+	}
+
+	// v2 -> v3 round trip: re-encode in the current format with a fresh
+	// certificate for the rebuilt machine.
+	c3 := certFor(t, got.Machine, analysis.Analyze(got.Machine))
+	var v3 bytes.Buffer
+	if err := machinefile.EncodeWithCert(&v3, got.Machine, got.MaxTND, c3); err != nil {
+		t.Fatal(err)
+	}
+	again, err := machinefile.Decode(&v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != 3 {
+		t.Errorf("re-encoded Version = %d, want 3", again.Version)
+	}
+	if again.Cert == nil || again.Cert.NumClasses != m.DFA.NumClasses() {
+		t.Errorf("v3 cert class count not preserved: %+v", again.Cert)
+	}
+	if !automata.Equivalent(m.DFA, again.Machine.DFA) {
+		t.Error("v2->v3 round trip changed the language")
 	}
 }

@@ -113,6 +113,10 @@ type Registry struct {
 	residentBytes int64
 	pinnedBytes   int64
 
+	// fusedBudget caps each tokenizer's fused action tables (0 = the
+	// engine default); grammars over it serve from the split loops.
+	fusedBudget int
+
 	stats RegistryStats
 }
 
@@ -154,6 +158,28 @@ func (r *Registry) MemBudget() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.memBudget
+}
+
+// SetFusedBudget caps the fused action tables of every tokenizer the
+// registry compiles or loads from now on (0 = the engine's 16 MB
+// default). A grammar whose fused tables would exceed the cap is still
+// served — from the split interpreter loops, with a smaller certified
+// footprint. Call before serving traffic: already-resident entries keep
+// the engine they were built with.
+func (r *Registry) SetFusedBudget(bytes int) {
+	r.mu.Lock()
+	if bytes < 0 {
+		bytes = 0
+	}
+	r.fusedBudget = bytes
+	r.mu.Unlock()
+}
+
+// buildOptions returns the engine options registry compiles use.
+func (r *Registry) buildOptions() streamtok.Options {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return streamtok.Options{Minimize: true, MaxFusedTableBytes: r.fusedBudget}
 }
 
 // Lookup resolves a grammar by name: a pinned machine-file entry first,
@@ -209,7 +235,7 @@ func (r *Registry) get(name string, g *streamtok.Grammar) (*Entry, error) {
 	r.evictLocked()
 	r.mu.Unlock()
 
-	tok, err := streamtok.New(g)
+	tok, err := streamtok.NewWithOptions(g, r.buildOptions())
 	if err != nil {
 		if errors.Is(err, streamtok.ErrUnbounded) {
 			sl.rej = &RejectError{Name: name, Diagnostic: unboundedDiagnostic(g)}
@@ -328,7 +354,9 @@ func (r *Registry) LoadMachine(path string) (*Entry, error) {
 	}
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	tok, g, err := streamtok.LoadCompiled(f)
+	opts := r.buildOptions()
+	opts.Minimize = false // tables are already compiled (and minimized)
+	tok, g, err := streamtok.LoadCompiledWithOptions(f, opts)
 	if err != nil {
 		if errors.Is(err, streamtok.ErrUnbounded) && g != nil {
 			rej := &RejectError{Name: name, Diagnostic: unboundedDiagnostic(g)}

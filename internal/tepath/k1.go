@@ -12,12 +12,16 @@ import (
 // i.e. the token ending at q is maximal given that a follows.
 //
 // The table is stored as a fused action table so the tokenizer's hot loop
-// does a single lookup per byte after the DFA step.
+// does a single lookup per byte after the DFA step. The decision at (q, a)
+// depends on a only through δ(q, a), so the table shares the tokenization
+// DFA's byte-class partition: one column per class instead of 256.
 type K1Table struct {
-	// act[q*256+a] encodes the Fig. 5 decision at state q with
-	// lookahead a: ActContinue, ActDead, or rule+ActEmitBase.
-	act   []int32
-	final []bool
+	// act[q*nc+int(classOf[a])] encodes the Fig. 5 decision at state q
+	// with lookahead a: ActContinue, ActDead, or rule+ActEmitBase.
+	act     []int32
+	final   []bool
+	classOf [256]uint8
+	nc      int
 }
 
 // Action-table encodings shared by the K ≤ 1 fast paths.
@@ -33,33 +37,51 @@ const (
 func BuildK1(m *tokdfa.Machine) *K1Table {
 	d := m.DFA
 	n := d.NumStates()
-	t := &K1Table{act: make([]int32, n*256), final: make([]bool, n)}
+	nc := d.NumClasses()
+	t := &K1Table{
+		act:     make([]int32, n*nc),
+		final:   make([]bool, n),
+		classOf: d.ClassOf,
+		nc:      nc,
+	}
 	for q := 0; q < n; q++ {
 		t.final[q] = d.IsFinal(q)
-		for b := 0; b < 256; b++ {
+		for c := 0; c < nc; c++ {
 			var act int32
 			switch {
 			case m.IsDead(q):
 				act = ActDead
-			case d.IsFinal(q) && !d.IsFinal(d.Step(q, byte(b))):
+			case d.IsFinal(q) && !d.IsFinal(d.StepClass(q, c)):
 				act = int32(d.Rule(q)) + ActEmitBase
 			}
-			t.act[q<<8|b] = act
+			t.act[q*nc+c] = act
 		}
 	}
 	return t
 }
 
 // Action returns the fused decision for state q with lookahead a.
-func (t *K1Table) Action(q int, a byte) int32 { return t.act[q<<8|int(a)] }
+func (t *K1Table) Action(q int, a byte) int32 {
+	return t.act[q*t.nc+int(t.classOf[a])]
+}
+
+// NumClasses returns the byte-class count shared with the tokenization
+// DFA.
+func (t *K1Table) NumClasses() int { return t.nc }
+
+// Bytes returns the memory every resident array occupies: action words,
+// finality flags, and the table's copy of the byte-class map.
+func (t *K1Table) Bytes() int {
+	return len(t.act)*4 + len(t.final) + 256
+}
 
 // Maximal implements T[q][a]: whether the token ending at state q is
 // maximal when byte a follows.
 func (t *K1Table) Maximal(q int, a byte) bool {
-	return t.act[q<<8|int(a)] >= ActEmitBase
+	return t.act[q*t.nc+int(t.classOf[a])] >= ActEmitBase
 }
 
 // String summarizes the table size for diagnostics.
 func (t *K1Table) String() string {
-	return fmt.Sprintf("tepath.K1Table{%d states}", len(t.final))
+	return fmt.Sprintf("tepath.K1Table{%d states × %d classes}", len(t.final), t.nc)
 }

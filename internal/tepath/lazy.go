@@ -23,8 +23,10 @@ type Lazy struct {
 	nfa     *teNFA
 	machine *tokdfa.Machine
 	words   int
-	initial []int32  // sorted initial NFA state set
-	finals  []uint64 // bitset of A's final states
+	classOf [256]uint8 // the tokenization DFA's byte-class map
+	nc      int        // class count (cached row width)
+	initial []int32    // sorted initial NFA state set
+	finals  []uint64   // bitset of A's final states
 	limits  Limits
 }
 
@@ -50,6 +52,8 @@ func BuildLazy(m *tokdfa.Machine, k int, limits Limits) (*Lazy, error) {
 		nfa:     nfa,
 		machine: m,
 		words:   words,
+		classOf: m.DFA.ClassOf,
+		nc:      nfa.nc,
 		initial: init,
 		finals:  finals,
 		limits:  limits,
@@ -65,7 +69,7 @@ type Evaluator struct {
 	lazy       *Lazy
 	ids        map[string]int32
 	sets       [][]int32
-	rows       [][]int32 // rows[s][b] = successor, or -1 if not computed
+	rows       [][]int32 // rows[s][c] = successor on class c, or -1 if not computed
 	extendable [][]uint64
 	emitOK     [][]uint64
 	start      int32
@@ -92,7 +96,7 @@ func (e *Evaluator) intern(set []int32) int32 {
 	id := int32(len(e.sets))
 	e.ids[key] = id
 	e.sets = append(e.sets, set)
-	row := make([]int32, 256)
+	row := make([]int32, e.lazy.nc)
 	for i := range row {
 		row[i] = -1
 	}
@@ -113,21 +117,31 @@ func (e *Evaluator) intern(set []int32) int32 {
 }
 
 // Step advances the TeDFA, computing and caching the transition on first
-// use.
+// use. Rows are one column per byte class, so a first visit fills the
+// entry for every byte the tokenization DFA treats like b.
 func (e *Evaluator) Step(s int, b byte) int {
-	if t := e.rows[s][b]; t >= 0 {
+	c := int(e.lazy.classOf[b])
+	if t := e.rows[s][c]; t >= 0 {
 		return int(t)
 	}
-	return int(e.computeStep(s, b))
+	return int(e.computeStep(s, c))
 }
 
-func (e *Evaluator) computeStep(s int, b byte) int32 {
+// StepClass is Step for any byte of class c.
+func (e *Evaluator) StepClass(s, c int) int {
+	if t := e.rows[s][c]; t >= 0 {
+		return int(t)
+	}
+	return int(e.computeStep(s, c))
+}
+
+func (e *Evaluator) computeStep(s, c int) int32 {
 	nfa := e.lazy.nfa
 	set := e.sets[s]
 	seen := map[int32]bool{}
 	next := make([]int32, 0, len(set)+len(e.lazy.initial))
 	for _, st := range set {
-		t := nfa.succ[int(st)<<8|int(b)]
+		t := nfa.succ[int(st)*nfa.nc+c]
 		if t >= 0 && !seen[t] {
 			seen[t] = true
 			next = append(next, t)
@@ -141,7 +155,7 @@ func (e *Evaluator) computeStep(s int, b byte) int32 {
 	}
 	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
 	id := e.intern(next)
-	e.rows[s][b] = id
+	e.rows[s][c] = id
 	return id
 }
 

@@ -55,8 +55,16 @@ type Table struct {
 	K int
 	// Start is the initial TeDFA state (the powerstate I).
 	Start int
-	// trans is the flattened TeDFA transition table.
+	// trans is the flattened TeDFA transition table, one column per byte
+	// class of the tokenization DFA: trans[s*nc+int(classOf[b])]. The
+	// TeNFA's successors are a pure function of δ_A, so A's byte-class
+	// partition is exact for B as well and the two machines share one
+	// class map.
 	trans []int32
+	// classOf is a copy of the tokenization DFA's byte-class map.
+	classOf [256]uint8
+	// nc is the class count (compressed row width).
+	nc int
 	// extendable[S] is a bitset over A's states: bit q is set iff the
 	// powerstate S contains an accepting TeNFA state labeled q, i.e.
 	// the token ending at A-state q has an extension within the last K
@@ -75,21 +83,34 @@ type Table struct {
 // NumStates returns the TeDFA size.
 func (t *Table) NumStates() int { return len(t.extendable) }
 
-// Bytes returns the memory the transition table and maximality bitsets
-// occupy (for the RQ6 accounting).
+// Bytes returns the memory every resident array occupies: compressed
+// transition words, both maximality bitsets (extendable and the fused
+// emitOK mirror), and the table's copy of the byte-class map (for the RQ6
+// and certificate accounting).
 func (t *Table) Bytes() int {
-	return len(t.trans)*4 + len(t.extendable)*t.words*8
+	return len(t.trans)*4 + 2*len(t.extendable)*t.words*8 + 256
 }
 
+// NumClasses returns the byte-class count shared with the tokenization
+// DFA.
+func (t *Table) NumClasses() int { return t.nc }
+
 // Dump exposes the raw TeDFA tables for code generators: the flattened
-// transition table and, per state, the fused emit-OK bitset over the
-// tokenization DFA's states (words uint64s per state).
-func (t *Table) Dump() (trans []int32, emitOK [][]uint64, words int) {
-	return t.trans, t.emitOK, t.words
+// class-compressed transition table (numClasses columns per state, indexed
+// by the tokenization DFA's byte classes) and, per state, the fused
+// emit-OK bitset over the tokenization DFA's states (words uint64s per
+// state).
+func (t *Table) Dump() (trans []int32, numClasses int, emitOK [][]uint64, words int) {
+	return t.trans, t.nc, t.emitOK, t.words
 }
 
 // Step advances the TeDFA: δ_B(S, b).
-func (t *Table) Step(s int, b byte) int { return int(t.trans[s<<8|int(b)]) }
+func (t *Table) Step(s int, b byte) int {
+	return int(t.trans[s*t.nc+int(t.classOf[b])])
+}
+
+// StepClass advances the TeDFA on any byte of class c.
+func (t *Table) StepClass(s, c int) int { return int(t.trans[s*t.nc+c]) }
 
 // Maximal implements the token-maximality table lookup T[q][S]: it reports
 // whether a token that left the tokenization DFA in final state q is
@@ -126,10 +147,15 @@ func (t *Table) ExtendsWithinTail(q int, tail []byte) bool {
 
 // teNFA is the intermediate token-extension NFA. Every state has at most
 // one successor per byte (nondeterminism enters only through the restart
-// union with I), so it is stored as a dense successor table.
+// union with I), so it is stored as a flat successor table, one column per
+// byte class of the tokenization DFA (the successor is a pure function of
+// δ_A, so bytes A cannot distinguish are interchangeable here too).
 type teNFA struct {
-	// succ[s*256+b] is the successor of state s on byte b, or -1.
+	// succ[s*nc+c] is the successor of state s on any byte of class c,
+	// or -1.
 	succ []int32
+	// nc is the byte-class count of the tokenization DFA.
+	nc int
 	// acceptLabel[s] is Λ(s) = fst(π) for accepting states (depth K,
 	// done), or -1.
 	acceptLabel []int32
@@ -190,10 +216,12 @@ func buildTeNFA(m *tokdfa.Machine, k int, limits Limits) (*teNFA, error) {
 		}
 	}
 
-	// BFS over reachable TeNFA states, filling the successor table.
+	// BFS over reachable TeNFA states, filling the successor table one
+	// class column at a time.
+	nc := d.NumClasses()
 	var succ []int32
 	ensure := func(n int) {
-		for len(succ) < n*256 {
+		for len(succ) < n*nc {
 			succ = append(succ, -1)
 		}
 	}
@@ -209,13 +237,13 @@ func buildTeNFA(m *tokdfa.Machine, k int, limits Limits) (*teNFA, error) {
 			if err != nil {
 				return nil, err
 			}
-			for b := 0; b < 256; b++ {
-				succ[s<<8|b] = t
+			for c := 0; c < nc; c++ {
+				succ[s*nc+c] = t
 			}
 			continue
 		}
-		for b := 0; b < 256; b++ {
-			nxt := d.Step(int(kk.p), byte(b))
+		for c := 0; c < nc; c++ {
+			nxt := d.StepClass(int(kk.p), c)
 			var tk key
 			switch {
 			case d.IsFinal(nxt):
@@ -229,7 +257,7 @@ func buildTeNFA(m *tokdfa.Machine, k int, limits Limits) (*teNFA, error) {
 			if err != nil {
 				return nil, err
 			}
-			succ[s<<8|b] = t
+			succ[s*nc+c] = t
 		}
 	}
 	ensure(len(keys))
@@ -241,7 +269,7 @@ func buildTeNFA(m *tokdfa.Machine, k int, limits Limits) (*teNFA, error) {
 			accept[s] = kk.q
 		}
 	}
-	return &teNFA{succ: succ, acceptLabel: accept, initial: initial}, nil
+	return &teNFA{succ: succ, nc: nc, acceptLabel: accept, initial: initial}, nil
 }
 
 // determinizeRestarting applies the modified powerset construction:
@@ -295,18 +323,19 @@ func determinizeRestarting(m *tokdfa.Machine, k int, nfa *teNFA, limits Limits) 
 		return nil, err
 	}
 
+	nc := nfa.nc
 	var trans []int32
 	seen := map[int32]bool{}
 	for s := 0; s < len(sets); s++ {
-		row := make([]int32, 256)
+		row := make([]int32, nc)
 		set := sets[s]
-		for b := 0; b < 256; b++ {
+		for c := 0; c < nc; c++ {
 			for k := range seen {
 				delete(seen, k)
 			}
 			next := make([]int32, 0, len(set)+len(init))
 			for _, st := range set {
-				t := nfa.succ[int(st)<<8|b]
+				t := nfa.succ[int(st)*nc+c]
 				if t >= 0 && !seen[t] {
 					seen[t] = true
 					next = append(next, t)
@@ -323,7 +352,7 @@ func determinizeRestarting(m *tokdfa.Machine, k int, nfa *teNFA, limits Limits) 
 			if err != nil {
 				return nil, err
 			}
-			row[b] = id
+			row[c] = id
 		}
 		trans = append(trans, row...)
 	}
@@ -332,6 +361,8 @@ func determinizeRestarting(m *tokdfa.Machine, k int, nfa *teNFA, limits Limits) 
 		K:          k,
 		Start:      int(startID),
 		trans:      trans,
+		classOf:    m.DFA.ClassOf,
+		nc:         nc,
 		extendable: extendable,
 		emitOK:     emitOK,
 		words:      words,

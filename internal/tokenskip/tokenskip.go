@@ -54,10 +54,13 @@ func (s *Skipper) Tokenize(input []byte, emit func(tok token.Token, text []byte)
 		next[q] = -1
 	}
 
+	nc := d.NumClasses()
 	for i := n - 1; i >= 0; i-- {
-		b := input[i]
+		// One class lookup serves the whole per-state sweep at this
+		// position (the inner loop walks the compressed column directly).
+		col := int(d.ClassOf[input[i]])
 		for q := 0; q < numStates; q++ {
-			t := d.Trans[q<<8|int(b)]
+			t := d.Trans[q*nc+col]
 			best := int32(-1)
 			bestRule := int32(-1)
 			if nl := next[t]; nl >= 0 {

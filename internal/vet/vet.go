@@ -18,6 +18,14 @@
 //     AccelBackoffs, ...) legitimately live in loops and are not
 //     flagged.
 //
+//  3. Class-stride table indexing: transition tables (.Trans, .TeTrans)
+//     are byte-class compressed — rows have NumClasses columns, not 256.
+//     Indexing one with dense 256-ary arithmetic (q*256+b, q<<8|b) reads
+//     the wrong cells and silently reintroduces the C/256 memory blowup
+//     the compressed substrate removed. Only internal/automata, which
+//     owns the dense view (DenseTrans/FromDense), may do byte-stride
+//     arithmetic.
+//
 // The checks are purely syntactic (go/ast, no type information), which
 // keeps the tool dependency-free and fast; the patterns are specific
 // enough that false positives name real design questions.
@@ -27,6 +35,8 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
+	"strings"
 )
 
 // chunkCounters are the obs counter fields that must stay out of loops.
@@ -50,12 +60,19 @@ func (f Finding) String() string {
 // CheckFile runs every check on one parsed file and returns the
 // findings in source order.
 func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
+	// internal/automata owns the dense 256-ary view, so byte-stride
+	// arithmetic is legitimate there and only there.
+	fname := filepath.ToSlash(fset.Position(file.Pos()).Filename)
+	denseOwner := strings.Contains(fname, "internal/automata/")
 	var out []Finding
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if ok && fn.Body != nil {
 			out = append(out, checkPoolPairing(fset, fn)...)
 			out = append(out, checkCounterLoops(fset, fn)...)
+			if !denseOwner {
+				out = append(out, checkDenseIndexing(fset, fn)...)
+			}
 		}
 	}
 	return out
@@ -159,6 +176,65 @@ func counterFinding(fset *token.FileSet, pos token.Pos, name string, fn *ast.Fun
 			"these counters are per-chunk by design — hoist the update into the Feed preamble",
 			name, fn.Name.Name),
 	}
+}
+
+// checkDenseIndexing flags subscripts of .Trans/.TeTrans tables whose
+// index expression does dense 256-ary arithmetic (a *256 multiply or a
+// <<8 shift). The tables are byte-class compressed — the row stride is
+// NumClasses, not 256 — so a dense subscript reads the wrong cells.
+// Code that needs the dense layout must go through the automata
+// package's DenseTrans view instead.
+func checkDenseIndexing(fset *token.FileSet, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := idx.X.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Trans" && sel.Sel.Name != "TeTrans") {
+			return true
+		}
+		if hasDense256(idx.Index) {
+			out = append(out, Finding{
+				Pos: fset.Position(idx.Pos()),
+				Message: fmt.Sprintf("dense 256-ary index into .%s in %s; rows are byte-class compressed "+
+					"(stride NumClasses) — index with state*NumClasses+ClassOf[b], or use the DenseTrans view",
+					sel.Sel.Name, fn.Name.Name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// hasDense256 reports whether the expression contains a *256 multiply or
+// a <<8 shift — the signature of dense row arithmetic.
+func hasDense256(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.SHL:
+			if isIntLit(b.Y, "8") {
+				found = true
+			}
+		case token.MUL:
+			if isIntLit(b.X, "256") || isIntLit(b.Y, "256") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isIntLit(e ast.Expr, text string) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == text
 }
 
 // chunkCounterTarget reports whether expr is `<anything>.c.<counter>`

@@ -105,3 +105,46 @@ func feed(s *S, chunks [][]byte) {
 	}
 }`)
 }
+
+func TestDenseIndexing(t *testing.T) {
+	// Dense multiply into a compressed table: flagged.
+	wantFindings(t, `package p
+func bad(d *D, q int, b byte) int32 {
+	return d.Trans[q*256+int(b)]
+}`, "dense 256-ary index into .Trans in bad")
+
+	// Shift form, TeDFA table: flagged.
+	wantFindings(t, `package p
+func badShift(e *E, s int, b byte) int32 {
+	return e.TeTrans[s<<8|int(b)]
+}`, "dense 256-ary index into .TeTrans in badShift")
+
+	// Class-stride indexing: clean.
+	wantFindings(t, `package p
+func ok(d *D, q int, b byte) int32 {
+	return d.Trans[q*d.nc+int(d.ClassOf[b])]
+}`)
+
+	// *256 on an unrelated slice: clean (only .Trans/.TeTrans matter).
+	wantFindings(t, `package p
+func okOther(buf []byte, q int) byte {
+	return buf[q*256]
+}`)
+}
+
+// TestDenseIndexingAutomataExempt: the automata package owns the dense
+// view, so the same pattern is clean when the file lives there.
+func TestDenseIndexingAutomataExempt(t *testing.T) {
+	src := `package automata
+func dense(d *D, q int, b byte) int32 {
+	return d.Trans[q*256+int(b)]
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/automata/dense.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckFile(fset, f); len(got) != 0 {
+		t.Fatalf("automata file flagged: %v", got)
+	}
+}

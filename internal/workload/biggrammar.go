@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Big-grammar synthesis: keyword-set shaped grammars with thousands to
+// tens of thousands of rules, the scale regime where dense 256-ary
+// tables stop fitting budgets (10k rules ≈ 65k DFA states ≈ 67 MB
+// dense) while byte-class compressed tables stay resident. Keywords are
+// enumerated, not sampled, so a rule count fully determines the grammar.
+//
+// Construction: each rule is one keyword — 3–7 interior letters drawn
+// from 'a'..'y' followed by a final 'z'. The 'z' terminator makes the
+// keyword set prefix-free (an interior position never holds 'z'), so no
+// accidental keyword-extends-keyword pair inflates the max-TND. Every
+// tenth rule instead matches keyword(zq)?: the keyword and its "zq"
+// extension are both tokens with no token between them, which pins the
+// grammar's max-TND to exactly 2 — the K ≥ 2 engine regime (paired
+// TeDFA action tables), where table scaling is at its most expensive.
+// The last rule is the `[ \n]+` separator.
+
+// bigInteriorMax bounds the per-width keyword counter: 25^3 distinct
+// 3-letter interiors, the tightest width class.
+const bigInteriorMax = 25 * 25 * 25
+
+// MaxBigGrammarRules is the largest rule count BigGrammarRules accepts
+// (beyond it the 3-letter interior width class is exhausted).
+const MaxBigGrammarRules = 5*bigInteriorMax + 1
+
+// bigKeyword returns keyword i: interior width 3 + i%5, interior value
+// i/5 in base 25 over 'a'..'y', then the 'z' terminator. Distinct i give
+// distinct keywords (width and value are both injective in i).
+func bigKeyword(i int) string {
+	width := 3 + i%5
+	v := i / 5
+	buf := make([]byte, width+1)
+	buf[width] = 'z'
+	for p := width - 1; p >= 0; p-- {
+		buf[p] = byte('a' + v%25)
+		v /= 25
+	}
+	return string(buf)
+}
+
+// BigGrammarRules returns the synthetic keyword grammar with exactly
+// the given number of rules (keywords plus the trailing separator
+// rule). rules must be in [2, MaxBigGrammarRules].
+func BigGrammarRules(rules int) ([]string, error) {
+	if rules < 2 || rules > MaxBigGrammarRules {
+		return nil, fmt.Errorf("workload: big grammar rule count %d outside [2, %d]", rules, MaxBigGrammarRules)
+	}
+	out := make([]string, rules)
+	for i := 0; i < rules-1; i++ {
+		kw := bigKeyword(i)
+		if i%10 == 0 {
+			kw += "(zq)?"
+		}
+		out[i] = kw
+	}
+	out[rules-1] = `[ \n]+`
+	return out, nil
+}
+
+// BigGrammarInput generates about n bytes of keyword stream for the
+// rules-rule big grammar: keywords sampled uniformly (extended rules
+// emit their "zq" form half the time), separated by single spaces with
+// a newline roughly every 12 keywords. Every generated stream tokenizes
+// fully under BigGrammarRules(rules).
+func BigGrammarInput(seed int64, n, rules int) ([]byte, error) {
+	if rules < 2 || rules > MaxBigGrammarRules {
+		return nil, fmt.Errorf("workload: big grammar rule count %d outside [2, %d]", rules, MaxBigGrammarRules)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 16)
+	for sb.Len() < n {
+		i := rng.Intn(rules - 1)
+		sb.WriteString(bigKeyword(i))
+		if i%10 == 0 && rng.Intn(2) == 0 {
+			sb.WriteString("zq")
+		}
+		if rng.Intn(12) == 0 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteByte(' ')
+		}
+	}
+	return []byte(sb.String()), nil
+}

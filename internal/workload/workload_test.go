@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"streamtok/internal/analysis"
 	"streamtok/internal/grammars"
 	"streamtok/internal/reference"
 	"streamtok/internal/tokdfa"
@@ -138,4 +139,55 @@ func mustMachine(t *testing.T, name string) *tokdfa.Machine {
 		t.Fatal(err)
 	}
 	return spec.Machine()
+}
+
+// TestBigGrammar: the synthetic keyword grammar is deterministic in its
+// rule count, has max-TND exactly 2 (the K ≥ 2 engine regime), and its
+// sampled input streams tokenize fully. Checked at a small scale so the
+// compile stays in test budget; paperbench -exp biggrammar runs the
+// 10k+-rule points.
+func TestBigGrammar(t *testing.T) {
+	const rules = 500
+	srcs, err := workload.BigGrammarRules(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != rules {
+		t.Fatalf("got %d rules, want %d", len(srcs), rules)
+	}
+	again, _ := workload.BigGrammarRules(rules)
+	for i := range srcs {
+		if srcs[i] != again[i] {
+			t.Fatalf("rule %d not deterministic: %q vs %q", i, srcs[i], again[i])
+		}
+	}
+	g := tokdfa.MustParseGrammar(srcs...)
+	m := tokdfa.MustCompile(g, tokdfa.Options{Minimize: true})
+	res := analysis.Analyze(m)
+	if !res.Bounded() || res.MaxTND != 2 {
+		t.Fatalf("max-TND = %v bounded=%v, want exactly 2", res.MaxTND, res.Bounded())
+	}
+	in, err := workload.BigGrammarInput(7, 64*1024, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, rest := reference.Tokens(m, in)
+	if rest != len(in) {
+		lo := rest - 20
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("big grammar stream stopped at %d/%d near %q", rest, len(in), in[lo:min(rest+20, len(in))])
+	}
+	if len(toks) < 1000 {
+		t.Fatalf("only %d tokens in 64 KB", len(toks))
+	}
+
+	// Out-of-range rule counts error cleanly.
+	if _, err := workload.BigGrammarRules(1); err == nil {
+		t.Error("BigGrammarRules(1) should fail")
+	}
+	if _, err := workload.BigGrammarInput(1, 10, workload.MaxBigGrammarRules+1); err == nil {
+		t.Error("BigGrammarInput over the cap should fail")
+	}
 }

@@ -218,6 +218,13 @@ type Options struct {
 	// action-table engine (for ablation; the engines emit byte-identical
 	// token streams).
 	DisableFused bool
+	// MaxFusedTableBytes caps the resident bytes of the fused action
+	// tables (0 = the 16 MB default). Grammars whose fused tables exceed
+	// the cap serve from the split loops instead — same token stream,
+	// smaller footprint. Tables are byte-class compressed, so the cap is
+	// checked against C-column tables (C = byte-class count), letting far
+	// larger grammars stay fused than the dense layout would.
+	MaxFusedTableBytes int
 }
 
 // Certificate is a statically derived resource certificate: the
@@ -253,11 +260,13 @@ func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
 	if !res.Bounded() {
 		return nil, fmt.Errorf("%w (grammar %s)", ErrUnbounded, g.g.String())
 	}
-	build := core.NewWithK
+	limits := tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates}
+	var inner *core.Tokenizer
 	if opts.DisableFused {
-		build = core.NewSplitWithK
+		inner, err = core.NewSplitWithK(m, res.MaxTND, limits)
+	} else {
+		inner, err = core.NewWithKBudget(m, res.MaxTND, limits, opts.MaxFusedTableBytes)
 	}
-	inner, err := build(m, res.MaxTND, tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates})
 	if err != nil {
 		return nil, err
 	}
