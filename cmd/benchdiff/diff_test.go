@@ -133,6 +133,9 @@ func TestAgainstCommittedArtifacts(t *testing.T) {
 		{"BENCH_concurrency.json", "mode,N", "allocs/stream", true},
 		{"BENCH_biggrammar.json", "grammar", "ratio", true},
 		{"BENCH_biggrammar.json", "grammar", "dfa_bytes", true},
+		{"BENCH_bpe.json", "merges", "ratio", true},
+		{"BENCH_bpe.json", "merges", "dfa_bytes", true},
+		{"BENCH_bpe.json", "merges", "classes", true},
 	} {
 		path := filepath.Join("..", "..", c.file)
 		tb, err := loadTable(path)

@@ -8,6 +8,8 @@
 //	streamtokd                                    # serve on :8321
 //	streamtokd -addr :9000 -preload json,csv      # pre-compile catalog grammars
 //	streamtokd -machines ./machines               # pin precompiled machines (tnd -emit)
+//	streamtokd -vocab cl100k.tiktoken             # pin a BPE vocabulary for ?vocab=cl100k
+//	streamtokd -vocab-dir ./vocabs                # pin every vocabulary in a directory
 //	streamtokd -max-concurrent 32 -deadline 10s   # tune admission control
 //	streamtokd -mem-budget 4M                     # cap certified resident table bytes
 //
@@ -43,6 +45,8 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	preload := flag.String("preload", "", "comma-separated catalog grammars to compile at startup")
 	machines := flag.String("machines", "", "directory of precompiled machine files (tnd -emit) to pin")
+	vocabFiles := flag.String("vocab", "", "comma-separated BPE vocabulary files (tiktoken or tokenizer.json) to pin for ?vocab=")
+	vocabDir := flag.String("vocab-dir", "", "directory of BPE vocabulary files to pin")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max tokenize streams in flight (0 = 4×GOMAXPROCS)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-request body limit in bytes (0 = 64MiB)")
 	deadline := flag.Duration("deadline", 0, "per-request wall-time limit (0 = 30s)")
@@ -78,6 +82,20 @@ func main() {
 			logger.Fatalf("loading machines from %s: %v", *machines, err)
 		}
 		logger.Printf("pinned %d machine grammars: %s", len(names), strings.Join(names, ", "))
+	}
+	if *vocabDir != "" {
+		names, err := reg.LoadVocabDir(*vocabDir)
+		if err != nil {
+			logger.Fatalf("loading vocabularies from %s: %v", *vocabDir, err)
+		}
+		logger.Printf("pinned %d vocabularies: %s", len(names), strings.Join(names, ", "))
+	}
+	for _, path := range splitList(*vocabFiles) {
+		ent, err := reg.LoadVocab(path)
+		if err != nil {
+			logger.Fatalf("loading vocabulary %s: %v", path, err)
+		}
+		logger.Printf("pinned vocabulary %s (%d tokens)", ent.Name, ent.Vocab.Size())
 	}
 	for _, name := range splitList(*preload) {
 		if _, err := reg.Lookup(name); err != nil {

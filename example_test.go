@@ -52,6 +52,32 @@ func ExampleTokenizer_NewStreamer() {
 	// Output: "3.14" "," "2" "," "10"
 }
 
+// ExampleCompile shows the multi-frontend constructor: any Source — a
+// grammar, a BPE vocabulary, a machine file — compiles through the same
+// pipeline into the same Tokenizer API.
+func ExampleCompile() {
+	// A grammar source.
+	g := streamtok.MustParseGrammar(`[0-9]+`, `[a-z]+`, `[ ]+`)
+	tok, _ := streamtok.Compile(g, streamtok.Options{Minimize: true})
+	n := 0
+	tok.Tokenize(strings.NewReader("watch 007 now"), 0,
+		func(t streamtok.Token, text []byte) { n++ })
+	fmt.Println("grammar tokens:", n)
+
+	// A BPE vocabulary source: Token.Rule is the rank.
+	v, _ := streamtok.TrainVocab([]byte(strings.Repeat("the cat sat on the mat. ", 40)), 40, 0)
+	btok, _ := streamtok.Compile(v, streamtok.Options{})
+	ranks, _ := btok.TokenizeBytes([]byte("the cat sat"))
+	dec := []int{}
+	for _, t := range ranks {
+		dec = append(dec, t.Rule)
+	}
+	fmt.Printf("bpe round trip: %q\n", btok.Vocab().Decode(nil, dec))
+	// Output:
+	// grammar tokens: 5
+	// bpe round trip: "the cat sat"
+}
+
 // ExampleErrUnbounded shows the analysis rejecting a grammar that cannot
 // be tokenized in bounded memory (Example 9, row 5).
 func ExampleErrUnbounded() {

@@ -1,0 +1,79 @@
+package cert_test
+
+import (
+	"errors"
+	"testing"
+
+	"streamtok/internal/analysis/cert"
+	"streamtok/internal/bpe"
+	"streamtok/internal/workload"
+)
+
+func TestBPECertificate(t *testing.T) {
+	v, err := bpe.Train(workload.Prompts(31, 1<<17), 500, bpe.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bpe.Compile(v, bpe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, pm := bt.VocabMachine(), bt.PretokMachine()
+	res, eng := bt.PretokAnalysis(), bt.PretokEngine()
+
+	c, err := cert.NewBPE(v.Hash(), vm, pm, res, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GrammarHash != v.Hash() {
+		t.Errorf("hash = %s, want vocab hash", c.GrammarHash)
+	}
+	if c.EngineMode != bt.EngineMode() {
+		t.Errorf("mode %q != tokenizer's %q", c.EngineMode, bt.EngineMode())
+	}
+	if c.TableBytes != bt.TableBytes() {
+		t.Errorf("table bytes %d != tokenizer's %d", c.TableBytes, bt.TableBytes())
+	}
+	if c.NumClasses != vm.DFA.NumClasses() {
+		t.Errorf("classes %d != vocab DFA's %d", c.NumClasses, vm.DFA.NumClasses())
+	}
+	if c.DelayK != bt.K() {
+		t.Errorf("K %d != pretokenizer's %d", c.DelayK, bt.K())
+	}
+
+	if err := c.VerifyBPE(v.Hash(), vm, pm, res.MaxTND, eng); err != nil {
+		t.Fatalf("fresh certificate refused: %v", err)
+	}
+
+	// Tampering with any field must be detected.
+	tamper := []struct {
+		name string
+		mut  func(c *cert.Certificate)
+	}{
+		{"hash", func(c *cert.Certificate) { c.GrammarHash = "beef" }},
+		{"mode", func(c *cert.Certificate) { c.EngineMode = "bpe+split-general" }},
+		{"delay", func(c *cert.Certificate) { c.DelayK++ }},
+		{"tables", func(c *cert.Certificate) { c.TableBytes-- }},
+		{"classes", func(c *cert.Certificate) { c.NumClasses = 7 }},
+		{"dense", func(c *cert.Certificate) { c.DenseTableBytes++ }},
+		{"ring", func(c *cert.Certificate) { c.RingBytes += 8 }},
+		{"rework", func(c *cert.Certificate) { c.ParallelReworkX = 3 }},
+		{"witness", func(c *cert.Certificate) {
+			if len(c.WitnessV) > 0 {
+				c.WitnessV = append([]byte{}, c.WitnessU...)
+			} else {
+				c.WitnessU = []byte("x")
+			}
+		}},
+	}
+	for _, tc := range tamper {
+		bad := *c
+		tc.mut(&bad)
+		err := bad.VerifyBPE(v.Hash(), vm, pm, res.MaxTND, eng)
+		if err == nil {
+			t.Errorf("%s tampering passed verification", tc.name)
+		} else if !errors.Is(err, cert.ErrMismatch) {
+			t.Errorf("%s tampering: error does not wrap ErrMismatch: %v", tc.name, err)
+		}
+	}
+}

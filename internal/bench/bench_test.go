@@ -39,8 +39,8 @@ func TestExperimentsRegistry(t *testing.T) {
 			t.Errorf("LookupExperiment(%s): %v", e.Name, err)
 		}
 	}
-	if len(seen) != 21 {
-		t.Errorf("%d experiments, want 21 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead + concurrency + serverload + certstats + biggrammar)", len(seen))
+	if len(seen) != 22 {
+		t.Errorf("%d experiments, want 22 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead + concurrency + serverload + certstats + biggrammar + bpe)", len(seen))
 	}
 	if _, err := LookupExperiment("nope"); err == nil {
 		t.Error("unknown experiment should fail")

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamtok/internal/analysis/cert"
+	"streamtok/internal/bpe"
+	"streamtok/internal/token"
+	"streamtok/internal/workload"
+)
+
+// bpeMergeCounts are the vocabulary sizes the experiment trains and
+// compiles. Fixed (never scaled by Config.Scale), like the biggrammar
+// rule counts, so the structural columns of a reduced-scale CI run match
+// the committed baseline — Scale stretches the encoded input, not the
+// vocabularies.
+var bpeMergeCounts = []int{1000, 8000, 32000}
+
+// The training corpus is likewise fixed: vocabulary contents (and with
+// them DFA states, classes, and table bytes) must be byte-identical
+// across machines and scales.
+const (
+	bpeTrainSeed   = 42
+	bpeTrainBytes  = 4 << 20
+	bpeMaxTokenLen = 7
+)
+
+// BPE measures the LLM-tokenization frontend across vocabulary scales:
+// for BPE vocabularies of 1k–32k merges trained on a fixed synthetic
+// corpus, the maximal-munch vocab DFA's size, byte-class count C, and
+// compressed table bytes against the dense 256-ary baseline; the
+// certified resident footprint of the full pipeline (vocab DFA +
+// pretokenizer engine); which engine the pretokenizer got under the
+// shared fused budget; train and compile time; streaming encode
+// throughput; and the fraction of pieces that fell back from the
+// certified greedy scan to the exact merge loop. The 8k row is the
+// operating point the fused-budget admission test pins: vocab DFA and
+// fused pretokenizer together under the default 16 MB budget. At 32k
+// merges the vocab DFA alone exceeds the budget, so the pretokenizer
+// honestly serves from the split loops.
+func BPE(cfg Config) Table {
+	t := Table{
+		Title: "BPE: vocab-DFA compile and streaming encode, 1k–32k merges",
+		Header: []string{"merges", "tokens", "dfa_states", "classes",
+			"dense_dfa_bytes", "dfa_bytes", "ratio", "resident_bytes", "mode",
+			"train_s", "compile_s", "mbps", "fallback_pct"},
+	}
+	corpus := workload.Prompts(bpeTrainSeed, bpeTrainBytes)
+	in := workload.Prompts(cfg.Seed, cfg.size(1<<20))
+
+	for _, merges := range bpeMergeCounts {
+		var v *bpe.Vocab
+		train := timeIt(1, func() {
+			var err error
+			v, err = bpe.Train(corpus, merges, bpe.TrainOptions{MaxTokenLen: bpeMaxTokenLen})
+			if err != nil {
+				panic(fmt.Sprintf("bpe: train %d merges: %v", merges, err))
+			}
+		})
+		var tok *bpe.Tokenizer
+		compile := timeIt(1, func() {
+			var err error
+			tok, err = bpe.Compile(v, bpe.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("bpe: compile %d merges: %v", merges, err))
+			}
+		})
+		vm := tok.VocabMachine()
+		c, err := cert.NewBPE(v.Hash(), vm, tok.PretokMachine(), tok.PretokAnalysis(), tok.PretokEngine())
+		if err != nil {
+			panic(fmt.Sprintf("bpe: certify %d merges: %v", merges, err))
+		}
+		if err := c.VerifyBPE(v.Hash(), vm, tok.PretokMachine(), tok.PretokAnalysis().MaxTND, tok.PretokEngine()); err != nil {
+			panic(fmt.Sprintf("bpe: fresh certificate does not verify (%d merges): %v", merges, err))
+		}
+
+		emit := func(token.Token, []byte) {}
+		elapsed := timeIt(cfg.Trials, func() {
+			s := tok.AcquireStream()
+			s.Feed(in, emit)
+			s.Close(emit)
+			tok.ReleaseStream(s)
+		})
+		pieces, fallbacks := tok.Counters()
+		fallbackPct := "0.0"
+		if pieces > 0 {
+			fallbackPct = fmt.Sprintf("%.1f", 100*float64(fallbacks)/float64(pieces))
+		}
+		dense := cert.DenseDFABytes(vm)
+
+		t.Rows = append(t.Rows, []string{
+			itoa(merges),
+			itoa(v.Size()),
+			itoa(vm.DFA.NumStates()),
+			itoa(vm.DFA.NumClasses()),
+			itoa(dense),
+			itoa(vm.DFA.TableBytes()),
+			fmt.Sprintf("%.3f", float64(vm.DFA.TableBytes())/float64(dense)),
+			itoa(c.TableBytes),
+			tok.EngineMode(),
+			secs(train),
+			secs(compile),
+			mbps(len(in), elapsed),
+			fallbackPct,
+		})
+	}
+	t.Note = fmt.Sprintf("vocabularies trained on a fixed %d B synthetic corpus (seed %d, max token %d B; the 32k row saturates the token-length cap below its merge budget); dense_dfa_bytes is the 256-ary vocab-DFA layout, ratio = dfa_bytes/dense (~C/256); resident_bytes is the certified vocab-DFA + pretokenizer footprint; fallback_pct is merge-loop fallbacks per pretokenizer piece; input %d B per row",
+		bpeTrainBytes, bpeTrainSeed, bpeMaxTokenLen, len(in))
+	return t
+}

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"serverload", "streamtokd over loopback HTTP: streamed-token latency and shed rate vs concurrency (not a paper figure)", Serverload},
 		{"certstats", "resource-certificate derivation and verification cost per catalog grammar (not a paper figure)", Certstats},
 		{"biggrammar", "byte-class compressed tables vs dense baseline, catalog and 1k-10k-rule grammars (not a paper figure)", Biggrammar},
+		{"bpe", "BPE vocab-DFA compile and streaming encode at 1k-32k merges (not a paper figure)", BPE},
 	}
 }
 

@@ -1,0 +1,209 @@
+package bpe
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Vocabulary file readers: the tiktoken rank-file format (the OpenAI
+// lineage) and a minimal Hugging Face tokenizer.json reader (model.vocab
+// and model.merges only — no normalizers, no added-token machinery).
+// Both produce the same thing: tokens in dense rank order, handed to
+// NewVocab.
+
+// ParseTiktoken parses a tiktoken-format rank file: one
+// "base64(token) rank" line per token. Ranks must be dense (0..n-1);
+// blank lines are ignored.
+func ParseTiktoken(data []byte) (*Vocab, error) {
+	var toks [][]byte
+	var ranks []int
+	for ln, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		sp := bytes.IndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("bpe: tiktoken line %d: no rank field", ln+1)
+		}
+		tok, err := base64.StdEncoding.DecodeString(string(line[:sp]))
+		if err != nil {
+			return nil, fmt.Errorf("bpe: tiktoken line %d: %w", ln+1, err)
+		}
+		rank, err := strconv.Atoi(string(bytes.TrimSpace(line[sp+1:])))
+		if err != nil {
+			return nil, fmt.Errorf("bpe: tiktoken line %d: %w", ln+1, err)
+		}
+		toks = append(toks, tok)
+		ranks = append(ranks, rank)
+	}
+	ordered, err := sortTokensByRank(toks, ranks)
+	if err != nil {
+		return nil, err
+	}
+	return NewVocab(ordered)
+}
+
+// byteUnicodeReverse maps the GPT-2 byte-to-unicode alphabet back to
+// bytes: printable bytes (0x21-0x7e, 0xa1-0xac, 0xae-0xff) map to their
+// own codepoint, the remaining 68 bytes to U+0100 + i in byte order.
+var byteUnicodeReverse = func() map[rune]byte {
+	rev := make(map[rune]byte, 256)
+	printable := func(b int) bool {
+		return (b >= 0x21 && b <= 0x7e) || (b >= 0xa1 && b <= 0xac) || (b >= 0xae && b <= 0xff)
+	}
+	n := 0
+	for b := 0; b < 256; b++ {
+		if printable(b) {
+			rev[rune(b)] = byte(b)
+		} else {
+			rev[rune(256+n)] = byte(b)
+			n++
+		}
+	}
+	return rev
+}()
+
+// decodeByteUnicode maps a tokenizer.json token string (GPT-2
+// byte-to-unicode alphabet) back to its raw bytes.
+func decodeByteUnicode(s string) ([]byte, error) {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		b, ok := byteUnicodeReverse[r]
+		if !ok {
+			return nil, fmt.Errorf("bpe: codepoint %q is not in the byte-level alphabet", r)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// tokenizerJSON is the subset of a Hugging Face tokenizer.json this
+// reader understands.
+type tokenizerJSON struct {
+	Model struct {
+		Type   string          `json:"type"`
+		Vocab  map[string]int  `json:"vocab"`
+		Merges json.RawMessage `json:"merges"`
+	} `json:"model"`
+}
+
+// ParseTokenizerJSON parses a minimal Hugging Face tokenizer.json:
+// model.vocab supplies the tokens and their ids (decoded from the GPT-2
+// byte-to-unicode alphabet; ids with gaps are compacted order-
+// preserving into dense ranks), and model.merges — either "a b" strings
+// or [a, b] pairs — is validated against the vocabulary (every merge's
+// concatenation must be a token). Merge priority itself comes from the
+// ids, as in byte-level BPE models.
+func ParseTokenizerJSON(data []byte) (*Vocab, error) {
+	var tj tokenizerJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("bpe: tokenizer.json: %w", err)
+	}
+	if tj.Model.Type != "" && tj.Model.Type != "BPE" {
+		return nil, fmt.Errorf("bpe: tokenizer.json model type %q is not BPE", tj.Model.Type)
+	}
+	if len(tj.Model.Vocab) == 0 {
+		return nil, fmt.Errorf("bpe: tokenizer.json has no model.vocab")
+	}
+
+	type entry struct {
+		tok []byte
+		id  int
+	}
+	entries := make([]entry, 0, len(tj.Model.Vocab))
+	for s, id := range tj.Model.Vocab {
+		tok, err := decodeByteUnicode(s)
+		if err != nil {
+			return nil, fmt.Errorf("bpe: tokenizer.json vocab entry %q: %w", s, err)
+		}
+		entries = append(entries, entry{tok, id})
+	}
+	// Ids may have gaps (added tokens removed upstream): compact
+	// order-preserving into dense ranks.
+	sort.Slice(entries, func(a, b int) bool { return entries[a].id < entries[b].id })
+	toks := make([][]byte, len(entries))
+	for i, e := range entries {
+		if i > 0 && e.id == entries[i-1].id {
+			return nil, fmt.Errorf("bpe: tokenizer.json: duplicate id %d", e.id)
+		}
+		toks[i] = e.tok
+	}
+	v, err := NewVocab(toks)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateMerges(v, tj.Model.Merges); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// validateMerges checks each merge pair's concatenation is a token.
+// merges may be absent (nil), a list of "a b" strings, or a list of
+// [a, b] pairs (the newer serialization).
+func validateMerges(v *Vocab, raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var asStrings []string
+	if err := json.Unmarshal(raw, &asStrings); err != nil {
+		var asPairs [][]string
+		if err2 := json.Unmarshal(raw, &asPairs); err2 != nil {
+			return fmt.Errorf("bpe: tokenizer.json merges: %w", err)
+		}
+		for i, p := range asPairs {
+			if len(p) != 2 {
+				return fmt.Errorf("bpe: tokenizer.json merge %d has %d parts", i, len(p))
+			}
+			if err := checkMerge(v, i, p[0], p[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, m := range asStrings {
+		var a, b string
+		if sp := indexLastSpace(m); sp < 0 {
+			return fmt.Errorf("bpe: tokenizer.json merge %d (%q) has no separator", i, m)
+		} else {
+			a, b = m[:sp], m[sp+1:]
+		}
+		if err := checkMerge(v, i, a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexLastSpace finds the separating space of an "a b" merge line. The
+// GPT-2 alphabet never uses U+0020 inside a token, so the single space
+// is unambiguous; last-index tolerates none anyway.
+func indexLastSpace(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkMerge(v *Vocab, i int, a, b string) error {
+	ab, err := decodeByteUnicode(a)
+	if err != nil {
+		return fmt.Errorf("bpe: tokenizer.json merge %d: %w", i, err)
+	}
+	bb, err := decodeByteUnicode(b)
+	if err != nil {
+		return fmt.Errorf("bpe: tokenizer.json merge %d: %w", i, err)
+	}
+	cat := append(append([]byte{}, ab...), bb...)
+	if _, ok := v.Rank(cat); !ok {
+		return fmt.Errorf("bpe: tokenizer.json merge %d: %q + %q concatenates to a non-token", i, a, b)
+	}
+	return nil
+}

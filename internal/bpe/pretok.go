@@ -1,0 +1,178 @@
+package bpe
+
+// The pretokenizer: byte-level, GPT-2-flavored. LLM tokenizers never
+// run BPE over raw text; a regex pretokenizer first splits the stream
+// into pieces (word-with-leading-space, digit run, punctuation run,
+// whitespace run) and BPE encodes each piece independently — which is
+// exactly what bounds how far a merge can reach and makes streaming
+// encoding possible. Here the pretokenizer IS a StreamTok tokenization
+// grammar: the streaming encoder runs it through the ordinary
+// bounded-memory engine and BPE-encodes the emitted pieces.
+//
+// The piece language is a byte-level approximation of GPT-2's (no
+// Unicode categories — the repo's automata are byte automata): ASCII
+// contractions, ` ?[A-Za-z]+` words, ` ?[0-9]+` digit runs, non-ASCII
+// runs grouped by UTF-8 lead/continuation structure so a multi-byte
+// code point is never split, punctuation runs, and whitespace runs.
+// PretokRules is the single source of truth; ScanPieces is a
+// hand-rolled maximal-munch scanner over the same rules, kept
+// independent of the automata path so differential tests can pin the
+// compiled grammar to it.
+
+// PretokRules returns the pretokenization grammar's rules in priority
+// order, in the package regex dialect.
+func PretokRules() []string {
+	return []string{
+		`'(s|t|re|ve|m|ll|d)`,                // ASCII contractions
+		`( )?[A-Za-z]+`,                      // word, optional leading space
+		`( )?[0-9]+`,                         // digit run
+		`( )?([\xc2-\xf4][\x80-\xbf]+)+`,     // non-ASCII (UTF-8) run
+		`( )?[^ \t\r\nA-Za-z0-9\x80-\xff']+`, // punctuation/symbol run
+		`'`,                                  // lone apostrophe
+		`[ \t\r\n]+`,                         // whitespace run
+		`[\x80-\xff]`,                        // stray non-UTF-8 byte
+	}
+}
+
+// PretokRuleNames names the rules of PretokRules, in order.
+func PretokRuleNames() []string {
+	return []string{"contraction", "word", "number", "unicode", "punct", "apostrophe", "space", "byte"}
+}
+
+// isSpaceByte reports b ∈ [ \t\r\n].
+func isSpaceByte(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }
+
+func isLetter(b byte) bool { return 'A' <= b && b <= 'Z' || 'a' <= b && b <= 'z' }
+func isDigit(b byte) bool  { return '0' <= b && b <= '9' }
+
+// isUTF8Lead reports a byte that starts a multi-byte UTF-8 sequence
+// (C2-F4; C0/C1 and F5-FF never appear in valid UTF-8).
+func isUTF8Lead(b byte) bool { return 0xc2 <= b && b <= 0xf4 }
+func isUTF8Cont(b byte) bool { return 0x80 <= b && b <= 0xbf }
+
+// isPunct matches the punctuation-run rule's class: ASCII bytes that are
+// not whitespace, letters, digits, or the apostrophe.
+func isPunct(b byte) bool {
+	return b < 0x80 && !isSpaceByte(b) && !isLetter(b) && !isDigit(b) && b != '\''
+}
+
+// pieceEnd returns the end offset of the maximal-munch piece starting at
+// input[i] under the PretokRules grammar (priority: least rule index on
+// equal length). The rules are constructed so exactly one maximal piece
+// exists at every position; pieceEnd > i always.
+func pieceEnd(input []byte, i int) int {
+	b := input[i]
+	// Contractions: rule 0 wins ties at equal length, and at 's vs the
+	// lone-apostrophe rule the contraction is longer anyway.
+	if b == '\'' {
+		if e := contractionEnd(input, i); e > i {
+			return e
+		}
+		return i + 1 // lone apostrophe
+	}
+	j := i
+	if b == ' ' {
+		j++
+		if j == len(input) || isSpaceByte(input[j]) {
+			return spaceRunEnd(input, i)
+		}
+	}
+	switch c := input[j]; {
+	case isLetter(c):
+		for j < len(input) && isLetter(input[j]) {
+			j++
+		}
+		return j
+	case isDigit(c):
+		for j < len(input) && isDigit(input[j]) {
+			j++
+		}
+		return j
+	case isUTF8Lead(c):
+		e := utf8RunEnd(input, j)
+		if e > j {
+			return e
+		}
+		// Lead byte with no continuation: a stray byte. With a leading
+		// space the space run rule (length 1) ties rule 8's stray byte;
+		// the space rule's lower index wins the single space.
+		if j > i {
+			return j
+		}
+		return j + 1
+	case isSpaceByte(c):
+		return spaceRunEnd(input, i)
+	case isUTF8Cont(c) || c >= 0xf5 || c == 0xc0 || c == 0xc1:
+		// Stray continuation or invalid lead byte: rule 8, one byte. A
+		// leading space stays a space-run token of length 1.
+		if j > i {
+			return j
+		}
+		return j + 1
+	default:
+		// Punctuation run.
+		for j < len(input) && isPunct(input[j]) {
+			j++
+		}
+		return j
+	}
+}
+
+// contractionEnd matches '(s|t|re|ve|m|ll|d) at input[i] ('), returning
+// the end or i when no contraction matches.
+func contractionEnd(input []byte, i int) int {
+	rest := input[i+1:]
+	if len(rest) == 0 {
+		return i
+	}
+	switch rest[0] {
+	case 's', 't', 'm', 'd':
+		return i + 2
+	case 'r', 'v':
+		if len(rest) >= 2 && rest[1] == 'e' {
+			return i + 3
+		}
+	case 'l':
+		if len(rest) >= 2 && rest[1] == 'l' {
+			return i + 3
+		}
+	}
+	return i
+}
+
+func spaceRunEnd(input []byte, i int) int {
+	for i < len(input) && isSpaceByte(input[i]) {
+		i++
+	}
+	return i
+}
+
+// utf8RunEnd matches ([\xc2-\xf4][\x80-\xbf]+)+ starting at input[i],
+// returning the end of the run (or i when the first sequence has no
+// continuation byte).
+func utf8RunEnd(input []byte, i int) int {
+	end := i
+	for i < len(input) && isUTF8Lead(input[i]) {
+		j := i + 1
+		for j < len(input) && isUTF8Cont(input[j]) {
+			j++
+		}
+		if j == i+1 {
+			break // lead with no continuation: not part of the run
+		}
+		i = j
+		end = j
+	}
+	return end
+}
+
+// ScanPieces calls fn(start, end) for each maximal-munch pretokenizer
+// piece of input, in order. It is the reference implementation of the
+// PretokRules grammar, independent of the automata path.
+func ScanPieces(input []byte, fn func(start, end int)) {
+	for i := 0; i < len(input); {
+		e := pieceEnd(input, i)
+		fn(i, e)
+		i = e
+	}
+}

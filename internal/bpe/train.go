@@ -1,0 +1,209 @@
+package bpe
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// A deterministic BPE trainer. Tests and benchmarks need realistic
+// vocabularies — merge structure, Zipfian token lengths, shared
+// prefixes — but the repository ships no model files and downloads
+// nothing, so it trains its own from the synthetic workload corpora.
+// The trainer is the standard word-frequency procedure: pretokenize the
+// corpus, count unique pieces, then repeatedly merge the most frequent
+// adjacent token pair (ties to the lower left rank, then lower right
+// rank), registering the concatenation as the next token. Byte tokens
+// 0x00-0xff occupy ranks 0-255, merged tokens follow in merge order —
+// so rank order equals creation order, the property the rank-driven
+// encoder depends on.
+
+// TrainOptions tunes Train. Zero values mean the documented defaults.
+type TrainOptions struct {
+	// MaxTokenLen caps merged token byte length (default 16). Keeping
+	// tokens short keeps the vocab trie shallow and the tokenization
+	// DFA's delay bound small.
+	MaxTokenLen int
+}
+
+// pairKey packs two ranks.
+type pairKey uint64
+
+func pkey(a, b int32) pairKey { return pairKey(uint64(uint32(a))<<32 | uint64(uint32(b))) }
+
+func (k pairKey) left() int32  { return int32(uint32(k >> 32)) }
+func (k pairKey) right() int32 { return int32(uint32(k)) }
+
+// trainCand is a candidate merge in the trainer's lazy max-heap.
+type trainCand struct {
+	count int64
+	key   pairKey
+}
+
+type trainHeap []trainCand
+
+func (h trainHeap) Len() int { return len(h) }
+func (h trainHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	if l, r := h[i].key.left(), h[j].key.left(); l != r {
+		return l < r
+	}
+	return h[i].key.right() < h[j].key.right()
+}
+func (h trainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *trainHeap) Push(x any)   { *h = append(*h, x.(trainCand)) }
+func (h *trainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Train learns numMerges merges from corpus and returns the resulting
+// vocabulary: 256 byte tokens plus one token per merge (fewer when the
+// corpus runs out of repeatable pairs). Deterministic in its inputs.
+func Train(corpus []byte, numMerges int, opts TrainOptions) (*Vocab, error) {
+	maxLen := opts.MaxTokenLen
+	if maxLen <= 0 {
+		maxLen = 16
+	}
+
+	// Unique pretokenizer pieces with frequencies, in first-seen order
+	// (map iteration never decides anything).
+	pieceID := make(map[string]int32)
+	var pieces [][]int32 // symbol sequences, mutated as merges apply
+	var weights []int64
+	ScanPieces(corpus, func(start, end int) {
+		s := string(corpus[start:end])
+		if id, ok := pieceID[s]; ok {
+			weights[id]++
+			return
+		}
+		pieceID[s] = int32(len(pieces))
+		seq := make([]int32, end-start)
+		for i := 0; i < end-start; i++ {
+			seq[i] = int32(s[i])
+		}
+		pieces = append(pieces, seq)
+		weights = append(weights, 1)
+	})
+
+	tokens := make([][]byte, 256, 256+numMerges)
+	for b := 0; b < 256; b++ {
+		tokens[b] = []byte{byte(b)}
+	}
+	tokenLen := make([]int32, 256, 256+numMerges)
+	for b := range tokenLen {
+		tokenLen[b] = 1
+	}
+	rankOf := make(map[string]int32, 256+numMerges)
+	for b := 0; b < 256; b++ {
+		rankOf[string(tokens[b])] = int32(b)
+	}
+
+	// Pair statistics: weighted counts and, per pair, the set of piece
+	// ids containing it (kept sorted at use time for determinism).
+	counts := make(map[pairKey]int64)
+	occs := make(map[pairKey]map[int32]struct{})
+	addPair := func(a, b, piece int32, w int64) {
+		k := pkey(a, b)
+		counts[k] += w
+		set := occs[k]
+		if set == nil {
+			set = make(map[int32]struct{})
+			occs[k] = set
+		}
+		set[piece] = struct{}{}
+	}
+	for id, seq := range pieces {
+		for i := 0; i+1 < len(seq); i++ {
+			addPair(seq[i], seq[i+1], int32(id), weights[id])
+		}
+	}
+	h := make(trainHeap, 0, len(counts))
+	for k, c := range counts {
+		h = append(h, trainCand{count: c, key: k})
+	}
+	heap.Init(&h)
+
+	banned := make(map[pairKey]bool) // concat too long or already a token
+
+	for merge := 0; merge < numMerges && len(h) > 0; {
+		c := heap.Pop(&h).(trainCand)
+		cur := counts[c.key]
+		if cur <= 0 {
+			continue
+		}
+		if cur != c.count {
+			heap.Push(&h, trainCand{count: cur, key: c.key})
+			continue
+		}
+		if banned[c.key] {
+			continue
+		}
+		l, r := c.key.left(), c.key.right()
+		catLen := tokenLen[l] + tokenLen[r]
+		cat := make([]byte, 0, catLen)
+		cat = append(cat, tokens[l]...)
+		cat = append(cat, tokens[r]...)
+		if int(catLen) > maxLen {
+			banned[c.key] = true
+			continue
+		}
+		if _, dup := rankOf[string(cat)]; dup {
+			// The same byte string already emerged from a different
+			// split; a rank map cannot hold it twice.
+			banned[c.key] = true
+			continue
+		}
+		newRank := int32(len(tokens))
+		tokens = append(tokens, cat)
+		tokenLen = append(tokenLen, catLen)
+		rankOf[string(cat)] = newRank
+		merge++
+
+		// Apply the merge to every piece containing the pair, updating
+		// pair statistics incrementally. Sorted ids: heap re-pushes must
+		// not depend on map order.
+		ids := make([]int32, 0, len(occs[c.key]))
+		for id := range occs[c.key] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		delete(occs, c.key)
+		delete(counts, c.key)
+		for _, id := range ids {
+			seq, w := pieces[id], weights[id]
+			// Retract the piece's current pairs.
+			for i := 0; i+1 < len(seq); i++ {
+				k := pkey(seq[i], seq[i+1])
+				if k == c.key {
+					continue // already deleted wholesale
+				}
+				counts[k] -= w
+			}
+			// Rewrite l,r -> newRank in place.
+			out := seq[:0]
+			for i := 0; i < len(seq); {
+				if i+1 < len(seq) && seq[i] == l && seq[i+1] == r {
+					out = append(out, newRank)
+					i += 2
+				} else {
+					out = append(out, seq[i])
+					i++
+				}
+			}
+			pieces[id] = out
+			// Re-add the rewritten piece's pairs and refresh the heap.
+			for i := 0; i+1 < len(out); i++ {
+				a, b := out[i], out[i+1]
+				k := pkey(a, b)
+				addPair(a, b, id, w)
+				heap.Push(&h, trainCand{count: counts[k], key: k})
+			}
+		}
+	}
+	return NewVocab(tokens)
+}

@@ -28,21 +28,24 @@ import (
 	"streamtok/internal/tokdfa"
 )
 
-// Entry is one compiled grammar resident in the registry. Tok is shared
-// by every request for the grammar, so all of its connections draw from
-// one streamer pool and fold into one observability aggregate.
+// Entry is one compiled source resident in the registry — a grammar or
+// a BPE vocabulary. Tok is shared by every request for the entry, so all
+// of its connections draw from one streamer pool and fold into one
+// observability aggregate.
 type Entry struct {
-	// Name is the catalog name, the machine file's stem, or "adhoc" for
-	// rule-list grammars.
+	// Name is the catalog name, the machine or vocab file's stem, or
+	// "adhoc" for rule-list grammars.
 	Name string
-	// Hash is the grammar's stable identity (streamtok.Grammar.Hash),
+	// Hash is the source's stable identity (Grammar.Hash or Vocab.Hash),
 	// the registry's cache key.
 	Hash    string
-	Grammar *streamtok.Grammar
+	Grammar *streamtok.Grammar // nil for vocabulary entries
+	Vocab   *streamtok.Vocab   // nil for grammar entries
 	Tok     *streamtok.Tokenizer
 
 	// quotedNames caches each rule name pre-quoted as a JSON string, so
-	// the NDJSON hot path never re-escapes them.
+	// the NDJSON hot path never re-escapes them. Nil for vocabulary
+	// entries: Token.Rule is the rank, which has no name.
 	quotedNames [][]byte
 }
 
@@ -61,9 +64,27 @@ func (e *RejectError) Error() string {
 	return fmt.Sprintf("grammar %s rejected:\n%s", e.Name, e.Diagnostic)
 }
 
+// NotFoundError is a name the registry has nothing loaded under.
+// Catalog lists what is loaded, so the client-facing 404 doubles as
+// discovery.
+type NotFoundError struct {
+	Kind    string // "vocab"
+	Name    string
+	Catalog []string
+}
+
+func (e *NotFoundError) Error() string {
+	if len(e.Catalog) == 0 {
+		return fmt.Sprintf("unknown %s %q (none loaded; start streamtokd with -%s or -%s-dir)",
+			e.Kind, e.Name, e.Kind, e.Kind)
+	}
+	return fmt.Sprintf("unknown %s %q; loaded: %s", e.Kind, e.Name, strings.Join(e.Catalog, ", "))
+}
+
 // RegistryStats counts registry traffic. Resident is the number of
 // cached slots (including negative entries for rejected grammars);
-// Pinned the machine-file entries exempt from eviction. ResidentBytes
+// Pinned the machine-file entries exempt from eviction; Vocabs the
+// pinned vocabulary entries (also exempt). ResidentBytes
 // and PinnedBytes sum the certified table bytes of cached and pinned
 // entries; MemBudget is the admission cap over their sum (0 = no
 // budget), and BudgetRejects counts grammars refused because their
@@ -71,6 +92,7 @@ func (e *RejectError) Error() string {
 type RegistryStats struct {
 	Resident      int    `json:"resident"`
 	Pinned        int    `json:"pinned"`
+	Vocabs        int    `json:"vocabs"`
 	ResidentBytes int64  `json:"resident_bytes"`
 	PinnedBytes   int64  `json:"pinned_bytes"`
 	MemBudget     int64  `json:"mem_budget"`
@@ -105,6 +127,7 @@ type Registry struct {
 	byHash map[string]*list.Element
 	slots  map[string]*slot
 	pinned map[string]*Entry // by name; machine-file entries
+	vocabs map[string]*Entry // by name; vocabulary entries (always pinned)
 
 	// memBudget caps the sum of certified resident bytes (table bytes)
 	// across pinned and cached entries; 0 = unlimited. residentBytes and
@@ -136,6 +159,7 @@ func NewRegistry(capacity int) *Registry {
 		byHash: make(map[string]*list.Element),
 		slots:  make(map[string]*slot),
 		pinned: make(map[string]*Entry),
+		vocabs: make(map[string]*Entry),
 	}
 }
 
@@ -413,13 +437,101 @@ func (r *Registry) LoadMachineDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-// Entries snapshots every resident compiled entry (pinned and cached,
-// rejections excluded), sorted by name then hash, for /metrics and
-// /statusz.
+// LoadVocab reads a BPE vocabulary file (tiktoken rank file or minimal
+// Hugging Face tokenizer.json, sniffed), compiles it through the same
+// certified pipeline as grammars, and pins it under the file's stem
+// name for ?vocab= requests. The certified resident footprint — vocab
+// DFA plus pretokenizer tables — charges the memory budget exactly like
+// a pinned machine grammar.
+func (r *Registry) LoadVocab(path string) (*Entry, error) {
+	v, err := streamtok.LoadVocab(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	tok, err := streamtok.Compile(v, r.buildOptions())
+	if err != nil {
+		return nil, fmt.Errorf("compile vocab %s: %w", name, err)
+	}
+	ent := &Entry{Name: name, Hash: v.Hash(), Vocab: v, Tok: tok}
+	rb := int64(tok.Certificate().ResidentBytes())
+	r.mu.Lock()
+	if old, ok := r.vocabs[name]; ok {
+		r.pinnedBytes -= int64(old.Tok.Certificate().ResidentBytes())
+	}
+	if r.memBudget > 0 && r.pinnedBytes+rb > r.memBudget {
+		over := r.pinnedBytes + rb - r.memBudget
+		r.mu.Unlock()
+		return nil, fmt.Errorf("pin vocab %s: certified resident tables %d B overflow the %d B memory budget by %d B (certificate: %s)",
+			name, rb, r.memBudget, over, tok.Certificate())
+	}
+	r.pinnedBytes += rb
+	r.vocabs[name] = ent
+	if r.memBudget > 0 {
+		r.evictForBudgetLocked(0, nil)
+	}
+	r.mu.Unlock()
+	return ent, nil
+}
+
+// LoadVocabDir loads every regular file in dir as a vocabulary file and
+// returns the pinned names. Any failing file aborts the load, like
+// LoadMachineDir.
+func (r *Registry) LoadVocabDir(dir string) ([]string, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		ent, err := r.LoadVocab(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return names, err
+		}
+		names = append(names, ent.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LookupVocab resolves a pinned vocabulary by name. An unknown name
+// returns a *NotFoundError carrying the loaded catalog, which the
+// server renders as a 404 with the available names.
+func (r *Registry) LookupVocab(name string) (*Entry, error) {
+	r.mu.Lock()
+	ent, ok := r.vocabs[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, &NotFoundError{Kind: "vocab", Name: name, Catalog: r.VocabNames()}
+	}
+	return ent, nil
+}
+
+// VocabNames returns the pinned vocabulary names, sorted.
+func (r *Registry) VocabNames() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vocabs))
+	for name := range r.vocabs {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Entries snapshots every resident compiled entry (pinned grammars,
+// pinned vocabularies, and cached, rejections excluded), sorted by name
+// then hash, for /metrics and /statusz.
 func (r *Registry) Entries() []*Entry {
 	r.mu.Lock()
-	out := make([]*Entry, 0, len(r.pinned)+len(r.slots))
+	out := make([]*Entry, 0, len(r.pinned)+len(r.vocabs)+len(r.slots))
 	for _, ent := range r.pinned {
+		out = append(out, ent)
+	}
+	for _, ent := range r.vocabs {
 		out = append(out, ent)
 	}
 	for _, sl := range r.slots {
@@ -447,6 +559,7 @@ func (r *Registry) Stats() RegistryStats {
 	st := r.stats
 	st.Resident = len(r.byHash)
 	st.Pinned = len(r.pinned)
+	st.Vocabs = len(r.vocabs)
 	st.ResidentBytes = r.residentBytes
 	st.PinnedBytes = r.pinnedBytes
 	st.MemBudget = r.memBudget

@@ -163,6 +163,7 @@ func (e errTooLarge) Error() string {
 //
 //	POST /tokenize?grammar=json             catalog or pinned machine grammar
 //	POST /tokenize?rule=[0-9]%2B&rule=[ ]%2B  ad-hoc rules (repeated, URL-encoded)
+//	POST /tokenize?vocab=cl100k             pinned BPE vocabulary ("rule" is the rank)
 //
 // Optional: ?deadline= and ?max_bytes= lower the server limits for this
 // request; ?text=1 adds token text to NDJSON lines; ?count=1 suppresses
@@ -203,6 +204,13 @@ func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, rej.Error(), http.StatusUnprocessableEntity)
 			return
 		}
+		var nf *NotFoundError
+		if errors.As(err, &nf) {
+			// 404 with the loaded catalog in the body, so the client can
+			// discover what this server actually serves.
+			http.Error(w, nf.Error(), http.StatusNotFound)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -232,23 +240,34 @@ func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 	s.streamNDJSON(ctx, w, r, ent, maxBytes, withText, countOnly)
 }
 
-// resolveGrammar picks the grammar from ?grammar= or ?rule=.
+// resolveGrammar picks the tokenization source from ?grammar=, ?rule=,
+// or ?vocab= — exactly one of the three.
 func (s *Server) resolveGrammar(r *http.Request) (*Entry, error) {
 	q := r.URL.Query()
 	name := q.Get("grammar")
+	vocab := q.Get("vocab")
 	rules := q["rule"]
+	set := 0
+	for _, chosen := range []bool{name != "", vocab != "", len(rules) > 0} {
+		if chosen {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, errors.New("pass exactly one of ?grammar=, ?rule=, or ?vocab=")
+	}
 	switch {
-	case name != "" && len(rules) > 0:
-		return nil, errors.New("pass either ?grammar= or ?rule=, not both")
 	case name != "":
 		return s.reg.Lookup(name)
+	case vocab != "":
+		return s.reg.LookupVocab(vocab)
 	case len(rules) > 0:
 		if s.cfg.DisableAdhoc {
 			return nil, errors.New("ad-hoc ?rule= grammars are disabled on this server")
 		}
 		return s.reg.Compile(rules)
 	default:
-		return nil, errors.New("no grammar: pass ?grammar=NAME or one ?rule= per rule")
+		return nil, errors.New("no source: pass ?grammar=NAME, ?vocab=NAME, or one ?rule= per rule")
 	}
 }
 
@@ -428,15 +447,18 @@ func (s *Server) finishStream(tokens, bytesIn uint64, err error) {
 	}
 }
 
-// GrammarMetrics is one resident grammar's slice of /metrics. Cert is
-// the grammar's verified resource certificate — the statically derived
+// GrammarMetrics is one resident entry's slice of /metrics — a grammar
+// or a BPE vocabulary (Kind "vocab", VocabSize its token count). Cert
+// is the entry's verified resource certificate — the statically derived
 // bounds its runtime counters (Stats) must stay under.
 type GrammarMetrics struct {
-	Name   string                 `json:"name"`
-	Hash   string                 `json:"hash"`
-	Engine streamtok.EngineInfo   `json:"engine"`
-	Cert   *streamtok.Certificate `json:"cert,omitempty"`
-	Stats  streamtok.Stats        `json:"stats"`
+	Name      string                 `json:"name"`
+	Kind      string                 `json:"kind"`
+	Hash      string                 `json:"hash"`
+	VocabSize int                    `json:"vocab_size,omitempty"`
+	Engine    streamtok.EngineInfo   `json:"engine"`
+	Cert      *streamtok.Certificate `json:"cert,omitempty"`
+	Stats     streamtok.Stats        `json:"stats"`
 }
 
 // Metrics is the full /metrics document: server-level request counters
@@ -480,13 +502,19 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Registry:      s.reg.Stats(),
 	}
 	for _, ent := range s.reg.Entries() {
-		m.Grammars = append(m.Grammars, GrammarMetrics{
+		gm := GrammarMetrics{
 			Name:   ent.Name,
+			Kind:   "grammar",
 			Hash:   ent.Hash,
 			Engine: ent.Tok.Engine(),
 			Cert:   ent.Tok.Certificate(),
 			Stats:  ent.Tok.AggregateStats(),
-		})
+		}
+		if ent.Vocab != nil {
+			gm.Kind = "vocab"
+			gm.VocabSize = ent.Vocab.Size()
+		}
+		m.Grammars = append(m.Grammars, gm)
 	}
 	return m
 }
@@ -528,7 +556,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 			m.Registry.BudgetRejects)
 	}
 	for _, g := range m.Grammars {
-		fmt.Fprintf(w, "\ngrammar %s (%.12s)\n", g.Name, g.Hash)
+		fmt.Fprintf(w, "\n%s %s (%.12s)\n", g.Kind, g.Name, g.Hash)
+		if g.VocabSize > 0 {
+			fmt.Fprintf(w, "  vocab:    %d tokens\n", g.VocabSize)
+		}
 		fmt.Fprintf(w, "  engine:   %s\n", g.Engine)
 		if g.Cert != nil {
 			fmt.Fprintf(w, "  cert:     %s\n", g.Cert)

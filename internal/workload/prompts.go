@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Prompts generates about n bytes of LLM-prompt-shaped text: English
+// prose with a large Zipfian vocabulary, code blocks, numbers, mixed
+// punctuation, multi-script Unicode (accented Latin, Greek, Cyrillic,
+// CJK, emoji), and varied whitespace — the byte distribution the bpe
+// experiment trains and measures on. Lexical diversity comes from a
+// synthetic morphology (prefix + root + suffix over curated syllables),
+// which yields tens of thousands of distinct words so BPE training can
+// find 32k+ distinct merges; sampling is Zipfian so frequent words merge
+// early, as in natural text. Deterministic in seed.
+func Prompts(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 512)
+	for sb.Len() < n {
+		switch rng.Intn(10) {
+		case 0:
+			writeCodeBlock(rng, &sb)
+		case 1:
+			writeUnicodeLine(rng, &sb)
+		case 2:
+			writeList(rng, &sb)
+		default:
+			writeParagraph(rng, &sb)
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+var (
+	promptPrefixes = []string{"", "", "", "", "re", "un", "in", "de", "pre", "con", "pro", "dis", "en", "ex", "sub", "inter", "over", "out", "mis", "non", "anti", "auto", "co", "micro", "multi", "semi", "trans", "ultra", "under", "up"}
+	promptRoots    = []string{"act", "form", "port", "struct", "dict", "scrib", "spect", "ject", "duc", "fer", "mit", "ten", "vert", "ced", "cap", "ges", "mov", "pos", "sta", "ven", "vis", "voc", "grad", "press", "tract", "serv", "sign", "sens", "solv", "tend", "tain", "pel", "log", "graph", "path", "phon", "therm", "chron", "mem", "norm", "opt", "quant", "rad", "sequ", "simil", "tempo", "termin", "vac", "val", "var"}
+	promptSuffixes = []string{"", "", "", "s", "ed", "ing", "er", "ion", "ions", "ive", "able", "ly", "ment", "ness", "ity", "al", "ful", "less", "ance", "ent", "ism", "ist", "ous", "ize", "ure"}
+	promptCommon   = []string{"the", "of", "and", "to", "a", "in", "is", "that", "it", "for", "on", "with", "as", "was", "be", "by", "at", "are", "this", "have", "from", "or", "had", "not", "but", "what", "all", "were", "when", "we", "there", "can", "an", "your", "which", "their", "if", "will", "each", "about", "how", "up", "out", "them", "then", "she", "many", "some", "so", "these", "would", "other", "into", "has", "more", "her", "two", "like", "him", "see", "time", "could", "no", "make", "than", "first", "been", "its", "who", "now", "people", "my", "made", "over", "did", "down", "only", "way", "find", "use", "may", "water", "long", "little", "very", "after", "words", "called", "just", "where", "most", "know"}
+)
+
+// promptWord samples a word: common function words dominate (Zipf head),
+// synthetic morphology supplies the long tail. Zipfian root choice makes
+// frequent stems repeat enough for BPE merges to form around them.
+func promptWord(rng *rand.Rand) string {
+	if rng.Intn(5) < 2 {
+		return promptCommon[rng.Intn(len(promptCommon))]
+	}
+	// Approximate Zipf over the morphology space: bias toward low indices
+	// by taking the min of two draws.
+	zipf := func(n int) int {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if b < a {
+			a = b
+		}
+		return a
+	}
+	w := promptPrefixes[zipf(len(promptPrefixes))] +
+		promptRoots[zipf(len(promptRoots))] +
+		promptSuffixes[zipf(len(promptSuffixes))]
+	if rng.Intn(12) == 0 {
+		w = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return w
+}
+
+func writeParagraph(rng *rand.Rand, sb *strings.Builder) {
+	sentences := 1 + rng.Intn(4)
+	for s := 0; s < sentences; s++ {
+		words := 4 + rng.Intn(14)
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			w := promptWord(rng)
+			if i == 0 {
+				w = strings.ToUpper(w[:1]) + w[1:]
+			}
+			sb.WriteString(w)
+			if i > 0 && i < words-1 && rng.Intn(12) == 0 {
+				sb.WriteByte(',')
+			}
+		}
+		switch rng.Intn(8) {
+		case 0:
+			sb.WriteString("? ")
+		case 1:
+			sb.WriteString("! ")
+		default:
+			sb.WriteString(". ")
+		}
+	}
+}
+
+func writeList(rng *rand.Rand, sb *strings.Builder) {
+	items := 2 + rng.Intn(4)
+	for i := 0; i < items; i++ {
+		if rng.Intn(2) == 0 {
+			sb.WriteString("- ")
+		} else {
+			sb.WriteString("  * ")
+		}
+		for w := 0; w < 2+rng.Intn(5); w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(promptWord(rng))
+		}
+		sb.WriteByte('\n')
+	}
+}
+
+func writeCodeBlock(rng *rand.Rand, sb *strings.Builder) {
+	sb.WriteString("```\n")
+	lines := 2 + rng.Intn(5)
+	for l := 0; l < lines; l++ {
+		indent := rng.Intn(3)
+		sb.WriteString(strings.Repeat("    ", indent))
+		switch rng.Intn(5) {
+		case 0:
+			sb.WriteString("def " + promptWord(rng) + "_" + promptWord(rng) + "(x, y):")
+		case 1:
+			sb.WriteString("return " + promptWord(rng) + "[" + itoa(rng.Intn(100)) + "] + " + itoa(rng.Intn(1000)))
+		case 2:
+			sb.WriteString("if " + promptWord(rng) + " == " + itoa(rng.Intn(64)) + ": " + promptWord(rng) + " += 1")
+		case 3:
+			sb.WriteString(promptWord(rng) + " = {\"" + promptWord(rng) + "\": " + itoa(rng.Intn(10000)) + "}")
+		default:
+			sb.WriteString("for i in range(" + itoa(1+rng.Intn(256)) + "):  # " + promptWord(rng))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("```\n")
+}
+
+var unicodeSpans = []string{
+	"café", "naïve", "résumé", "über", "señor", "Zürich",
+	"αλφα", "βητα", "γαμμα", "δελτα", "λογος",
+	"привет", "мир", "данные", "поток",
+	"日本語", "中文", "한국어", "東京", "北京",
+	"🙂", "🚀", "🔥", "✨", "🎉", "→", "≤", "≥", "×", "°",
+}
+
+func writeUnicodeLine(rng *rand.Rand, sb *strings.Builder) {
+	words := 3 + rng.Intn(8)
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString(unicodeSpans[rng.Intn(len(unicodeSpans))])
+		} else {
+			sb.WriteString(promptWord(rng))
+		}
+	}
+	sb.WriteByte('\n')
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

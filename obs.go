@@ -265,8 +265,21 @@ type EngineInfo struct {
 	LazyTeDFA bool
 }
 
-// Engine reports the execution engine this tokenizer selected.
+// Engine reports the execution engine this tokenizer selected. For a
+// vocabulary source the mode is "bpe+" plus the pretokenizer engine's
+// mode, K and the accel count are the pretokenizer's, and TableBytes
+// adds the vocab DFA table to the pretokenizer's tables.
 func (t *Tokenizer) Engine() EngineInfo {
+	if t.bpe != nil {
+		mode := t.bpe.EngineMode()
+		return EngineInfo{
+			Mode:        mode,
+			K:           t.bpe.K(),
+			AccelStates: t.inner.AccelStates(),
+			TableBytes:  t.bpe.TableBytes(),
+			LazyTeDFA:   strings.HasSuffix(mode, "-lazy"),
+		}
+	}
 	mode := t.inner.EngineMode()
 	return EngineInfo{
 		Mode:        mode,

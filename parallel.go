@@ -47,6 +47,15 @@ func (p ParallelStats) MarshalJSON() ([]byte, error) {
 // segments degrade to sequential re-scanning — still correct, just less
 // parallel.
 func (t *Tokenizer) TokenizeParallel(input []byte, workers int, emit EmitFunc) (rest int, stats ParallelStats) {
+	if t.bpe != nil {
+		// The BPE path has no speculative stitcher yet: run sequentially
+		// (one segment, same token stream).
+		s := t.bpe.AcquireStream()
+		s.Feed(input, emit)
+		rest = s.Close(emit)
+		t.bpe.ReleaseStream(s)
+		return rest, ParallelStats{Segments: 1}
+	}
 	r, s := parallel.Tokenize(t.inner, input, parallel.Options{Workers: workers}, emit)
 	return r, ParallelStats{Segments: s.Segments, Synchronized: s.Synchronized, ReScanned: s.ReScanned}
 }
@@ -63,6 +72,10 @@ func (t *Tokenizer) TokenizeParallel(input []byte, workers int, emit EmitFunc) (
 // emitted before a read error are valid and rest reports how far
 // tokenization got.
 func (t *Tokenizer) TokenizeParallelReader(r io.Reader, workers int, emit EmitFunc) (rest int, stats ParallelStats, err error) {
+	if t.bpe != nil {
+		rest, err = t.bpe.Tokenize(r, 0, emit)
+		return rest, ParallelStats{Segments: 1}, err
+	}
 	rr, s, err := parallel.TokenizeReader(t.inner, r, parallel.Options{Workers: workers}, emit)
 	return rr, ParallelStats{Segments: s.Segments, Synchronized: s.Synchronized, ReScanned: s.ReScanned}, err
 }

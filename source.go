@@ -1,0 +1,57 @@
+package streamtok
+
+import (
+	"fmt"
+	"os"
+)
+
+// Source is anything a Tokenizer can be compiled from: a *Grammar (a
+// list of regular-expression rules), a *Vocab (a BPE vocabulary for LLM
+// tokenization), or a MachineFile handle (an ahead-of-time compiled
+// machine with its resource certificate). The interface is closed —
+// compilation needs access to internals — so those three are the
+// frontends.
+type Source interface {
+	// compile builds the tokenizer; each frontend supplies its own
+	// pipeline (grammar → analysis → engine, vocab → BPE-DFA + pretok
+	// engine, machine file → decode + verify).
+	compile(opts Options) (*Tokenizer, error)
+}
+
+// Compile builds a Tokenizer from any Source with the given options.
+// This is the primary constructor: every frontend — grammars,
+// vocabularies, machine files — flows through the same static-analysis
+// and certification pipeline and yields the same Tokenizer API.
+// New(g) remains as sugar for Compile(g, Options{Minimize: true}).
+func Compile(src Source, opts Options) (*Tokenizer, error) {
+	return src.compile(opts)
+}
+
+// compile makes *Grammar a Source: the regex frontend.
+func (g *Grammar) compile(opts Options) (*Tokenizer, error) {
+	return newWithOptions(g, opts)
+}
+
+// machineFile is the Source handle returned by MachineFile.
+type machineFile struct {
+	path string
+}
+
+// MachineFile returns a Source that compiles by loading an
+// ahead-of-time machine file written by SaveCompiled: the tables are
+// decoded rather than rebuilt, and the stored resource certificate is
+// verified against the engine before the tokenizer is returned.
+func MachineFile(path string) Source { return machineFile{path: path} }
+
+func (mf machineFile) compile(opts Options) (*Tokenizer, error) {
+	f, err := os.Open(mf.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, _, err := LoadCompiledWithOptions(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("machine file %s: %w", mf.path, err)
+	}
+	return t, nil
+}

@@ -280,9 +280,6 @@ func TestEngineInfoConsistency(t *testing.T) {
 			t.Fatal(err)
 		}
 		e := tok.Engine()
-		if tok.EngineMode() != e.Mode || tok.AccelStates() != e.AccelStates || tok.TableBytes() != e.TableBytes {
-			t.Errorf("%s: deprecated accessors disagree with Engine(): %v", name, e)
-		}
 		if e.K != tok.K() {
 			t.Errorf("%s: Engine().K=%d, want %d", name, e.K, tok.K())
 		}

@@ -16,14 +16,30 @@
 //     backtracking algorithm, Reps' memoized tokenizer, and the offline
 //     two-pass ExtOracle;
 //   - a catalog of grammars for common data formats (JSON, CSV, TSV, XML,
-//     YAML, FASTA, DNS zones, system logs).
+//     YAML, FASTA, DNS zones, system logs);
+//   - a BPE/LLM tokenization frontend (Vocab): tiktoken rank files and
+//     Hugging Face tokenizer.json vocabularies compile to streaming
+//     exact-BPE tokenizers through the same pipeline.
+//
+// Compile is the primary constructor: it accepts any Source — a
+// *Grammar, a *Vocab, or a MachineFile handle — and every frontend
+// yields the same Tokenizer, certified by the same static analysis.
 //
 // Quick start:
 //
 //	g, _ := streamtok.ParseGrammar(`[0-9]+`, `[a-z]+`, `[ \t\n]+`)
-//	tok, _ := streamtok.New(g)
+//	tok, _ := streamtok.Compile(g, streamtok.Options{Minimize: true})
 //	tok.Tokenize(os.Stdin, 0, func(t streamtok.Token, text []byte) {
 //	    fmt.Printf("%d: %q\n", t.Rule, text)
+//	})
+//
+// New(g) is sugar for exactly that Compile call. For LLM tokenization,
+// compile a vocabulary instead of a grammar:
+//
+//	v, _ := streamtok.LoadVocab("cl100k_base.tiktoken")
+//	tok, _ := streamtok.Compile(v, streamtok.Options{})
+//	tok.Tokenize(os.Stdin, 0, func(t streamtok.Token, _ []byte) {
+//	    fmt.Println(t.Rule) // the BPE rank
 //	})
 package streamtok
 
@@ -37,6 +53,7 @@ import (
 
 	"streamtok/internal/analysis"
 	"streamtok/internal/analysis/cert"
+	"streamtok/internal/bpe"
 	"streamtok/internal/core"
 	"streamtok/internal/grammars"
 	"streamtok/internal/tepath"
@@ -236,22 +253,36 @@ type Certificate = cert.Certificate
 
 // Tokenizer is a compiled StreamTok tokenizer. It is immutable and safe
 // for concurrent use; each concurrent stream needs its own Streamer.
+//
+// For a grammar source, inner is the engine tokenizing the grammar
+// itself. For a vocabulary source, bpe carries the BPE pipeline and
+// inner is its pretokenizer engine — which is what the observability
+// counters aggregate over (streams, bytes, pieces-as-tokens), while the
+// token-emitting entry points dispatch to the BPE path.
 type Tokenizer struct {
 	inner    *core.Tokenizer
+	bpe      *bpe.Tokenizer // non-nil iff compiled from a *Vocab
 	an       Analysis
 	cert     *Certificate
 	wrapPool sync.Pool // recycles the Streamer wrapper structs
 }
 
 // New compiles g, runs the static analysis, and builds the StreamTok
-// tokenizer. It fails with an error wrapping ErrUnbounded when the
-// grammar's max-TND is infinite.
+// tokenizer. It is sugar for Compile(g, Options{Minimize: true}) and
+// fails with an error wrapping ErrUnbounded when the grammar's max-TND
+// is infinite.
 func New(g *Grammar) (*Tokenizer, error) {
-	return NewWithOptions(g, Options{Minimize: true})
+	return Compile(g, Options{Minimize: true})
 }
 
-// NewWithOptions is New with explicit options.
+// NewWithOptions is New with explicit options: sugar for
+// Compile(g, opts).
 func NewWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
+	return Compile(g, opts)
+}
+
+// newWithOptions is the grammar frontend's compilation pipeline.
+func newWithOptions(g *Grammar, opts Options) (*Tokenizer, error) {
 	m, err := tokdfa.Compile(g.g, tokdfa.Options{Minimize: opts.Minimize})
 	if err != nil {
 		return nil, err
@@ -295,32 +326,28 @@ func (t *Tokenizer) Analysis() Analysis { return t.an }
 // the engine the tokenizer selected. Never nil for a built tokenizer.
 func (t *Tokenizer) Certificate() *Certificate { return t.cert }
 
-// K returns the lookahead bound (the grammar's max-TND).
+// K returns the lookahead bound (the grammar's max-TND; for a
+// vocabulary source, the pretokenizer's).
 func (t *Tokenizer) K() int { return t.inner.K() }
 
-// EngineMode names the execution mode the tokenizer selected.
-//
-// Deprecated: use Engine().Mode; Engine returns the whole description
-// in one EngineInfo.
-func (t *Tokenizer) EngineMode() string { return t.Engine().Mode }
-
-// AccelStates returns how many fused states were marked for bulk run
-// skipping (0 when the fused engine is off).
-//
-// Deprecated: use Engine().AccelStates.
-func (t *Tokenizer) AccelStates() int { return t.Engine().AccelStates }
-
-// TableBytes returns the memory footprint of the precomputed automata and
-// action tables.
-//
-// Deprecated: use Engine().TableBytes.
-func (t *Tokenizer) TableBytes() int { return t.Engine().TableBytes }
+// Vocab returns the vocabulary this tokenizer was compiled from, or nil
+// when the source was a grammar or machine file. When non-nil,
+// Token.Rule values are BPE ranks into it.
+func (t *Tokenizer) Vocab() *Vocab {
+	if t.bpe == nil {
+		return nil
+	}
+	return &Vocab{v: t.bpe.Vocab()}
+}
 
 // Tokenize reads the stream block-by-block (bufSize bytes per read; 0
 // means the 64 KB default) and calls emit for every maximal token. It
 // returns the offset of the first untokenized byte — the stream length
 // when the whole stream tokenized — and any read error.
 func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	if t.bpe != nil {
+		return t.bpe.TokenizeContext(context.Background(), r, bufSize, emit)
+	}
 	return t.inner.TokenizeContext(context.Background(), r, bufSize, emit)
 }
 
@@ -329,6 +356,9 @@ func (t *Tokenizer) Tokenize(r io.Reader, bufSize int, emit EmitFunc) (rest int,
 // context stops the stream at a chunk boundary and returns ctx.Err()
 // along with the offset reached.
 func (t *Tokenizer) TokenizeContext(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc) (rest int, err error) {
+	if t.bpe != nil {
+		return t.bpe.TokenizeContext(ctx, r, bufSize, emit)
+	}
 	return t.inner.TokenizeContext(ctx, r, bufSize, emit)
 }
 
@@ -345,12 +375,18 @@ type BoundaryFunc = core.BoundaryFunc
 // responses in step with the input — limits cut at chunk boundaries,
 // never inside the feed loop.
 func (t *Tokenizer) TokenizeContextChunks(ctx context.Context, r io.Reader, bufSize int, emit EmitFunc, boundary BoundaryFunc) (rest int, err error) {
+	if t.bpe != nil {
+		return t.bpe.TokenizeContextChunks(ctx, r, bufSize, emit, boundary)
+	}
 	return t.inner.TokenizeContextChunks(ctx, r, bufSize, emit, boundary)
 }
 
 // TokenizeBytes tokenizes an in-memory input and returns the tokens and
 // the offset of the first untokenized byte.
 func (t *Tokenizer) TokenizeBytes(input []byte) ([]Token, int) {
+	if t.bpe != nil {
+		return t.bpe.TokenizeBytes(input)
+	}
 	return t.inner.TokenizeBytes(input)
 }
 
@@ -358,11 +394,16 @@ func (t *Tokenizer) TokenizeBytes(input []byte) ([]Token, int) {
 // as they arrive and Close at end of stream.
 type Streamer struct {
 	inner *core.Streamer
-	tok   *Tokenizer // owner, for rule names in Stats snapshots
+	b     *bpe.Stream // non-nil iff the tokenizer was compiled from a *Vocab
+	tok   *Tokenizer  // owner, for rule names in Stats snapshots
 }
 
 // NewStreamer starts a fresh stream.
 func (t *Tokenizer) NewStreamer() *Streamer {
+	if t.bpe != nil {
+		b := t.bpe.NewStream()
+		return &Streamer{inner: b.PretokStreamer(), b: b, tok: t}
+	}
 	return &Streamer{inner: t.inner.NewStreamer(), tok: t}
 }
 
@@ -372,6 +413,15 @@ func (t *Tokenizer) NewStreamer() *Streamer {
 // steady-state serving loop (acquire, feed, close, release) performs no
 // heap allocations. Pair every acquire with ReleaseStreamer.
 func (t *Tokenizer) AcquireStreamer() *Streamer {
+	if t.bpe != nil {
+		b := t.bpe.AcquireStream()
+		if v := t.wrapPool.Get(); v != nil {
+			s := v.(*Streamer)
+			s.inner, s.b = b.PretokStreamer(), b
+			return s
+		}
+		return &Streamer{inner: b.PretokStreamer(), b: b, tok: t}
+	}
 	if v := t.wrapPool.Get(); v != nil {
 		s := v.(*Streamer)
 		s.inner = t.inner.AcquireStreamer()
@@ -388,6 +438,12 @@ func (t *Tokenizer) ReleaseStreamer(s *Streamer) {
 	if s == nil || s.tok != t || s.inner == nil {
 		return
 	}
+	if s.b != nil {
+		t.bpe.ReleaseStream(s.b)
+		s.inner, s.b = nil, nil
+		t.wrapPool.Put(s)
+		return
+	}
 	t.inner.ReleaseStreamer(s.inner)
 	s.inner = nil
 	t.wrapPool.Put(s)
@@ -396,25 +452,53 @@ func (t *Tokenizer) ReleaseStreamer(s *Streamer) {
 // Feed pushes a chunk through the tokenizer, emitting any tokens whose
 // maximality the chunk confirms. Each byte is examined O(1) times; no
 // backtracking occurs.
-func (s *Streamer) Feed(chunk []byte, emit EmitFunc) { s.inner.Feed(chunk, emit) }
+func (s *Streamer) Feed(chunk []byte, emit EmitFunc) {
+	if s.b != nil {
+		s.b.Feed(chunk, emit)
+		return
+	}
+	s.inner.Feed(chunk, emit)
+}
 
 // FeedBatch is Feed with batched emission: tokens are buffered and sink
 // is invoked with batches of them (at buffer pressure and once at the
 // chunk boundary), cutting the per-token indirect-call overhead on
 // token-dense streams. The token stream is identical to Feed's.
-func (s *Streamer) FeedBatch(chunk []byte, sink BatchFunc) { s.inner.FeedBatch(chunk, sink) }
+func (s *Streamer) FeedBatch(chunk []byte, sink BatchFunc) {
+	if s.b != nil {
+		s.b.FeedBatch(chunk, sink)
+		return
+	}
+	s.inner.FeedBatch(chunk, sink)
+}
 
 // Close signals end of stream, drains the delayed lookahead bytes, and
 // returns the offset of the first untokenized byte.
-func (s *Streamer) Close(emit EmitFunc) int { return s.inner.Close(emit) }
+func (s *Streamer) Close(emit EmitFunc) int {
+	if s.b != nil {
+		return s.b.Close(emit)
+	}
+	return s.inner.Close(emit)
+}
 
 // CloseBatch is Close with batched emission of the drained tail tokens.
-func (s *Streamer) CloseBatch(sink BatchFunc) int { return s.inner.CloseBatch(sink) }
+func (s *Streamer) CloseBatch(sink BatchFunc) int {
+	if s.b != nil {
+		return s.b.CloseBatch(sink)
+	}
+	return s.inner.CloseBatch(sink)
+}
 
 // Reset abandons the current stream (its counters still reach the
 // tokenizer aggregate) and makes the streamer ready for a fresh one,
 // reusing every buffer it holds.
-func (s *Streamer) Reset() { s.inner.Reset() }
+func (s *Streamer) Reset() {
+	if s.b != nil {
+		s.b.Reset()
+		return
+	}
+	s.inner.Reset()
+}
 
 // Stopped reports whether tokenization terminated early because the
 // remaining input matches no rule.

@@ -283,20 +283,21 @@ func TestEngineModeAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mode := fusedTok.EngineMode(); !strings.HasPrefix(mode, "fused-") {
-		t.Errorf("EngineMode() = %q, want fused-*", mode)
+	fe, se := fusedTok.Engine(), splitTok.Engine()
+	if !strings.HasPrefix(fe.Mode, "fused-") {
+		t.Errorf("Engine().Mode = %q, want fused-*", fe.Mode)
 	}
-	if fusedTok.AccelStates() == 0 {
-		t.Error("AccelStates() = 0, want > 0 for json")
+	if fe.AccelStates == 0 {
+		t.Error("Engine().AccelStates = 0, want > 0 for json")
 	}
-	if mode := splitTok.EngineMode(); !strings.HasPrefix(mode, "split-") {
-		t.Errorf("DisableFused EngineMode() = %q, want split-*", mode)
+	if !strings.HasPrefix(se.Mode, "split-") {
+		t.Errorf("DisableFused Engine().Mode = %q, want split-*", se.Mode)
 	}
-	if splitTok.AccelStates() != 0 {
-		t.Errorf("DisableFused AccelStates() = %d, want 0", splitTok.AccelStates())
+	if se.AccelStates != 0 {
+		t.Errorf("DisableFused Engine().AccelStates = %d, want 0", se.AccelStates)
 	}
-	if fusedTok.TableBytes() <= splitTok.TableBytes() {
-		t.Errorf("fused TableBytes %d should exceed split %d", fusedTok.TableBytes(), splitTok.TableBytes())
+	if fe.TableBytes <= se.TableBytes {
+		t.Errorf("fused TableBytes %d should exceed split %d", fe.TableBytes, se.TableBytes)
 	}
 	input := []byte(`{"alpha": [1, 2.5e3, "text"], "b": {"c": true}}`)
 	ft, fr := fusedTok.TokenizeBytes(input)
