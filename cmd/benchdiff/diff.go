@@ -34,14 +34,17 @@ func loadTable(path string) (*table, error) {
 type rowDiff struct {
 	Key      string
 	Old, New float64
+	// OldS/NewS are the raw cells, compared verbatim in -exact mode.
+	OldS, NewS string
 	// Regressed means the metric moved past tolerance in the bad
-	// direction.
+	// direction (or, in exact mode, changed at all).
 	Regressed bool
 }
 
 // result is the full comparison outcome.
 type result struct {
 	Col         string
+	Exact       bool
 	Matched     []rowDiff
 	Regressions []rowDiff
 	SkippedOld  int // baseline rows with no fresh counterpart
@@ -55,7 +58,11 @@ func (r *result) String() string {
 		if d.Regressed {
 			verdict = "REGRESSED"
 		}
-		fmt.Fprintf(&sb, "benchdiff: %-40s %s %g -> %g  %s\n", d.Key, r.Col, d.Old, d.New, verdict)
+		if r.Exact {
+			fmt.Fprintf(&sb, "benchdiff: %-40s %s %q -> %q  %s\n", d.Key, r.Col, d.OldS, d.NewS, verdict)
+		} else {
+			fmt.Fprintf(&sb, "benchdiff: %-40s %s %g -> %g  %s\n", d.Key, r.Col, d.Old, d.New, verdict)
+		}
 	}
 	if r.SkippedOld+r.SkippedNew > 0 {
 		fmt.Fprintf(&sb, "benchdiff: skipped %d baseline-only and %d fresh-only rows\n", r.SkippedOld, r.SkippedNew)
@@ -119,8 +126,10 @@ func rowKey(row []string, keyIdx []int) (string, error) {
 // diff compares the metric column col of fresh against base, matching
 // rows on the key columns. A row regresses when the fresh metric moves
 // past base*tol (plus slack) in the bad direction — down for
-// higher-is-better metrics, up for lower-is-better ones.
-func diff(base, fresh *table, keys []string, col string, tol float64, lowerBetter bool, slack float64) (*result, error) {
+// higher-is-better metrics, up for lower-is-better ones. With exact set
+// the cells are compared as strings and any change regresses — the mode
+// for categorical columns (an engine-mode name has no tolerance).
+func diff(base, fresh *table, keys []string, col string, tol float64, lowerBetter bool, slack float64, exact bool) (*result, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("no key columns")
 	}
@@ -141,41 +150,44 @@ func diff(base, fresh *table, keys []string, col string, tol float64, lowerBette
 		}
 	}
 
-	baseRows := make(map[string]float64)
+	baseRows := make(map[string]string)
 	for _, row := range base.Rows {
 		key, err := rowKey(row, keyIdx[base])
 		if err != nil {
 			return nil, err
 		}
-		v, err := parseCell(row[colIdx[base]])
-		if err != nil {
-			return nil, fmt.Errorf("baseline row %s: %w", key, err)
-		}
-		baseRows[key] = v
+		baseRows[key] = row[colIdx[base]]
 	}
 
-	res := &result{Col: col}
+	res := &result{Col: col, Exact: exact}
 	seen := make(map[string]bool)
 	for _, row := range fresh.Rows {
 		key, err := rowKey(row, keyIdx[fresh])
 		if err != nil {
 			return nil, err
 		}
-		old, ok := baseRows[key]
+		oldS, ok := baseRows[key]
 		if !ok {
 			res.SkippedNew++
 			continue
 		}
 		seen[key] = true
-		v, err := parseCell(row[colIdx[fresh]])
-		if err != nil {
-			return nil, fmt.Errorf("fresh row %s: %w", key, err)
-		}
-		d := rowDiff{Key: key, Old: old, New: v}
-		if lowerBetter {
-			d.Regressed = v > old*(1+tol)+slack
+		newS := row[colIdx[fresh]]
+		d := rowDiff{Key: key, OldS: oldS, NewS: newS}
+		if exact {
+			d.Regressed = strings.TrimSpace(newS) != strings.TrimSpace(oldS)
 		} else {
-			d.Regressed = v < old*(1-tol)-slack
+			if d.Old, err = parseCell(oldS); err != nil {
+				return nil, fmt.Errorf("baseline row %s: %w", key, err)
+			}
+			if d.New, err = parseCell(newS); err != nil {
+				return nil, fmt.Errorf("fresh row %s: %w", key, err)
+			}
+			if lowerBetter {
+				d.Regressed = d.New > d.Old*(1+tol)+slack
+			} else {
+				d.Regressed = d.New < d.Old*(1-tol)-slack
+			}
 		}
 		res.Matched = append(res.Matched, d)
 		if d.Regressed {

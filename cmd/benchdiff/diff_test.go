@@ -40,7 +40,7 @@ func TestDiffHigherBetter(t *testing.T) {
 	fresh := tbl([]string{"mode", "speedup"},
 		[]string{"fused", "1.60x"}, // -20%: inside 25% tolerance
 		[]string{"split", "0.70x"}) // -30%: regression
-	res, err := diff(base, fresh, []string{"mode"}, "speedup", 0.25, false, 0)
+	res, err := diff(base, fresh, []string{"mode"}, "speedup", 0.25, false, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +59,35 @@ func TestDiffLowerBetterWithSlack(t *testing.T) {
 	fresh := tbl([]string{"mode", "N", "allocs/stream"},
 		[]string{"pooled", "1", "1.50"}, // within the +2 absolute slack
 		[]string{"pooled", "2", "9.00"}) // far past it
-	res, err := diff(base, fresh, []string{"mode", "N"}, "allocs/stream", 0.25, true, 2)
+	res, err := diff(base, fresh, []string{"mode", "N"}, "allocs/stream", 0.25, true, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Regressions) != 1 || res.Regressions[0].Key != "pooled/2" {
 		t.Errorf("regressions %+v, want exactly pooled/2", res.Regressions)
+	}
+}
+
+func TestDiffExact(t *testing.T) {
+	base := tbl([]string{"merges", "mode"},
+		[]string{"8000", "bpe+fused-general"},
+		[]string{"32000", "bpe+split-general"})
+	fresh := tbl([]string{"merges", "mode"},
+		[]string{"8000", "bpe+fused-general"},  // unchanged: ok
+		[]string{"32000", "bpe+fused-general"}) // changed: regression, even "for the better"
+	res, err := diff(base, fresh, []string{"merges"}, "mode", 0.25, false, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 2 || len(res.Regressions) != 1 || res.Regressions[0].Key != "32000" {
+		t.Errorf("result %+v", res)
+	}
+	if !strings.Contains(res.String(), `"bpe+split-general" -> "bpe+fused-general"`) {
+		t.Errorf("exact report should quote both cells:\n%s", res.String())
+	}
+	// Exact mode must not choke on non-numeric cells.
+	if _, err := diff(base, base, []string{"merges"}, "mode", 0.25, false, 0, true); err != nil {
+		t.Errorf("exact self-diff on categorical column: %v", err)
 	}
 }
 
@@ -75,7 +98,7 @@ func TestDiffRowMatching(t *testing.T) {
 	fresh := tbl([]string{"mode", "N", "MB/s"},
 		[]string{"pooled", "1", "100"},
 		[]string{"pooled", "2", "150"}) // new machine's extra row
-	res, err := diff(base, fresh, []string{"mode", "N"}, "MB/s", 0.25, false, 0)
+	res, err := diff(base, fresh, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,21 +108,21 @@ func TestDiffRowMatching(t *testing.T) {
 
 	// Nothing in common: the gate must fail loudly, not pass quietly.
 	disjoint := tbl([]string{"mode", "N", "MB/s"}, []string{"other", "3", "1"})
-	if _, err := diff(base, disjoint, []string{"mode", "N"}, "MB/s", 0.25, false, 0); err == nil {
+	if _, err := diff(base, disjoint, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false); err == nil {
 		t.Error("zero matched rows should be an error")
 	}
 }
 
 func TestDiffErrors(t *testing.T) {
 	base := tbl([]string{"mode", "speedup"}, []string{"fused", "2.0"})
-	if _, err := diff(base, base, []string{"mode"}, "nope", 0.25, false, 0); err == nil {
+	if _, err := diff(base, base, []string{"mode"}, "nope", 0.25, false, 0, false); err == nil {
 		t.Error("unknown metric column should fail")
 	}
-	if _, err := diff(base, base, []string{"nope"}, "speedup", 0.25, false, 0); err == nil {
+	if _, err := diff(base, base, []string{"nope"}, "speedup", 0.25, false, 0, false); err == nil {
 		t.Error("unknown key column should fail")
 	}
 	junk := tbl([]string{"mode", "speedup"}, []string{"fused", "fast"})
-	if _, err := diff(base, junk, []string{"mode"}, "speedup", 0.25, false, 0); err == nil {
+	if _, err := diff(base, junk, []string{"mode"}, "speedup", 0.25, false, 0, false); err == nil {
 		t.Error("non-numeric metric cell should fail")
 	}
 }
@@ -127,22 +150,24 @@ func TestLoadTable(t *testing.T) {
 func TestAgainstCommittedArtifacts(t *testing.T) {
 	for _, c := range []struct {
 		file, keys, col string
-		lower           bool
+		lower, exact    bool
 	}{
-		{"BENCH_hotloop.json", "workload,grammar,mode", "speedup", false},
-		{"BENCH_concurrency.json", "mode,N", "allocs/stream", true},
-		{"BENCH_biggrammar.json", "grammar", "ratio", true},
-		{"BENCH_biggrammar.json", "grammar", "dfa_bytes", true},
-		{"BENCH_bpe.json", "merges", "ratio", true},
-		{"BENCH_bpe.json", "merges", "dfa_bytes", true},
-		{"BENCH_bpe.json", "merges", "classes", true},
+		{file: "BENCH_hotloop.json", keys: "workload,grammar,mode", col: "speedup"},
+		{file: "BENCH_concurrency.json", keys: "mode,N", col: "allocs/stream", lower: true},
+		{file: "BENCH_biggrammar.json", keys: "grammar", col: "ratio", lower: true},
+		{file: "BENCH_biggrammar.json", keys: "grammar", col: "dfa_bytes", lower: true},
+		{file: "BENCH_bpe.json", keys: "merges", col: "ratio", lower: true},
+		{file: "BENCH_bpe.json", keys: "merges", col: "dfa_bytes", lower: true},
+		{file: "BENCH_bpe.json", keys: "merges", col: "classes", lower: true},
+		{file: "BENCH_bpe.json", keys: "merges", col: "mode", exact: true},
+		{file: "BENCH_bpe.json", keys: "merges", col: "cache_hit_pct"},
 	} {
 		path := filepath.Join("..", "..", c.file)
 		tb, err := loadTable(path)
 		if err != nil {
 			t.Fatalf("%s: %v", c.file, err)
 		}
-		res, err := diff(tb, tb, splitKeys(c.keys), c.col, 0.25, c.lower, 2)
+		res, err := diff(tb, tb, splitKeys(c.keys), c.col, 0.25, c.lower, 2, c.exact)
 		if err != nil {
 			t.Fatalf("%s self-diff: %v", c.file, err)
 		}

@@ -16,6 +16,12 @@
 // compares nothing protects nothing. Cells may carry unit suffixes
 // ("1.54x", "83.3%"); the numeric prefix is compared.
 //
+// Categorical columns gate with -exact: the cells are compared as
+// strings and any change fails. That is how CI pins bpe's engine-mode
+// column — "bpe+fused-general" silently degrading to split is a
+// regression no numeric tolerance can express. -tol, -slack, and
+// -lower-better are ignored under -exact.
+//
 // The gate only trusts hardware-independent columns (ratios like
 // hotloop's speedup, counts like concurrency's allocs/stream). Absolute
 // MB/s on a shared CI runner is noise; don't point -col at it. This is
@@ -43,6 +49,7 @@ func main() {
 	tol := flag.Float64("tol", 0.25, "allowed relative change in the bad direction")
 	lowerBetter := flag.Bool("lower-better", false, "metric regresses by going up (default: by going down)")
 	slack := flag.Float64("slack", 0, "absolute allowance on top of the relative tolerance (for near-zero baselines)")
+	exact := flag.Bool("exact", false, "compare the column as strings; any change regresses (categorical columns)")
 	flag.Parse()
 
 	if os.Getenv("BENCHDIFF_SKIP") != "" {
@@ -58,7 +65,7 @@ func main() {
 	exitOn(err)
 	newT, err := loadTable(*newPath)
 	exitOn(err)
-	report, err := diff(oldT, newT, splitKeys(*keys), *col, *tol, *lowerBetter, *slack)
+	report, err := diff(oldT, newT, splitKeys(*keys), *col, *tol, *lowerBetter, *slack, *exact)
 	exitOn(err)
 	fmt.Print(report.String())
 	if len(report.Regressions) > 0 {

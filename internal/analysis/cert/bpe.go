@@ -21,8 +21,11 @@ import (
 //   - EngineMode is "bpe+" plus the pretokenizer's mode;
 //   - DelayK and the witness pair are the pretokenizer's — the vocab
 //     scanner is piece-local and adds no stream-level delay;
-//   - TableBytes adds the vocab DFA's compressed tables to the
-//     pretokenizer engine's (the registry charges both);
+//   - TableBytes adds the vocab DFA's serving tables to the
+//     pretokenizer engine's (the registry charges both). The vocab DFA
+//     is charged at its serving representation: the row-displacement
+//     sparse layout when one was adopted (SparseTableBytes records it),
+//     the class table otherwise;
 //   - NumClasses and DenseTableBytes describe the vocab DFA (the
 //     dominant table; the dense baseline sums both machines).
 
@@ -37,7 +40,10 @@ func NewBPE(vocabHash string, vm, pm *tokdfa.Machine, res analysis.Result, t *co
 	}
 	c.GrammarHash = vocabHash
 	c.EngineMode = "bpe+" + t.EngineMode()
-	c.TableBytes += vm.DFA.TableBytes()
+	c.TableBytes += vm.TableBytes()
+	if vm.Sparse != nil {
+		c.SparseTableBytes = vm.Sparse.TableBytes()
+	}
 	c.NumClasses = vm.DFA.NumClasses()
 	c.DenseTableBytes = DenseDFABytes(vm) + DenseDFABytes(pm)
 	return c, nil
@@ -77,8 +83,18 @@ func (c *Certificate) VerifyBPE(vocabHash string, vm, pm *tokdfa.Machine, maxTND
 	if got := t.RingBytes(); c.RingBytes != got {
 		return fmt.Errorf("%w: ring bytes %d != built engine's %d", ErrMismatch, c.RingBytes, got)
 	}
-	if want := vm.DFA.TableBytes() + t.TableBytes(); c.TableBytes != want {
-		return fmt.Errorf("%w: table bytes %d != vocab %d + engine %d", ErrMismatch, c.TableBytes, vm.DFA.TableBytes(), t.TableBytes())
+	if want := vm.TableBytes() + t.TableBytes(); c.TableBytes != want {
+		return fmt.Errorf("%w: table bytes %d != vocab %d + engine %d", ErrMismatch, c.TableBytes, vm.TableBytes(), t.TableBytes())
+	}
+	if vm.Sparse != nil {
+		if got := vm.Sparse.TableBytes(); c.SparseTableBytes != got {
+			return fmt.Errorf("%w: sparse table bytes %d != vocab DFA's %d", ErrMismatch, c.SparseTableBytes, got)
+		}
+		if err := vm.Sparse.Validate(); err != nil {
+			return fmt.Errorf("%w: vocab sparse table invalid: %v", ErrMismatch, err)
+		}
+	} else if c.SparseTableBytes != 0 {
+		return fmt.Errorf("%w: sparse table bytes %d on a class-table vocab DFA", ErrMismatch, c.SparseTableBytes)
 	}
 	if got := vm.DFA.NumClasses(); c.NumClasses != got {
 		return fmt.Errorf("%w: %d byte classes != vocab DFA's %d", ErrMismatch, c.NumClasses, got)

@@ -76,6 +76,13 @@ type Certificate struct {
 	// registry's memory budget sums. Tables are byte-class compressed,
 	// so this is the real (compressed) footprint, class maps included.
 	TableBytes int
+	// SparseTableBytes, when nonzero, is the resident footprint of the
+	// row-displacement sparse transition table the tokenization DFA
+	// serves from instead of a class table (BPE vocab DFAs whose class
+	// partition is degenerate). It is included in TableBytes; carrying
+	// it separately lets verification recompute the split and lets
+	// status surfaces report which representation is resident.
+	SparseTableBytes int
 	// NumClasses is the byte-class count C of the compressed tables:
 	// the 256 byte values partition into C column-equivalence classes
 	// and every table stores C columns per state. 0 on certificates
@@ -176,6 +183,9 @@ func (c *Certificate) String() string {
 	if c.NumClasses > 0 {
 		classes = fmt.Sprintf(" (%d classes)", c.NumClasses)
 	}
+	if c.SparseTableBytes > 0 {
+		classes += fmt.Sprintf(" (sparse %d B)", c.SparseTableBytes)
+	}
 	return fmt.Sprintf("K=%d (≤ dichotomy %d), ring %d B, carry ≤ %d B, tables %d B%s, accel %d/%d slots, parallel rework ≤ %dx",
 		c.DelayK, c.DichotomyBound, c.RingBytes, c.CarryRetainedCap,
 		c.TableBytes, classes, c.AccelStates, c.AccelSlots, c.ParallelReworkX)
@@ -194,6 +204,7 @@ func (c *Certificate) MarshalJSON() ([]byte, error) {
 		RingBytes        int     `json:"ring_bytes"`
 		CarryRetainedCap int     `json:"carry_retained_cap"`
 		TableBytes       int     `json:"table_bytes"`
+		SparseTableBytes int     `json:"sparse_table_bytes,omitempty"`
 		NumClasses       int     `json:"num_classes,omitempty"`
 		DenseTableBytes  int     `json:"dense_table_bytes,omitempty"`
 		AccelStates      int     `json:"accel_states"`
@@ -204,7 +215,7 @@ func (c *Certificate) MarshalJSON() ([]byte, error) {
 		c.GrammarHash, c.DelayK, c.DichotomyBound,
 		string(c.WitnessU), string(c.WitnessV),
 		c.EngineMode, c.RingBytes, c.CarryRetainedCap, c.TableBytes,
-		c.NumClasses, c.DenseTableBytes,
+		c.SparseTableBytes, c.NumClasses, c.DenseTableBytes,
 		c.AccelStates, c.AccelSlots, c.AccelCoverage(), c.ParallelReworkX,
 	})
 }

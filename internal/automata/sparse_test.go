@@ -1,0 +1,135 @@
+package automata
+
+import (
+	"testing"
+
+	"streamtok/internal/regex"
+)
+
+// sparseFixture builds a trie-shaped DFA the way BPE vocabularies do:
+// literal rules over a byte-complete alphabet, so the class partition
+// degenerates (C = 256) and row displacement is the only compression
+// left.
+func sparseFixture(t *testing.T, words []string) *DFA {
+	t.Helper()
+	exprs := make([]regex.Node, 0, len(words)+256)
+	for _, w := range words {
+		exprs = append(exprs, regex.Lit(w))
+	}
+	for b := 0; b < 256; b++ {
+		exprs = append(exprs, regex.Lit(string([]byte{byte(b)})))
+	}
+	nfa, err := BuildNFALimited(exprs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Determinize(nfa)
+	return Minimize(d)
+}
+
+func TestSparsifyEquivalence(t *testing.T) {
+	words := []string{
+		"the", "then", "they", "there", "that", "this", "those",
+		"in", "int", "into", "interface", "and", "an", "any",
+		"stream", "streaming", "token", "tokens", "tokenize",
+	}
+	d := sparseFixture(t, words)
+	s := Sparsify(d)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("built sparse table fails Validate: %v", err)
+	}
+	for q := 0; q < d.NumStates(); q++ {
+		for b := 0; b < 256; b++ {
+			if got, want := s.Step(q, byte(b)), d.Step(q, byte(b)); got != want {
+				t.Fatalf("Step(%d, %#x) = %d, class table %d", q, b, got, want)
+			}
+		}
+		if s.IsFinal(q) != d.IsFinal(q) || s.Rule(q) != d.Rule(q) {
+			t.Fatalf("accept mismatch at state %d", q)
+		}
+	}
+}
+
+func TestSparsifyShrinksDegenerateTables(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	d := sparseFixture(t, words)
+	if d.NumClasses() != 256 {
+		t.Fatalf("fixture should be byte-complete (C=256), got C=%d", d.NumClasses())
+	}
+	s := Sparsify(d)
+	if s.TableBytes() >= d.TableBytes() {
+		t.Fatalf("sparse %d B >= class table %d B on a degenerate partition", s.TableBytes(), d.TableBytes())
+	}
+	// Trie rows are overwhelmingly default-to-dead: the entry arrays
+	// must scale with edges, not states*classes.
+	if len(s.Next) > d.NumStates()*8+2*d.NumClasses() {
+		t.Fatalf("entry array %d slots for %d states — packing degenerated", len(s.Next), d.NumStates())
+	}
+}
+
+func TestSparsifyDeterministic(t *testing.T) {
+	words := []string{"one", "two", "three", "four", "five", "fortune", "formal"}
+	d := sparseFixture(t, words)
+	a, b := Sparsify(d), Sparsify(d)
+	if len(a.Next) != len(b.Next) || len(a.Dense) != len(b.Dense) {
+		t.Fatalf("two builds differ in shape: %d/%d vs %d/%d", len(a.Next), len(a.Dense), len(b.Next), len(b.Dense))
+	}
+	for i := range a.Base {
+		if a.Base[i] != b.Base[i] {
+			t.Fatalf("Base[%d] differs: %d vs %d", i, a.Base[i], b.Base[i])
+		}
+	}
+	for i := range a.Next {
+		if a.Next[i] != b.Next[i] || a.Check[i] != b.Check[i] {
+			t.Fatalf("slot %d differs", i)
+		}
+	}
+}
+
+func TestSparseCoAccessible(t *testing.T) {
+	d := sparseFixture(t, []string{"ab", "abc", "xyz"})
+	s := Sparsify(d)
+	want := d.CoAccessible()
+	got := s.CoAccessible()
+	if len(got) != len(want) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for q := range want {
+		if got[q] != want[q] {
+			t.Fatalf("CoAccessible(%d) = %v, class table %v", q, got[q], want[q])
+		}
+	}
+}
+
+func TestSparseValidateRejectsCorruption(t *testing.T) {
+	d := sparseFixture(t, []string{"ab", "cd"})
+	corrupt := []func(*SparseDFA){
+		func(s *SparseDFA) { s.Base[1] = int32(len(s.Check)) },        // base overruns slots
+		func(s *SparseDFA) { s.Base[0] = -int32(len(s.Dense)) - 100 }, // dense row out of range
+		func(s *SparseDFA) { s.Default[2] = int32(len(s.Accept)) },    // default target out of range
+		func(s *SparseDFA) { s.Check[0] = int32(len(s.Accept)) + 7 },  // check names a ghost state
+		func(s *SparseDFA) { s.Dense = s.Dense[:len(s.Dense)-1] },     // ragged dense spill
+		func(s *SparseDFA) { s.Start = 3 },
+	}
+	for i, f := range corrupt {
+		s := Sparsify(d)
+		if len(s.Dense) == 0 && (i == 1 || i == 4) {
+			continue // fixture stored no dense rows; nothing to corrupt
+		}
+		f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("corruption %d passed Validate", i)
+		}
+	}
+	// Corrupt a claimed slot's target.
+	s := Sparsify(d)
+	for i, c := range s.Check {
+		if c != -1 {
+			s.Next[i] = int32(len(s.Accept)) + 1
+			if err := s.Validate(); err == nil {
+				t.Error("out-of-range next target passed Validate")
+			}
+			break
+		}
+	}
+}

@@ -25,25 +25,36 @@ const (
 	bpeMaxTokenLen = 7
 )
 
+// The cache probe is likewise fixed: cache_hit_pct is measured by one
+// cold-stream pass over this input, so the column is fully deterministic
+// (piece mix and cache behavior depend only on the bytes) and CI can
+// gate it across machines and -scale settings.
+const (
+	bpeProbeSeed  = 77
+	bpeProbeBytes = 1 << 20
+)
+
 // BPE measures the LLM-tokenization frontend across vocabulary scales:
-// for BPE vocabularies of 1k–32k merges trained on a fixed synthetic
-// corpus, the maximal-munch vocab DFA's size, byte-class count C, and
-// compressed table bytes against the dense 256-ary baseline; the
+// for BPE vocabularies of 1k–32k merges trained on a fixed
+// workload.Prompts corpus, the maximal-munch vocab DFA's size,
+// byte-class count C, and serving-table bytes (the row-displacement
+// sparse layout once adopted — byte-complete vocabularies defeat
+// byte-class compression) against the dense 256-ary baseline; the
 // certified resident footprint of the full pipeline (vocab DFA +
 // pretokenizer engine); which engine the pretokenizer got under the
 // shared fused budget; train and compile time; streaming encode
-// throughput; and the fraction of pieces that fell back from the
-// certified greedy scan to the exact merge loop. The 8k row is the
-// operating point the fused-budget admission test pins: vocab DFA and
-// fused pretokenizer together under the default 16 MB budget. At 32k
-// merges the vocab DFA alone exceeds the budget, so the pretokenizer
-// honestly serves from the split loops.
+// throughput; the piece-cache hit rate on a fixed cold-stream probe;
+// and the fraction of pieces that fell back from the certified greedy
+// scan to the exact merge loop. The 8k row is the operating point the
+// fused-budget admission test pins: vocab DFA and fused pretokenizer
+// together under the default 16 MB budget; with the sparse tables even
+// the 32k vocabulary fits it.
 func BPE(cfg Config) Table {
 	t := Table{
 		Title: "BPE: vocab-DFA compile and streaming encode, 1k–32k merges",
 		Header: []string{"merges", "tokens", "dfa_states", "classes",
 			"dense_dfa_bytes", "dfa_bytes", "ratio", "resident_bytes", "mode",
-			"train_s", "compile_s", "mbps", "fallback_pct"},
+			"train_s", "compile_s", "mbps", "cache_hit_pct", "fallback_pct"},
 	}
 	corpus := workload.Prompts(bpeTrainSeed, bpeTrainBytes)
 	in := workload.Prompts(cfg.Seed, cfg.size(1<<20))
@@ -75,6 +86,20 @@ func BPE(cfg Config) Table {
 		}
 
 		emit := func(token.Token, []byte) {}
+
+		// Cache probe: one cold stream (NewStream, not the warm pool) over
+		// the fixed probe input; the tokenizer's counters hold exactly this
+		// pass, so the hit rate is deterministic.
+		probe := workload.Prompts(bpeProbeSeed, bpeProbeBytes)
+		ps := tok.NewStream()
+		ps.Feed(probe, emit)
+		ps.Close(emit)
+		hits, misses, _ := tok.CacheCounters()
+		hitPct := "0.0"
+		if hits+misses > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
+		}
+
 		elapsed := timeIt(cfg.Trials, func() {
 			s := tok.AcquireStream()
 			s.Feed(in, emit)
@@ -94,17 +119,18 @@ func BPE(cfg Config) Table {
 			itoa(vm.DFA.NumStates()),
 			itoa(vm.DFA.NumClasses()),
 			itoa(dense),
-			itoa(vm.DFA.TableBytes()),
-			fmt.Sprintf("%.3f", float64(vm.DFA.TableBytes())/float64(dense)),
+			itoa(vm.TableBytes()),
+			fmt.Sprintf("%.3f", float64(vm.TableBytes())/float64(dense)),
 			itoa(c.TableBytes),
 			tok.EngineMode(),
 			secs(train),
 			secs(compile),
 			mbps(len(in), elapsed),
+			hitPct,
 			fallbackPct,
 		})
 	}
-	t.Note = fmt.Sprintf("vocabularies trained on a fixed %d B synthetic corpus (seed %d, max token %d B; the 32k row saturates the token-length cap below its merge budget); dense_dfa_bytes is the 256-ary vocab-DFA layout, ratio = dfa_bytes/dense (~C/256); resident_bytes is the certified vocab-DFA + pretokenizer footprint; fallback_pct is merge-loop fallbacks per pretokenizer piece; input %d B per row",
-		bpeTrainBytes, bpeTrainSeed, bpeMaxTokenLen, len(in))
+	t.Note = fmt.Sprintf("vocabularies trained on a fixed %d B workload.Prompts corpus (seed %d, max token %d B; the 32k row saturates the token-length cap below its merge budget); dense_dfa_bytes is the 256-ary vocab-DFA layout, dfa_bytes is the serving table (row-displacement sparse once adopted), ratio = dfa_bytes/dense; resident_bytes is the certified vocab-DFA + pretokenizer footprint; cache_hit_pct is piece-cache hits per piece on one cold-stream pass over a fixed %d B workload.Prompts probe (seed %d); fallback_pct is merge-loop fallbacks per pretokenizer piece; encode input %d B per row",
+		bpeTrainBytes, bpeTrainSeed, bpeMaxTokenLen, bpeProbeBytes, bpeProbeSeed, len(in))
 	return t
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bpe
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bpe
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation allocates on its own.
+const raceEnabled = true

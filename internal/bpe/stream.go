@@ -46,12 +46,31 @@ type Options struct {
 	// default), shared by the vocab DFA table and the pretokenizer's
 	// fused tables: the pretokenizer gets whatever the vocab table
 	// leaves, and a vocabulary whose table alone exceeds the budget
-	// serves with the pretokenizer on the split loops.
+	// serves with the pretokenizer on the split loops. The vocab table
+	// is charged at its serving representation — the sparse
+	// row-displacement layout once adopted — which is what lets 32k+
+	// merge vocabularies fit the default budget with room for fused
+	// pretokenizer tables.
 	MaxFusedTableBytes int
+	// DisableSparse keeps the vocab DFA on the class-compressed table
+	// even when its partition is degenerate (ablation and differential
+	// tests of the sparse scan path).
+	DisableSparse bool
+	// DisablePieceCache turns off the piece-encoding memo cache, paying
+	// the full DFA scan + validity check per piece occurrence (ablation
+	// and differential tests of the uncached path).
+	DisablePieceCache bool
 }
 
 // DefaultFusedBudget mirrors the fused engine's default table budget.
 const DefaultFusedBudget = 16 << 20
+
+// sparseRatioThreshold: the vocab DFA adopts the row-displacement
+// sparse layout when its class table compresses to at least this
+// fraction of the dense 256-ary layout. Byte-complete vocabularies sit
+// at 1.000 (C = 256 structurally); real grammars sit at C/256 ≈
+// 0.04–0.25 and keep the class table.
+const sparseRatioThreshold = 0.9
 
 // Tokenizer is a compiled streaming BPE tokenizer for one vocabulary.
 // Immutable and safe for concurrent use; each stream needs its own
@@ -63,8 +82,14 @@ type Tokenizer struct {
 	pres  analysis.Result // pretokenizer analysis
 	ptok  *core.Tokenizer // pretokenizer engine
 
+	noCache bool // Options.DisablePieceCache
+
 	pieces    atomic.Uint64 // pieces encoded
 	fallbacks atomic.Uint64 // pieces that took the merge-loop fallback
+
+	cacheHits      atomic.Uint64 // piece-cache hits (byte pieces included)
+	cacheMisses    atomic.Uint64 // piece-cache misses (uncacheable included)
+	cacheEvictions atomic.Uint64 // entries discarded by wholesale resets
 
 	pool    sync.Pool // recycles *Stream
 	bufPool sync.Pool // recycles reader-driver buffers
@@ -86,11 +111,18 @@ func Compile(v *Vocab, opts Options) (*Tokenizer, error) {
 	if !pres.Bounded() {
 		return nil, fmt.Errorf("bpe: pretokenizer grammar unbounded (build bug)")
 	}
+	// Byte-complete vocabularies defeat byte-class compression (C = 256
+	// structurally), so the vocab DFA switches to the row-displacement
+	// sparse layout; the budget then charges the sparse arrays, leaving
+	// headroom for the pretokenizer's fused tables.
+	if !opts.DisableSparse {
+		vm.SelectSparse(sparseRatioThreshold)
+	}
 	budget := opts.MaxFusedTableBytes
 	if budget == 0 {
 		budget = DefaultFusedBudget
 	}
-	remaining := budget - vm.DFA.TableBytes()
+	remaining := budget - vm.TableBytes()
 	limits := tepath.Limits{MaxDFAStates: opts.MaxTeDFAStates}
 	var ptok *core.Tokenizer
 	if opts.DisableFused || remaining <= 0 {
@@ -101,7 +133,7 @@ func Compile(v *Vocab, opts Options) (*Tokenizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tokenizer{vocab: v, vm: vm, pm: pm, pres: pres, ptok: ptok}, nil
+	return &Tokenizer{vocab: v, vm: vm, pm: pm, pres: pres, ptok: ptok, noCache: opts.DisablePieceCache}, nil
 }
 
 // Vocab returns the vocabulary the tokenizer encodes with.
@@ -127,9 +159,9 @@ func (t *Tokenizer) EngineMode() string { return "bpe+" + t.ptok.EngineMode() }
 // emitted at most K bytes plus one piece after its last byte.
 func (t *Tokenizer) K() int { return t.ptok.K() }
 
-// TableBytes is the resident footprint: the vocab DFA table plus the
-// pretokenizer engine's tables.
-func (t *Tokenizer) TableBytes() int { return t.vm.DFA.TableBytes() + t.ptok.TableBytes() }
+// TableBytes is the resident footprint: the vocab DFA's serving table
+// (sparse when adopted) plus the pretokenizer engine's tables.
+func (t *Tokenizer) TableBytes() int { return t.vm.TableBytes() + t.ptok.TableBytes() }
 
 // Counters reports how many pieces have been encoded and how many of
 // them fell back to the merge loop (greedy segmentation failed the
@@ -137,6 +169,16 @@ func (t *Tokenizer) TableBytes() int { return t.vm.DFA.TableBytes() + t.ptok.Tab
 // the greedy fast path on the traffic actually served.
 func (t *Tokenizer) Counters() (pieces, fallbacks uint64) {
 	return t.pieces.Load(), t.fallbacks.Load()
+}
+
+// CacheCounters reports the piece-encoding cache's aggregate activity:
+// hits (single-byte pieces, served from the byte table, count as hits
+// of the degenerate always-warm cache), misses (uncacheable oversize
+// pieces included), and entries discarded by wholesale resets. Every
+// piece is exactly one hit or one miss, so hits+misses always equals
+// the pieces counter — the reconciliation stats tests pin.
+func (t *Tokenizer) CacheCounters() (hits, misses, evictions uint64) {
+	return t.cacheHits.Load(), t.cacheMisses.Load(), t.cacheEvictions.Load()
 }
 
 // Stream is a push-mode BPE encoder for one stream. Not safe for
@@ -147,11 +189,13 @@ type Stream struct {
 
 	emit    core.EmitFunc // user sink for the current Feed/Close call
 	pieceFn core.EmitFunc // cached closure over onPiece
+	batchFn core.EmitFunc // cached closure over batchEmit
 
-	seg  []int32 // greedy scan: ranks
-	ends []int32 // greedy scan: piece-relative end offsets
-	enc  []int   // fallback encoding
-	sc   encodeScratch
+	cache *pieceCache // per-stream piece-encoding memo (kept across pooling)
+
+	seg []int32 // greedy scan / fallback: the piece's ranks
+	enc []int   // fallback merge-loop scratch
+	sc  encodeScratch
 
 	batch     []token.Token // batched emission buffer
 	batchSink core.BatchFunc
@@ -161,21 +205,24 @@ type Stream struct {
 
 // NewStream starts a fresh stream.
 func (t *Tokenizer) NewStream() *Stream {
-	s := &Stream{t: t, ps: t.ptok.NewStreamer()}
+	s := &Stream{t: t, ps: t.ptok.NewStreamer(), cache: newPieceCache()}
 	s.pieceFn = s.onPiece
+	s.batchFn = s.batchEmit
 	return s
 }
 
 // AcquireStream returns a pooled stream (pair with ReleaseStream; the
-// warm serving loop allocates nothing per stream).
+// warm serving loop allocates nothing per stream). Pooled streams keep
+// their piece cache, so reacquired streams start warm.
 func (t *Tokenizer) AcquireStream() *Stream {
 	if v := t.pool.Get(); v != nil {
 		s := v.(*Stream)
 		s.ps = t.ptok.AcquireStreamer()
 		return s
 	}
-	s := &Stream{t: t, ps: t.ptok.AcquireStreamer()}
+	s := &Stream{t: t, ps: t.ptok.AcquireStreamer(), cache: newPieceCache()}
 	s.pieceFn = s.onPiece
+	s.batchFn = s.batchEmit
 	return s
 }
 
@@ -199,6 +246,28 @@ func (s *Stream) foldCounters() {
 		s.t.fallbacks.Add(s.fallbacks)
 		s.fallbacks = 0
 	}
+	if c := s.cache; c != nil {
+		if c.hits != 0 {
+			s.t.cacheHits.Add(c.hits)
+			c.hits = 0
+		}
+		if c.misses != 0 {
+			s.t.cacheMisses.Add(c.misses)
+			c.misses = 0
+		}
+		if c.evictions != 0 {
+			s.t.cacheEvictions.Add(c.evictions)
+			c.evictions = 0
+		}
+	}
+}
+
+// Counters reports the stream's not-yet-folded activity: pieces encoded,
+// merge-loop fallbacks, and cache hits/misses/evictions since the last
+// fold (Close, CloseBatch, Reset, or release zero these into the
+// tokenizer's aggregates).
+func (s *Stream) Counters() (pieces, fallbacks, hits, misses, evictions uint64) {
+	return s.pieces, s.fallbacks, s.cache.hits, s.cache.misses, s.cache.evictions
 }
 
 func discardEmit(token.Token, []byte) {}
@@ -235,7 +304,7 @@ func (s *Stream) Close(emit core.EmitFunc) int {
 // chunk boundary.
 func (s *Stream) FeedBatch(chunk []byte, sink core.BatchFunc) {
 	s.batchSink = sink
-	s.emit = s.batchEmit
+	s.emit = s.batchFn
 	s.ps.Feed(chunk, s.pieceFn)
 	s.flushBatch()
 	s.emit = nil
@@ -245,7 +314,7 @@ func (s *Stream) FeedBatch(chunk []byte, sink core.BatchFunc) {
 // CloseBatch is Close with batched emission of the final pieces.
 func (s *Stream) CloseBatch(sink core.BatchFunc) int {
 	s.batchSink = sink
-	s.emit = s.batchEmit
+	s.emit = s.batchFn
 	rest := s.ps.Close(s.pieceFn)
 	s.flushBatch()
 	s.emit = nil
@@ -283,37 +352,98 @@ func (s *Stream) PretokStreamer() *core.Streamer { return s.ps }
 func (s *Stream) Rest() int { return s.ps.Rest() }
 
 // onPiece receives one pretokenizer piece and emits its BPE encoding.
+// The cache front-ends everything: a hit replays the certified ranks
+// without touching the DFA, the validity caches, or the merge loop.
 func (s *Stream) onPiece(ptok token.Token, text []byte) {
 	s.pieces++
 	v := s.t.vocab
 	if len(text) == 1 {
-		// A single byte is always its byte token.
+		// A single byte is always its byte token: the byte table is the
+		// degenerate always-warm cache, so this counts as a hit (keeping
+		// hits+misses == pieces exact).
+		s.cache.hits++
 		r := int(v.byteRank[text[0]])
 		s.emit(token.Token{Start: ptok.Start, End: ptok.End, Rule: r}, text)
 		return
 	}
-
-	// Greedy maximal-munch scan of the piece on the vocab DFA.
-	m, d := s.t.vm, s.t.vm.DFA
-	seg, ends := s.seg[:0], s.ends[:0]
-	for i := 0; i < len(text); {
-		q := d.Start
-		lastEnd, lastRank := -1, -1
-		for j := i; j < len(text); j++ {
-			q = d.Step(q, text[j])
-			if m.IsDead(q) {
-				break
-			}
-			if d.IsFinal(q) {
-				lastEnd, lastRank = j+1, d.Rule(q)
-			}
+	cacheable := len(text) <= maxCachedPieceLen && !s.t.noCache
+	var h uint32
+	if cacheable {
+		h = pieceHash(text)
+		if ranks := s.cache.lookup(text, h); ranks != nil {
+			s.cache.hits++
+			s.emitRanks(ptok, text, ranks)
+			return
 		}
-		// lastEnd >= i+1 always: every single byte is a token.
-		seg = append(seg, int32(lastRank))
-		ends = append(ends, int32(lastEnd))
-		i = lastEnd
 	}
-	s.seg, s.ends = seg, ends
+	s.cache.misses++
+	ranks := s.encodeUncached(text)
+	if cacheable {
+		s.cache.insert(text, h, ranks)
+	}
+	s.emitRanks(ptok, text, ranks)
+}
+
+// emitRanks emits one token per rank; offsets are recovered from the
+// token lengths (a certified encoding tiles the piece exactly).
+func (s *Stream) emitRanks(ptok token.Token, text []byte, ranks []int32) {
+	v := s.t.vocab
+	start := 0
+	for _, r := range ranks {
+		end := start + len(v.tokens[r])
+		s.emit(token.Token{
+			Start: ptok.Start + start,
+			End:   ptok.Start + end,
+			Rule:  int(r),
+		}, text[start:end])
+		start = end
+	}
+}
+
+// encodeUncached computes the certified BPE encoding of a multi-byte
+// piece: greedy maximal-munch scan on the vocab DFA, accepted iff it
+// passes the local-validity check, else the exact merge loop. The
+// returned slice is s.seg scratch — valid until the next piece.
+func (s *Stream) encodeUncached(text []byte) []int32 {
+	v, m := s.t.vocab, s.t.vm
+	seg := s.seg[:0]
+	if sp := m.Sparse; sp != nil {
+		// Row-displacement sparse scan (the class table was dropped).
+		for i := 0; i < len(text); {
+			q := sp.Start
+			lastEnd, lastRank := -1, -1
+			for j := i; j < len(text); j++ {
+				q = sp.Step(q, text[j])
+				if m.IsDead(q) {
+					break
+				}
+				if sp.IsFinal(q) {
+					lastEnd, lastRank = j+1, sp.Rule(q)
+				}
+			}
+			// lastEnd >= i+1 always: every single byte is a token.
+			seg = append(seg, int32(lastRank))
+			i = lastEnd
+		}
+	} else {
+		d := m.DFA
+		for i := 0; i < len(text); {
+			q := d.Start
+			lastEnd, lastRank := -1, -1
+			for j := i; j < len(text); j++ {
+				q = d.Step(q, text[j])
+				if m.IsDead(q) {
+					break
+				}
+				if d.IsFinal(q) {
+					lastEnd, lastRank = j+1, d.Rule(q)
+				}
+			}
+			seg = append(seg, int32(lastRank))
+			i = lastEnd
+		}
+	}
+	s.seg = seg
 
 	// Local-validity check: accept the greedy segmentation iff it is
 	// certifiably the BPE encoding.
@@ -329,32 +459,18 @@ func (s *Stream) onPiece(ptok token.Token, text []byte) {
 		}
 	}
 	if valid {
-		start := 0
-		for i := range seg {
-			end := int(ends[i])
-			s.emit(token.Token{
-				Start: ptok.Start + start,
-				End:   ptok.Start + end,
-				Rule:  int(seg[i]),
-			}, text[start:end])
-			start = end
-		}
-		return
+		return seg
 	}
 
 	// Greedy is not the BPE encoding of this piece: exact merge loop.
 	s.fallbacks++
 	s.enc = v.encodePiece(s.enc[:0], text, &s.sc)
-	start := 0
+	seg = seg[:0]
 	for _, r := range s.enc {
-		end := start + len(v.tokens[r])
-		s.emit(token.Token{
-			Start: ptok.Start + start,
-			End:   ptok.Start + end,
-			Rule:  r,
-		}, text[start:end])
-		start = end
+		seg = append(seg, int32(r))
 	}
+	s.seg = seg
+	return seg
 }
 
 // Tokenize reads the stream block-by-block (bufSize 0 = 64 KB) and

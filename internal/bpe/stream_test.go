@@ -200,6 +200,9 @@ func FuzzBPEDifferential(f *testing.F) {
 	f.Add([]byte{0xff, 0xc2, 0x80, 0x20, 0x27, 0x73})
 	f.Add([]byte("       \t\n\r  "))
 	f.Add(bytes.Repeat([]byte("the "), 64))
+	// Cache churn: >1000 distinct near-max-length pieces drive heavy
+	// insert traffic through the piece cache's arenas.
+	f.Add(distinctWords(1200, 50))
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if len(input) > 1<<16 {
 			input = input[:1<<16]

@@ -207,6 +207,12 @@ func NewNoObsWithK(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, 
 }
 
 func newSplit(m *tokdfa.Machine, k int, limits tepath.Limits) (*Tokenizer, error) {
+	if m.DFA.Trans == nil {
+		// A machine serving from the sparse row-displacement layout is a
+		// scanner (BPE vocab DFA): the streaming engines index class-table
+		// rows directly and do not run on it.
+		return nil, fmt.Errorf("streamtok: machine has no class transition table (sparse scanner machines cannot drive the streaming engines)")
+	}
 	t := &Tokenizer{m: m, k: k, live: map[*Streamer]struct{}{}}
 	switch {
 	case k <= 0:

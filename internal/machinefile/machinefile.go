@@ -2,10 +2,28 @@
 // grammar can be compiled once (analysis included) and shipped as tables
 // — the deployment mode of generated lexers, without code generation.
 //
-// The current format (version 3) is a versioned little-endian binary
-// carrying the byte-class compressed transition table — files shrink
-// roughly C/256 versus the dense rows of earlier versions (C is the
-// byte-class count, typically 10–60):
+// The current format (version 4) is a versioned little-endian binary
+// carrying the transition table in its serving representation. The
+// table section opens with the class map and a representation tag:
+//
+//	magic "STOKDFA4" | ruleCount | rules (name, regex source) |
+//	nfaSize | dfaStates | numClasses | classOf[256] | reprTag |
+//	  tag 0 (class table):  trans[dfaStates*numClasses]
+//	  tag 1 (sparse):       base[dfaStates] | default[dfaStates] |
+//	                        entryLen | next[entryLen] | check[entryLen] |
+//	                        denseRows | dense[denseRows*numClasses]
+//	accept[dfaStates] |
+//	certPresent | [resource certificate] |
+//	maxTND (-1 = unbounded) | crc32 of everything before it
+//
+// Tag 1 is the row-displacement sparse layout BPE vocab DFAs adopt when
+// their class partition is degenerate (C = 256): shipping the sparse
+// arrays instead of a states×256 class table keeps 32k-merge vocabulary
+// files (and their resident decode) small. Sparse machines are
+// scanner-only — the streaming engines require a class table and refuse
+// them at construction.
+//
+// Version 3 files ("STOKDFA3") are the class-table-only layout:
 //
 //	magic "STOKDFA3" | ruleCount | rules (name, regex source) |
 //	nfaSize | dfaStates | numClasses | classOf[256] |
@@ -13,6 +31,9 @@
 //	certPresent | [resource certificate] |
 //	maxTND (-1 = unbounded) | crc32 of everything before it
 //
+// Encode still emits version 3 for class-table machines — only machines
+// that actually serve sparse need the version 4 section, so existing
+// artifacts stay byte-identical.
 // The resource certificate (internal/analysis/cert) carries the
 // machine-checkable cost claims: delay K with its dichotomy bound and
 // witness pair, ring/carry/table byte bounds, class count, accel
@@ -52,6 +73,13 @@ var (
 	magicV1 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '1'}
 	magicV2 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '2'}
 	magicV3 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '3'}
+	magicV4 = [8]byte{'S', 'T', 'O', 'K', 'D', 'F', 'A', '4'}
+)
+
+// Representation tags of the version 4 table section.
+const (
+	reprClassTable = 0
+	reprSparse     = 1
 )
 
 // ErrFormat is wrapped by all decoding errors caused by malformed input,
@@ -70,9 +98,10 @@ type Machine struct {
 	// unbounded machines, which have no certificate).
 	Cert *cert.Certificate
 	// Version is the file format version the machine was decoded from
-	// (3 for current files). Certificates from versions < 3 describe the
-	// dense table layout, so loaders re-certify instead of matching the
-	// stored byte accounting against the compressed engine.
+	// (3 for class-table files, 4 for sparse-representation files).
+	// Certificates from versions < 3 describe the dense table layout, so
+	// loaders re-certify instead of matching the stored byte accounting
+	// against the compressed engine.
 	Version int
 }
 
@@ -138,10 +167,40 @@ func (e *encoder) writeCompressedTables(m *tokdfa.Machine) {
 	}
 }
 
+// writeSparseTables writes the version 4 table section: the class map,
+// the sparse representation tag, the row-displacement arrays, and the
+// accept labels.
+func (e *encoder) writeSparseTables(m *tokdfa.Machine) {
+	d, sp := m.DFA, m.Sparse
+	e.ints(int64(d.NumClasses()))
+	if e.err == nil {
+		_, e.err = e.out.Write(d.ClassOf[:])
+	}
+	e.ints(reprSparse)
+	for _, arr := range [][]int32{sp.Base, sp.Default} {
+		if e.err == nil {
+			e.err = binary.Write(e.out, binary.LittleEndian, arr)
+		}
+	}
+	e.ints(int64(len(sp.Next)))
+	for _, arr := range [][]int32{sp.Next, sp.Check} {
+		if e.err == nil {
+			e.err = binary.Write(e.out, binary.LittleEndian, arr)
+		}
+	}
+	e.ints(int64(len(sp.Dense) / d.NumClasses()))
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, sp.Dense)
+	}
+	if e.err == nil {
+		e.err = binary.Write(e.out, binary.LittleEndian, d.Accept)
+	}
+}
+
 // writeCert writes the certificate section: the presence flag and, when
 // c is non-nil, the certificate fields. v3 files carry the two
 // compression-era fields (class count, dense-equivalent table bytes)
-// after the original eight.
+// after the original eight; v4 files add the sparse table bytes.
 func (e *encoder) writeCert(c *cert.Certificate, version int) {
 	if c == nil {
 		e.ints(0)
@@ -154,6 +213,9 @@ func (e *encoder) writeCert(c *cert.Certificate, version int) {
 		int64(c.AccelStates), int64(c.AccelSlots), int64(c.ParallelReworkX))
 	if version >= 3 {
 		e.ints(int64(c.NumClasses), int64(c.DenseTableBytes))
+	}
+	if version >= 4 {
+		e.ints(int64(c.SparseTableBytes))
 	}
 	e.bytes([]byte(c.EngineMode))
 	e.bytes(c.WitnessU)
@@ -181,13 +243,24 @@ func Encode(w io.Writer, m *tokdfa.Machine, maxTND int) error {
 }
 
 // EncodeWithCert writes m with its resource certificate (nil c writes
-// "certificate absent") in the current (version 3, class-compressed)
-// format. The certificate is covered by the trailing checksum like every
-// other section.
+// "certificate absent"). Machines serving from the sparse layout are
+// written in the version 4 format (the only one that can carry it);
+// class-table machines stay on version 3, keeping existing artifacts
+// byte-identical. The certificate is covered by the trailing checksum
+// like every other section.
 func EncodeWithCert(w io.Writer, m *tokdfa.Machine, maxTND int, c *cert.Certificate) error {
 	crc := crc32.NewIEEE()
 	e := &encoder{out: io.MultiWriter(w, crc)}
 
+	if m.Sparse != nil {
+		if _, err := e.out.Write(magicV4[:]); err != nil {
+			return err
+		}
+		e.writeRules(m)
+		e.writeSparseTables(m)
+		e.writeCert(c, 4)
+		return e.writeTail(w, crc, maxTND)
+	}
 	if _, err := e.out.Write(magicV3[:]); err != nil {
 		return err
 	}
@@ -285,6 +358,8 @@ func Decode(r io.Reader) (*Machine, error) {
 		version = 2
 	case magicV3:
 		version = 3
+	case magicV4:
+		version = 4
 	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, gotMagic[:])
 	}
@@ -344,10 +419,12 @@ func Decode(r io.Reader) (*Machine, error) {
 		return nil, fmt.Errorf("%w: %d states", ErrFormat, states)
 	}
 
-	// Table section. Version 3 files carry the byte-class compressed
-	// layout natively; dense v1/v2 tables are compressed on load so the
-	// rest of the engine only ever sees the class-native DFA.
+	// Table section. Version 3/4 files carry the byte-class compressed
+	// layout natively (version 4 optionally the sparse representation);
+	// dense v1/v2 tables are compressed on load so the rest of the engine
+	// only ever sees the class-native DFA.
 	var dfa *automata.DFA
+	var sparse *automata.SparseDFA
 	if version >= 3 {
 		numClasses, err := rd()
 		if err != nil {
@@ -381,18 +458,81 @@ func Decode(r io.Reader) (*Machine, error) {
 				return nil, fmt.Errorf("%w: byte class %d has no representative", ErrFormat, c)
 			}
 		}
-		trans, err := readInt32s(in, int(states)*int(numClasses))
-		if err != nil {
-			return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
+		repr := int64(reprClassTable)
+		if version >= 4 {
+			if repr, err = rd(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
 		}
-		accept, err := readInt32s(in, int(states))
-		if err != nil {
-			return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
+		switch repr {
+		case reprClassTable:
+			trans, err := readInt32s(in, int(states)*int(numClasses))
+			if err != nil {
+				return nil, fmt.Errorf("%w: transition table: %v", ErrFormat, err)
+			}
+			accept, err := readInt32s(in, int(states))
+			if err != nil {
+				return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
+			}
+			if err := validateTables(trans, accept, states, ruleCount); err != nil {
+				return nil, err
+			}
+			dfa = &automata.DFA{Trans: trans, ClassOf: classOf, Reps: reps, Accept: accept, Start: 0}
+		case reprSparse:
+			base, err := readInt32s(in, int(states))
+			if err != nil {
+				return nil, fmt.Errorf("%w: sparse base: %v", ErrFormat, err)
+			}
+			def, err := readInt32s(in, int(states))
+			if err != nil {
+				return nil, fmt.Errorf("%w: sparse default: %v", ErrFormat, err)
+			}
+			entryLen, err := rd()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if entryLen < 0 || entryLen > states*int64(numClasses) {
+				return nil, fmt.Errorf("%w: sparse entry array %d slots", ErrFormat, entryLen)
+			}
+			next, err := readInt32s(in, int(entryLen))
+			if err != nil {
+				return nil, fmt.Errorf("%w: sparse next: %v", ErrFormat, err)
+			}
+			check, err := readInt32s(in, int(entryLen))
+			if err != nil {
+				return nil, fmt.Errorf("%w: sparse check: %v", ErrFormat, err)
+			}
+			denseRows, err := rd()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if denseRows < 0 || denseRows > states {
+				return nil, fmt.Errorf("%w: %d dense rows", ErrFormat, denseRows)
+			}
+			dense, err := readInt32s(in, int(denseRows)*int(numClasses))
+			if err != nil {
+				return nil, fmt.Errorf("%w: sparse dense spill: %v", ErrFormat, err)
+			}
+			accept, err := readInt32s(in, int(states))
+			if err != nil {
+				return nil, fmt.Errorf("%w: accept table: %v", ErrFormat, err)
+			}
+			if err := validateTables(nil, accept, states, ruleCount); err != nil {
+				return nil, err
+			}
+			sparse = &automata.SparseDFA{
+				Base: base, Next: next, Check: check, Default: def, Dense: dense,
+				ClassOf: classOf, Reps: reps, Accept: accept, Start: 0,
+			}
+			// The untrusted structural checks: every base/check/default/
+			// next/dense value must stay inside the decoded machine.
+			if err := sparse.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: sparse table: %v", ErrFormat, err)
+			}
+			dfa = &automata.DFA{ClassOf: classOf, Reps: reps, Accept: accept, Start: 0}
+		default:
+			return nil, fmt.Errorf("%w: table representation tag %d", ErrFormat, repr)
 		}
-		if err := validateTables(trans, accept, states, ruleCount); err != nil {
-			return nil, err
-		}
-		dfa = &automata.DFA{Trans: trans, ClassOf: classOf, Reps: reps, Accept: accept, Start: 0}
 	} else {
 		trans, err := readInt32s(in, int(states)*256)
 		if err != nil {
@@ -440,7 +580,12 @@ func Decode(r io.Reader) (*Machine, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
 	}
 
-	coacc := dfa.CoAccessible()
+	var coacc []bool
+	if sparse != nil {
+		coacc = sparse.CoAccessible()
+	} else {
+		coacc = dfa.CoAccessible()
+	}
 	dead := -1
 	for q := 0; q < dfa.NumStates(); q++ {
 		if !coacc[q] {
@@ -452,6 +597,7 @@ func Decode(r io.Reader) (*Machine, error) {
 		Machine: &tokdfa.Machine{
 			Grammar: g,
 			DFA:     dfa,
+			Sparse:  sparse,
 			NFASize: int(nfaSize),
 			CoAcc:   coacc,
 			Dead:    dead,
@@ -494,14 +640,18 @@ func validateTables(trans, accept []int32, states, ruleCount int64) error {
 
 // decodeCert reads the certificate section (bounds on every
 // variable-length field keep a corrupted header from committing
-// memory). Version 3 files carry two extra integer fields.
+// memory). Version 3 files carry two extra integer fields; version 4
+// files add the sparse table bytes.
 func decodeCert(rd func() (int64, error), readString func(int64) (string, error), version int) (*cert.Certificate, error) {
 	hash, err := readString(128)
 	if err != nil {
 		return nil, fmt.Errorf("%w: certificate hash: %v", ErrFormat, err)
 	}
 	numFields := 8
-	if version >= 3 {
+	switch {
+	case version >= 4:
+		numFields = 11
+	case version >= 3:
 		numFields = 10
 	}
 	fields := make([]int64, numFields)
@@ -542,6 +692,9 @@ func decodeCert(rd func() (int64, error), readString func(int64) (string, error)
 	if version >= 3 {
 		c.NumClasses = int(fields[8])
 		c.DenseTableBytes = int(fields[9])
+	}
+	if version >= 4 {
+		c.SparseTableBytes = int(fields[10])
 	}
 	if u != "" {
 		c.WitnessU = []byte(u)

@@ -252,9 +252,18 @@ func FuzzDecode(f *testing.F) {
 		oob[cmOff+5] = 0xff
 		f.Add(oob)
 	}
+	// A version 4 sparse-representation file, so the fuzzer mutates the
+	// sparse table section and its structural validation.
+	sm := sparseMachine(f, 120)
+	var v4 bytes.Buffer
+	if err := machinefile.Encode(&v4, sm, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v4.Bytes())
 	f.Add([]byte("STOKDFA1"))
 	f.Add([]byte("STOKDFA2"))
 	f.Add([]byte("STOKDFA3"))
+	f.Add([]byte("STOKDFA4"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := machinefile.Decode(bytes.NewReader(data))
 		if err != nil {
@@ -271,7 +280,18 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of accepted machine: %v", err)
 		}
-		if again.MaxTND != got.MaxTND || !automata.Equivalent(got.Machine.DFA, again.Machine.DFA) {
+		if again.MaxTND != got.MaxTND {
+			t.Fatal("accepted machine does not round-trip")
+		}
+		// Sparse machines have no class table, so compare stepping
+		// through the serving representation instead.
+		equiv := false
+		if got.Machine.DFA.Trans != nil && again.Machine.DFA.Trans != nil {
+			equiv = automata.Equivalent(got.Machine.DFA, again.Machine.DFA)
+		} else {
+			equiv = sparseStepsEqual(got.Machine, again.Machine)
+		}
+		if !equiv {
 			t.Fatal("accepted machine does not round-trip")
 		}
 		if (again.Cert == nil) != (got.Cert == nil) {
@@ -494,8 +514,22 @@ func TestRegenFuzzSeeds(t *testing.T) {
 		oob[cmOff+5] = 0xff
 		write("seed-classmap-oob-"+name, oob)
 	}
+	// Version 4 sparse-representation seeds: a clean file, one truncated
+	// inside the sparse arrays, and one with a flipped byte there.
+	sm := sparseMachine(t, 120)
+	var v4 bytes.Buffer
+	if err := machinefile.Encode(&v4, sm, 0); err != nil {
+		t.Fatal(err)
+	}
+	s4 := v4.Bytes()
+	write("seed-v4-sparse", s4)
+	write("seed-v4-trunc", s4[:len(s4)*3/4])
+	flip4 := append([]byte(nil), s4...)
+	flip4[len(flip4)*2/3] ^= 0x08
+	write("seed-v4-flip", flip4)
 	write("seed-magic-v2", []byte("STOKDFA2"))
 	write("seed-magic-v3", []byte("STOKDFA3"))
+	write("seed-magic-v4", []byte("STOKDFA4"))
 }
 
 // failWriter fails after n bytes, exercising Encode's error paths.

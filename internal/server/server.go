@@ -568,6 +568,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 			g.Stats.LatencyQuantile(0.5), g.Stats.LatencyQuantile(0.99), g.Stats.MaxLatency(), g.Engine.K)
 		fmt.Fprintf(w, "  streams:  %d started, %d done; %d tokens, %d bytes in\n",
 			g.Stats.Streams, g.Stats.StreamsDone, g.Stats.TokensOut, g.Stats.BytesIn)
+		if g.Stats.BPEPieces > 0 {
+			fmt.Fprintf(w, "  bpe:      %d pieces, %d fallbacks, cache %d hits / %d misses / %d evictions\n",
+				g.Stats.BPEPieces, g.Stats.BPEFallbacks,
+				g.Stats.BPECacheHits, g.Stats.BPECacheMisses, g.Stats.BPECacheEvictions)
+		}
 	}
 }
 

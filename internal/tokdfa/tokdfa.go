@@ -94,6 +94,15 @@ func (g *Grammar) String() string {
 type Machine struct {
 	Grammar *Grammar
 	DFA     *automata.DFA
+	// Sparse, when non-nil, is the serving transition representation: a
+	// row-displacement compressed table adopted by SelectSparse when the
+	// byte-class partition is degenerate (BPE vocab DFAs). The class
+	// table DFA.Trans is dropped on adoption — DFA keeps the class map,
+	// accept labels, and state count, but transitions step through
+	// Sparse. Scanner callers (the BPE piece scan, witness replay) honor
+	// this; the streaming engines require a class table and refuse
+	// sparse-only machines.
+	Sparse *automata.SparseDFA
 	// NFASize is the number of states of the Thompson NFA before
 	// determinization (Table 1's "NFA/Grammar Size").
 	NFASize int
@@ -164,3 +173,50 @@ func MustCompile(g *Grammar, opts Options) *Machine {
 
 // IsDead reports whether q is a reject/failure state.
 func (m *Machine) IsDead(q int) bool { return !m.CoAcc[q] }
+
+// SelectSparse adopts the row-displacement sparse layout as the serving
+// representation when byte-class compression is ineffective: the class
+// table's ratio against the dense 256-ary layout is at least minRatio
+// (degenerate partitions sit at ~1.0) AND the sparse layout is actually
+// smaller. On adoption the class transition table is freed — the whole
+// point is shedding its resident bytes — while the class map, accept
+// labels, and the precomputed CoAcc survive for the scanner. Reports
+// whether the sparse layout was adopted.
+func (m *Machine) SelectSparse(minRatio float64) bool {
+	d := m.DFA
+	if m.Sparse != nil || d.Trans == nil {
+		return m.Sparse != nil
+	}
+	dense := d.NumStates()*256*4 + len(d.Accept)*4
+	if float64(d.TableBytes()) < minRatio*float64(dense) {
+		return false
+	}
+	sp := automata.Sparsify(d)
+	if sp.TableBytes() >= d.TableBytes() {
+		return false
+	}
+	m.Sparse = sp
+	d.Trans = nil
+	return true
+}
+
+// TableBytes returns the resident bytes of the serving transition
+// representation: the sparse layout when one was adopted, the class
+// table otherwise. Budgets and certificates account this figure.
+func (m *Machine) TableBytes() int {
+	if m.Sparse != nil {
+		return m.Sparse.TableBytes()
+	}
+	return m.DFA.TableBytes()
+}
+
+// StepByte returns δ(q, b) through whichever transition representation
+// the machine serves from. Scanner-style callers that cannot assume a
+// class table (certificate witness replay, tests) go through this; hot
+// loops dispatch once and inline the representation-specific stepping.
+func (m *Machine) StepByte(q int, b byte) int {
+	if m.Sparse != nil {
+		return m.Sparse.Step(q, b)
+	}
+	return m.DFA.Step(q, b)
+}

@@ -73,6 +73,21 @@ type Stats struct {
 	ParallelSegments  uint64
 	ParallelSynced    uint64
 	ParallelReScanned uint64
+
+	// BPE counters, nonzero only on vocabulary tokenizers. BPEPieces is
+	// how many pretokenizer pieces the vocab stage encoded and
+	// BPEFallbacks how many of them needed the exact merge loop (greedy
+	// failed the local-validity check). The cache trio describes the
+	// piece-encoding memo: hits (single-byte pieces included — the byte
+	// table is the degenerate always-warm cache), misses (uncacheable
+	// oversize pieces included), and entries discarded by wholesale cache
+	// resets. Every piece is exactly one hit or one miss, so
+	// BPECacheHits+BPECacheMisses == BPEPieces.
+	BPEPieces         uint64
+	BPEFallbacks      uint64
+	BPECacheHits      uint64
+	BPECacheMisses    uint64
+	BPECacheEvictions uint64
 }
 
 // statsFrom converts an internal counter block into the public snapshot,
@@ -111,12 +126,30 @@ func (t *Tokenizer) statsFrom(c obs.Counters) Stats {
 // started: finished streams (Close, dead input, Discard) exactly, and
 // still-live streams as an instantaneous approximation — their counters
 // are read without synchronizing with the feeding goroutine, so take
-// authoritative aggregates after the streams close.
-func (t *Tokenizer) AggregateStats() Stats { return t.statsFrom(t.inner.Counters()) }
+// authoritative aggregates after the streams close. On vocabulary
+// tokenizers the BPE piece/fallback/cache counters ride along (they
+// fold in when streams close or release).
+func (t *Tokenizer) AggregateStats() Stats {
+	st := t.statsFrom(t.inner.Counters())
+	if t.bpe != nil {
+		st.BPEPieces, st.BPEFallbacks = t.bpe.Counters()
+		st.BPECacheHits, st.BPECacheMisses, st.BPECacheEvictions = t.bpe.CacheCounters()
+	}
+	return st
+}
 
 // Stats snapshots this stream's own counters. Like Feed it must be
 // called by the stream's owner, not concurrently with Feed or Close.
-func (s *Streamer) Stats() Stats { return s.tok.statsFrom(s.inner.StreamCounters()) }
+// On vocabulary tokenizers the BPE counters cover activity since the
+// stream's last Close/Reset (those fold the counts into the
+// tokenizer's aggregates and zero the stream's).
+func (s *Streamer) Stats() Stats {
+	st := s.tok.statsFrom(s.inner.StreamCounters())
+	if s.b != nil {
+		st.BPEPieces, st.BPEFallbacks, st.BPECacheHits, st.BPECacheMisses, st.BPECacheEvictions = s.b.Counters()
+	}
+	return st
+}
 
 // LatencyQuantile returns an upper bound on the q-quantile (0 < q ≤ 1)
 // of the emission-latency distribution: the upper edge of the histogram
@@ -167,6 +200,10 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "parallel:     %d runs, %d segments, %d synced, %d bytes re-scanned\n",
 			s.ParallelRuns, s.ParallelSegments, s.ParallelSynced, s.ParallelReScanned)
 	}
+	if s.BPEPieces > 0 {
+		fmt.Fprintf(&b, "bpe:          %d pieces, %d fallbacks, cache %d hits / %d misses / %d evictions\n",
+			s.BPEPieces, s.BPEFallbacks, s.BPECacheHits, s.BPECacheMisses, s.BPECacheEvictions)
+	}
 	return b.String()
 }
 
@@ -204,6 +241,11 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		ParallelSegments  uint64      `json:"parallel_segments"`
 		ParallelSynced    uint64      `json:"parallel_synced"`
 		ParallelReScanned uint64      `json:"parallel_rescanned"`
+		BPEPieces         uint64      `json:"bpe_pieces"`
+		BPEFallbacks      uint64      `json:"bpe_fallbacks"`
+		BPECacheHits      uint64      `json:"bpe_cache_hits"`
+		BPECacheMisses    uint64      `json:"bpe_cache_misses"`
+		BPECacheEvictions uint64      `json:"bpe_cache_evictions"`
 	}{
 		Streams: s.Streams, StreamsDone: s.StreamsDone,
 		BytesIn: s.BytesIn, Chunks: s.Chunks,
@@ -214,6 +256,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		EmitLatency: s.EmitLatency[:], MaxLatency: s.MaxLatency(),
 		ParallelRuns: s.ParallelRuns, ParallelSegments: s.ParallelSegments,
 		ParallelSynced: s.ParallelSynced, ParallelReScanned: s.ParallelReScanned,
+		BPEPieces: s.BPEPieces, BPEFallbacks: s.BPEFallbacks,
+		BPECacheHits: s.BPECacheHits, BPECacheMisses: s.BPECacheMisses,
+		BPECacheEvictions: s.BPECacheEvictions,
 	})
 }
 

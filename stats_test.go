@@ -233,6 +233,66 @@ func TestAggregateStats(t *testing.T) {
 	}
 }
 
+// TestBPEStatsReconciliation checks the vocabulary tokenizer's BPE
+// counters against their invariants: every piece is exactly one cache
+// hit or one miss (hits+misses == pieces, at the stream level and after
+// folding into the aggregate), fallbacks never exceed pieces, and the
+// repetitive prompt workload actually hits the cache.
+func TestBPEStatsReconciliation(t *testing.T) {
+	v, err := streamtok.TrainVocab(workload.Prompts(3, 1<<18), 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := streamtok.Compile(v, streamtok.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := workload.Prompts(9, 64<<10)
+	emit := func(streamtok.Token, []byte) {}
+
+	s := tok.NewStreamer()
+	for off := 0; off < len(input); off += 4 << 10 {
+		end := off + 4<<10
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[off:end], emit)
+	}
+	// Snapshot before Close: Close folds the stream's BPE counters into
+	// the tokenizer aggregate and zeroes them.
+	live := s.Stats()
+	if live.BPEPieces == 0 {
+		t.Fatal("no pieces counted on a vocabulary tokenizer")
+	}
+	if live.BPECacheHits+live.BPECacheMisses != live.BPEPieces {
+		t.Errorf("cache hits %d + misses %d != pieces %d",
+			live.BPECacheHits, live.BPECacheMisses, live.BPEPieces)
+	}
+	if live.BPEFallbacks > live.BPEPieces {
+		t.Errorf("fallbacks %d > pieces %d", live.BPEFallbacks, live.BPEPieces)
+	}
+	if live.BPECacheHits == 0 {
+		t.Error("prompt workload produced no cache hits")
+	}
+	s.Close(emit)
+
+	agg := tok.AggregateStats()
+	if agg.BPEPieces < live.BPEPieces {
+		t.Errorf("aggregate pieces %d < stream's folded %d", agg.BPEPieces, live.BPEPieces)
+	}
+	if agg.BPECacheHits+agg.BPECacheMisses != agg.BPEPieces {
+		t.Errorf("aggregate hits %d + misses %d != pieces %d",
+			agg.BPECacheHits, agg.BPECacheMisses, agg.BPEPieces)
+	}
+
+	// The aggregate must be stable across identical snapshots, and the
+	// folded stream must not double-count.
+	again := tok.AggregateStats()
+	if again.BPEPieces != agg.BPEPieces || again.BPECacheHits != agg.BPECacheHits {
+		t.Errorf("aggregate changed between identical snapshots: %+v vs %+v", agg, again)
+	}
+}
+
 // TestTokenizeContextCancel checks that a cancelled context stops the
 // stream at a chunk boundary with ctx.Err and a consistent offset.
 func TestTokenizeContextCancel(t *testing.T) {
@@ -320,6 +380,8 @@ func TestStatsJSONKeys(t *testing.T) {
 		"tokens_by_rule", "accel_attempts", "accel_skipped_bytes",
 		"accel_backoffs", "fused_fallbacks", "carry_max", "ring_max",
 		"emit_latency", "max_latency",
+		"bpe_pieces", "bpe_fallbacks", "bpe_cache_hits",
+		"bpe_cache_misses", "bpe_cache_evictions",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("Stats JSON missing key %q", key)
