@@ -45,6 +45,7 @@ type rowDiff struct {
 type result struct {
 	Col         string
 	Exact       bool
+	Floor       *float64 // set in -min mode: the one-sided absolute floor
 	Matched     []rowDiff
 	Regressions []rowDiff
 	SkippedOld  int // baseline rows with no fresh counterpart
@@ -58,9 +59,12 @@ func (r *result) String() string {
 		if d.Regressed {
 			verdict = "REGRESSED"
 		}
-		if r.Exact {
+		switch {
+		case r.Floor != nil:
+			fmt.Fprintf(&sb, "benchdiff: %-40s %s %g (floor %g)  %s\n", d.Key, r.Col, d.New, *r.Floor, verdict)
+		case r.Exact:
 			fmt.Fprintf(&sb, "benchdiff: %-40s %s %q -> %q  %s\n", d.Key, r.Col, d.OldS, d.NewS, verdict)
-		} else {
+		default:
 			fmt.Fprintf(&sb, "benchdiff: %-40s %s %g -> %g  %s\n", d.Key, r.Col, d.Old, d.New, verdict)
 		}
 	}
@@ -123,13 +127,63 @@ func rowKey(row []string, keyIdx []int) (string, error) {
 	return strings.Join(parts, "/"), nil
 }
 
+// floorCheck gates the metric column col of fresh against an absolute
+// one-sided floor — no baseline involved. This is the live-scaling gate:
+// a committed baseline from a 1-core host cannot express "the sharded
+// server must scale on real cores", but -min 2.5 on the CI runner's
+// fresh table can. only, when non-empty, restricts the check to the row
+// whose joined key equals it (zero matched rows stays a failure).
+func floorCheck(fresh *table, keys []string, col string, min float64, only string) (*result, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no key columns")
+	}
+	colIdx, err := columnIndex(fresh, col)
+	if err != nil {
+		return nil, err
+	}
+	var keyIdx []int
+	for _, k := range keys {
+		ki, err := columnIndex(fresh, k)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx = append(keyIdx, ki)
+	}
+	res := &result{Col: col, Floor: &min}
+	for _, row := range fresh.Rows {
+		key, err := rowKey(row, keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		if only != "" && key != only {
+			res.SkippedNew++
+			continue
+		}
+		d := rowDiff{Key: key, NewS: row[colIdx]}
+		if d.New, err = parseCell(d.NewS); err != nil {
+			return nil, fmt.Errorf("row %s: %w", key, err)
+		}
+		d.Regressed = d.New < min
+		res.Matched = append(res.Matched, d)
+		if d.Regressed {
+			res.Regressions = append(res.Regressions, d)
+		}
+	}
+	if len(res.Matched) == 0 {
+		return nil, fmt.Errorf("no rows matched the floor check (-only %q) — the gate would compare nothing", only)
+	}
+	return res, nil
+}
+
 // diff compares the metric column col of fresh against base, matching
 // rows on the key columns. A row regresses when the fresh metric moves
 // past base*tol (plus slack) in the bad direction — down for
 // higher-is-better metrics, up for lower-is-better ones. With exact set
 // the cells are compared as strings and any change regresses — the mode
-// for categorical columns (an engine-mode name has no tolerance).
-func diff(base, fresh *table, keys []string, col string, tol float64, lowerBetter bool, slack float64, exact bool) (*result, error) {
+// for categorical columns (an engine-mode name has no tolerance). only,
+// when non-empty, restricts the comparison to the single row whose
+// joined key equals it.
+func diff(base, fresh *table, keys []string, col string, tol float64, lowerBetter bool, slack float64, exact bool, only string) (*result, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("no key columns")
 	}
@@ -165,6 +219,10 @@ func diff(base, fresh *table, keys []string, col string, tol float64, lowerBette
 		key, err := rowKey(row, keyIdx[fresh])
 		if err != nil {
 			return nil, err
+		}
+		if only != "" && key != only {
+			res.SkippedNew++
+			continue
 		}
 		oldS, ok := baseRows[key]
 		if !ok {

@@ -40,7 +40,7 @@ func TestDiffHigherBetter(t *testing.T) {
 	fresh := tbl([]string{"mode", "speedup"},
 		[]string{"fused", "1.60x"}, // -20%: inside 25% tolerance
 		[]string{"split", "0.70x"}) // -30%: regression
-	res, err := diff(base, fresh, []string{"mode"}, "speedup", 0.25, false, 0, false)
+	res, err := diff(base, fresh, []string{"mode"}, "speedup", 0.25, false, 0, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestDiffLowerBetterWithSlack(t *testing.T) {
 	fresh := tbl([]string{"mode", "N", "allocs/stream"},
 		[]string{"pooled", "1", "1.50"}, // within the +2 absolute slack
 		[]string{"pooled", "2", "9.00"}) // far past it
-	res, err := diff(base, fresh, []string{"mode", "N"}, "allocs/stream", 0.25, true, 2, false)
+	res, err := diff(base, fresh, []string{"mode", "N"}, "allocs/stream", 0.25, true, 2, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDiffExact(t *testing.T) {
 	fresh := tbl([]string{"merges", "mode"},
 		[]string{"8000", "bpe+fused-general"},  // unchanged: ok
 		[]string{"32000", "bpe+fused-general"}) // changed: regression, even "for the better"
-	res, err := diff(base, fresh, []string{"merges"}, "mode", 0.25, false, 0, true)
+	res, err := diff(base, fresh, []string{"merges"}, "mode", 0.25, false, 0, true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestDiffExact(t *testing.T) {
 		t.Errorf("exact report should quote both cells:\n%s", res.String())
 	}
 	// Exact mode must not choke on non-numeric cells.
-	if _, err := diff(base, base, []string{"merges"}, "mode", 0.25, false, 0, true); err != nil {
+	if _, err := diff(base, base, []string{"merges"}, "mode", 0.25, false, 0, true, ""); err != nil {
 		t.Errorf("exact self-diff on categorical column: %v", err)
 	}
 }
@@ -98,7 +98,7 @@ func TestDiffRowMatching(t *testing.T) {
 	fresh := tbl([]string{"mode", "N", "MB/s"},
 		[]string{"pooled", "1", "100"},
 		[]string{"pooled", "2", "150"}) // new machine's extra row
-	res, err := diff(base, fresh, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false)
+	res, err := diff(base, fresh, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,21 +108,78 @@ func TestDiffRowMatching(t *testing.T) {
 
 	// Nothing in common: the gate must fail loudly, not pass quietly.
 	disjoint := tbl([]string{"mode", "N", "MB/s"}, []string{"other", "3", "1"})
-	if _, err := diff(base, disjoint, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false); err == nil {
+	if _, err := diff(base, disjoint, []string{"mode", "N"}, "MB/s", 0.25, false, 0, false, ""); err == nil {
 		t.Error("zero matched rows should be an error")
+	}
+}
+
+func TestDiffOnly(t *testing.T) {
+	base := tbl([]string{"mode", "workers", "speedup"},
+		[]string{"speculate", "4", "2.00x"},
+		[]string{"sharded-server", "4", "3.00x"})
+	fresh := tbl([]string{"mode", "workers", "speedup"},
+		[]string{"speculate", "4", "0.50x"}, // regressed, but filtered out
+		[]string{"sharded-server", "4", "2.90x"})
+	res, err := diff(base, fresh, []string{"mode", "workers"}, "speedup", 0.25, false, 0, false, "sharded-server/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 1 || res.Matched[0].Key != "sharded-server/4" || len(res.Regressions) != 0 {
+		t.Errorf("result %+v", res)
+	}
+	// A key that matches nothing must fail, not pass an empty gate.
+	if _, err := diff(base, fresh, []string{"mode", "workers"}, "speedup", 0.25, false, 0, false, "nope/9"); err == nil {
+		t.Error("only with zero matches should be an error")
+	}
+}
+
+func TestFloorCheck(t *testing.T) {
+	fresh := tbl([]string{"mode", "workers", "speedup"},
+		[]string{"sharded-server", "1", "1.00x"},
+		[]string{"sharded-server", "4", "2.80x"})
+	res, err := floorCheck(fresh, []string{"mode", "workers"}, "speedup", 2.5, "sharded-server/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 1 || len(res.Regressions) != 0 {
+		t.Errorf("result %+v", res)
+	}
+	if !strings.Contains(res.String(), "floor 2.5") {
+		t.Errorf("floor report should state the floor:\n%s", res.String())
+	}
+
+	// Below the floor: regression. Without -only, the workers=1 row
+	// would also be (wrongly) held to the floor — which is exactly why
+	// the zero-match and filtering behavior matter.
+	low := tbl([]string{"mode", "workers", "speedup"},
+		[]string{"sharded-server", "4", "1.10x"})
+	res, err = floorCheck(low, []string{"mode", "workers"}, "speedup", 2.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 || !strings.Contains(res.String(), "REGRESSED") {
+		t.Errorf("result %+v\n%s", res, res.String())
+	}
+
+	if _, err := floorCheck(low, []string{"mode", "workers"}, "speedup", 2.5, "sharded-server/8"); err == nil {
+		t.Error("floor with zero matched rows should be an error")
+	}
+	junk := tbl([]string{"mode", "speedup"}, []string{"a", "fast"})
+	if _, err := floorCheck(junk, []string{"mode"}, "speedup", 1, ""); err == nil {
+		t.Error("non-numeric cell should fail the floor check")
 	}
 }
 
 func TestDiffErrors(t *testing.T) {
 	base := tbl([]string{"mode", "speedup"}, []string{"fused", "2.0"})
-	if _, err := diff(base, base, []string{"mode"}, "nope", 0.25, false, 0, false); err == nil {
+	if _, err := diff(base, base, []string{"mode"}, "nope", 0.25, false, 0, false, ""); err == nil {
 		t.Error("unknown metric column should fail")
 	}
-	if _, err := diff(base, base, []string{"nope"}, "speedup", 0.25, false, 0, false); err == nil {
+	if _, err := diff(base, base, []string{"nope"}, "speedup", 0.25, false, 0, false, ""); err == nil {
 		t.Error("unknown key column should fail")
 	}
 	junk := tbl([]string{"mode", "speedup"}, []string{"fused", "fast"})
-	if _, err := diff(base, junk, []string{"mode"}, "speedup", 0.25, false, 0, false); err == nil {
+	if _, err := diff(base, junk, []string{"mode"}, "speedup", 0.25, false, 0, false, ""); err == nil {
 		t.Error("non-numeric metric cell should fail")
 	}
 }
@@ -161,13 +218,17 @@ func TestAgainstCommittedArtifacts(t *testing.T) {
 		{file: "BENCH_bpe.json", keys: "merges", col: "classes", lower: true},
 		{file: "BENCH_bpe.json", keys: "merges", col: "mode", exact: true},
 		{file: "BENCH_bpe.json", keys: "merges", col: "cache_hit_pct"},
+		{file: "BENCH_multicore.json", keys: "mode,workers", col: "speedup"},
+		{file: "BENCH_multicore.json", keys: "mode,workers", col: "segments", exact: true},
+		{file: "BENCH_multicore.json", keys: "mode,workers", col: "synced", exact: true},
+		{file: "BENCH_multicore.json", keys: "mode,workers", col: "rescanned", exact: true},
 	} {
 		path := filepath.Join("..", "..", c.file)
 		tb, err := loadTable(path)
 		if err != nil {
 			t.Fatalf("%s: %v", c.file, err)
 		}
-		res, err := diff(tb, tb, splitKeys(c.keys), c.col, 0.25, c.lower, 2, c.exact)
+		res, err := diff(tb, tb, splitKeys(c.keys), c.col, 0.25, c.lower, 2, c.exact, "")
 		if err != nil {
 			t.Fatalf("%s self-diff: %v", c.file, err)
 		}

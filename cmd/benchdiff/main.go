@@ -30,6 +30,19 @@
 // the file is regenerated and uploaded as an artifact but deliberately
 // has no gate — there is no stable ratio in it to compare.
 //
+// Two refinements for scaling gates:
+//
+//	benchdiff -new fresh/BENCH_multicore.json -key mode,workers \
+//	    -col speedup -min 2.5 -only sharded-server/4
+//
+// -min replaces the baseline with an absolute one-sided floor: the
+// fresh value must be at least -min, no -old involved. That is how a
+// multi-core CI runner asserts live scaling that a baseline committed
+// from a small host could never express. -only restricts either mode
+// to the single row whose joined key matches (still failing on zero
+// matched rows), so a floor meant for the 4-worker row cannot
+// accidentally demand 2.5x of the workers=1 row.
+//
 // Setting the environment variable BENCHDIFF_SKIP (to anything) skips
 // the comparison with exit 0 — the knob for known-noisy runners; the
 // skip is printed loudly so a quiet log can't hide a disabled gate.
@@ -39,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 )
 
 func main() {
@@ -50,10 +64,34 @@ func main() {
 	lowerBetter := flag.Bool("lower-better", false, "metric regresses by going up (default: by going down)")
 	slack := flag.Float64("slack", 0, "absolute allowance on top of the relative tolerance (for near-zero baselines)")
 	exact := flag.Bool("exact", false, "compare the column as strings; any change regresses (categorical columns)")
+	min := flag.String("min", "", "absolute one-sided floor for the fresh column; replaces -old entirely")
+	only := flag.String("only", "", "restrict the gate to the single row with this joined key (e.g. sharded-server/4)")
 	flag.Parse()
 
 	if os.Getenv("BENCHDIFF_SKIP") != "" {
 		fmt.Printf("benchdiff: SKIPPED by BENCHDIFF_SKIP — %s %q NOT compared against %s\n", *newPath, *col, *oldPath)
+		return
+	}
+	if *min != "" {
+		if *oldPath != "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -min is a baseline-free floor; drop -old")
+			os.Exit(2)
+		}
+		if *newPath == "" || *keys == "" || *col == "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -min needs -new, -key, and -col")
+			flag.Usage()
+			os.Exit(2)
+		}
+		floor, err := strconv.ParseFloat(*min, 64)
+		exitOn(err)
+		newT, err := loadTable(*newPath)
+		exitOn(err)
+		report, err := floorCheck(newT, splitKeys(*keys), *col, floor, *only)
+		exitOn(err)
+		fmt.Print(report.String())
+		if len(report.Regressions) > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 	if *oldPath == "" || *newPath == "" || *keys == "" || *col == "" {
@@ -65,7 +103,7 @@ func main() {
 	exitOn(err)
 	newT, err := loadTable(*newPath)
 	exitOn(err)
-	report, err := diff(oldT, newT, splitKeys(*keys), *col, *tol, *lowerBetter, *slack, *exact)
+	report, err := diff(oldT, newT, splitKeys(*keys), *col, *tol, *lowerBetter, *slack, *exact, *only)
 	exitOn(err)
 	fmt.Print(report.String())
 	if len(report.Regressions) > 0 {

@@ -142,6 +142,7 @@ func main() {
 	defer cancel()
 	final, drainErr := s.Drain(ctx)
 	shutdownErr := hs.Shutdown(ctx)
+	s.Close() // stop the shard workers once no stream can arrive
 
 	// The final snapshot is the last word on what this process served;
 	// emit it even when the drain timed out, so nothing is lost.

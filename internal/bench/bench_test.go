@@ -39,8 +39,8 @@ func TestExperimentsRegistry(t *testing.T) {
 			t.Errorf("LookupExperiment(%s): %v", e.Name, err)
 		}
 	}
-	if len(seen) != 22 {
-		t.Errorf("%d experiments, want 22 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead + concurrency + serverload + certstats + biggrammar + bpe)", len(seen))
+	if len(seen) != 23 {
+		t.Errorf("%d experiments, want 23 (12 paper + ablations + hotloop + latency + lintstats + obsoverhead + concurrency + serverload + certstats + biggrammar + bpe + multicore)", len(seen))
 	}
 	if _, err := LookupExperiment("nope"); err == nil {
 		t.Error("unknown experiment should fail")
@@ -102,4 +102,48 @@ func parseF(t *testing.T, s string) float64 {
 		t.Fatalf("parse %q: %v", s, err)
 	}
 	return v
+}
+
+// TestMulticoreShape pins the multicore table: every execution mode at
+// every worker count on the fixed axis, each mode's workers=1 row at
+// exactly 1.00x, and the stats columns (the ones CI gates exactly)
+// present for the segment-parallel modes and absent for the scheduler.
+func TestMulticoreShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	tab := Multicore(Config{Scale: 1, Seed: 2026, Trials: 1})
+	type key struct{ mode, workers string }
+	rows := map[key][]string{}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row width %d != header %d (%v)", len(row), len(tab.Header), row)
+		}
+		rows[key{row[0], row[1]}] = row
+	}
+	for _, mode := range []string{"speculate", "windowed", "pipelined", "sharded-server"} {
+		for _, w := range []string{"1", "2", "4"} {
+			row, ok := rows[key{mode, w}]
+			if !ok {
+				t.Fatalf("missing row %s/%s", mode, w)
+			}
+			if w == "1" && row[3] != "1.00x" {
+				t.Errorf("%s workers=1 speedup = %s, want 1.00x", mode, row[3])
+			}
+			if mode == "sharded-server" {
+				if row[5] != "-" || row[6] != "-" || row[7] != "-" {
+					t.Errorf("scheduler row has speculation stats: %v", row)
+				}
+				continue
+			}
+			for _, col := range []int{5, 6, 7} {
+				if _, err := strconv.Atoi(row[col]); err != nil {
+					t.Errorf("%s/%s column %s = %q is not an exact count", mode, w, tab.Header[col], row[col])
+				}
+			}
+		}
+	}
+	if len(tab.Rows) != 12 {
+		t.Errorf("%d rows, want 12", len(tab.Rows))
+	}
 }

@@ -105,6 +105,16 @@ type Streamer struct {
 	// stream turnover stays allocation-free.
 	snap obs.Counters
 
+	// inherited is the counter baseline a resumed stream adopted from
+	// its checkpoint (hasInherited gates it). The stream's own block is
+	// cumulative across suspend/resume — per-stream views continue
+	// seamlessly — but aggregate folds subtract this baseline, so a
+	// same-process suspend/resume cycle counts each byte and token once
+	// in the tokenizer aggregate (the suspended segment folded its
+	// share when it was released).
+	inherited    obs.Counters
+	hasInherited bool
+
 	// carry holds the pending token's bytes that are no longer available
 	// in the caller's chunk (token prefixes spanning chunk boundaries).
 	carry   []byte
@@ -419,6 +429,7 @@ func (s *Streamer) start() {
 	s.stopped, s.rest = false, 0
 	s.done = false
 	s.tailTokens = 0
+	s.hasInherited = false
 	s.resetCarry()
 	s.batch = s.batch[:0]
 	s.batchSink = nil
@@ -493,6 +504,7 @@ func (t *Tokenizer) Counters() obs.Counters {
 	out := t.retired.Clone()
 	for s := range t.live {
 		sc := s.snapshot()
+		s.subtractInherited(&sc)
 		out.Merge(&sc)
 	}
 	t.obsMu.Unlock()
@@ -568,11 +580,49 @@ func (s *Streamer) retire() {
 	s.done = true
 	s.c.StreamsDone = 1 // so the stream's own snapshots agree with the fold
 	s.snapshotInto(&s.snap)
+	s.subtractInherited(&s.snap)
 	t := s.tok
 	t.obsMu.Lock()
 	t.retired.Merge(&s.snap)
 	delete(t.live, s)
 	t.obsMu.Unlock()
+}
+
+// subtractInherited removes a resumed stream's inherited baseline from
+// a derived snapshot, leaving only this segment's own contribution —
+// the delta aggregate folds use (see the inherited field). Volume
+// counters subtract (clamped at zero, since derived blocks can be read
+// torn); high-water marks are left alone (max-merge absorbs them), and
+// Streams/StreamsDone count each resumed segment as a stream of its
+// own. The inherited steady-state emission mass comes off the
+// latency-K histogram bucket it was derived into.
+func (s *Streamer) subtractInherited(c *obs.Counters) {
+	if !s.hasInherited {
+		return
+	}
+	in := &s.inherited
+	sub := func(dst *uint64, v uint64) {
+		if *dst >= v {
+			*dst -= v
+		} else {
+			*dst = 0
+		}
+	}
+	sub(&c.BytesIn, in.BytesIn)
+	sub(&c.Chunks, in.Chunks)
+	var inTotal uint64
+	for i, n := range in.TokensByRule {
+		if i < len(c.TokensByRule) {
+			sub(&c.TokensByRule[i], n)
+		}
+		inTotal += n
+	}
+	sub(&c.TokensOut, inTotal)
+	sub(&c.EmitLatency[s.latK], inTotal)
+	sub(&c.AccelAttempts, in.AccelAttempts)
+	sub(&c.AccelSkippedBytes, in.AccelSkippedBytes)
+	sub(&c.AccelBackoffs, in.AccelBackoffs)
+	sub(&c.FusedFallbacks, in.FusedFallbacks)
 }
 
 // noteBuffers refreshes the carry/ring high-water marks from the
@@ -675,6 +725,19 @@ func (s *Streamer) flushBatch() {
 // tokenization DFA restarts there, which is what lets windowed drivers
 // (internal/parallel) re-derive the pending suffix deterministically.
 func (s *Streamer) PendingStart() int { return s.startP }
+
+// Offset returns the absolute stream offset of the next byte Feed will
+// consume — the total bytes fed into the logical stream, counting any
+// suspended segments replayed by Restore. It is pos plus the bytes B
+// has consumed but A has not (the delay slot and ring), an invariant
+// that holds in every engine mode.
+func (s *Streamer) Offset() int {
+	d := s.filled
+	if s.prevOK {
+		d++
+	}
+	return s.pos + d
+}
 
 // feedK0: max-TND 0 means no token extends another, so A emits the moment
 // it reaches a final state.

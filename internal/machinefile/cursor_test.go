@@ -1,0 +1,157 @@
+package machinefile_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamtok/internal/machinefile"
+	"streamtok/internal/obs"
+)
+
+func testCursor() *machinefile.Cursor {
+	return &machinefile.Cursor{
+		GrammarHash: "deadbeefcafe0123",
+		EngineMode:  "fused-general",
+		Boundary:    1 << 20,
+		QA:          7,
+		Pending:     []byte("pending token prefix"),
+		Counters: obs.Counters{
+			BytesIn:           1<<20 + 20,
+			Chunks:            33,
+			AccelAttempts:     5,
+			AccelSkippedBytes: 4096,
+			AccelBackoffs:     1,
+			FusedFallbacks:    2,
+			CarryMax:          20,
+			RingMax:           3,
+			TokensByRule:      []uint64{10, 0, 99},
+		},
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	c := testCursor()
+	blob, err := machinefile.EncodeCursor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := machinefile.DecodeCursor(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GrammarHash != c.GrammarHash || got.EngineMode != c.EngineMode ||
+		got.Boundary != c.Boundary || got.QA != c.QA ||
+		!bytes.Equal(got.Pending, c.Pending) {
+		t.Fatalf("round trip: got %+v, want %+v", got, c)
+	}
+	in, out := &c.Counters, &got.Counters
+	if out.BytesIn != in.BytesIn || out.Chunks != in.Chunks ||
+		out.AccelAttempts != in.AccelAttempts || out.AccelSkippedBytes != in.AccelSkippedBytes ||
+		out.AccelBackoffs != in.AccelBackoffs || out.FusedFallbacks != in.FusedFallbacks ||
+		out.CarryMax != in.CarryMax || out.RingMax != in.RingMax {
+		t.Fatalf("counters did not round trip: got %+v, want %+v", out, in)
+	}
+	if len(out.TokensByRule) != len(in.TokensByRule) {
+		t.Fatalf("rule counters: got %v, want %v", out.TokensByRule, in.TokensByRule)
+	}
+	for i := range in.TokensByRule {
+		if out.TokensByRule[i] != in.TokensByRule[i] {
+			t.Fatalf("rule counter %d: got %d, want %d", i, out.TokensByRule[i], in.TokensByRule[i])
+		}
+	}
+	if out.Streams != 1 {
+		t.Errorf("decoded cursor Streams = %d, want 1 (the resumed segment)", out.Streams)
+	}
+	// EmitLatency is never serialized: a cursor is taken mid-stream,
+	// before latency mass is derived.
+	for i, v := range out.EmitLatency {
+		if v != 0 {
+			t.Errorf("EmitLatency[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestCursorEncodeRefusals(t *testing.T) {
+	c := testCursor()
+	c.GrammarHash = string(bytes.Repeat([]byte{'x'}, 200))
+	if _, err := machinefile.EncodeCursor(c); err == nil {
+		t.Error("oversize hash should refuse")
+	}
+	c = testCursor()
+	c.Boundary = -1
+	if _, err := machinefile.EncodeCursor(c); err == nil {
+		t.Error("negative boundary should refuse")
+	}
+	c = testCursor()
+	c.Counters.TokensByRule = make([]uint64, 1<<20+1)
+	if _, err := machinefile.EncodeCursor(c); err == nil {
+		t.Error("oversize rule count should refuse")
+	}
+}
+
+// TestCursorDecodeRejectsCorruption: truncations and bit flips are
+// refused wrapping ErrFormat. CRC32 detects every single-bit error, so
+// the exhaustive flip sweep is a sound assertion, and it pins the
+// checksum-first decode order (no parse of unauthenticated bytes).
+func TestCursorDecodeRejectsCorruption(t *testing.T) {
+	blob, err := machinefile.EncodeCursor(testCursor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := machinefile.DecodeCursor(blob[:n]); !errors.Is(err, machinefile.ErrFormat) {
+			t.Fatalf("truncation to %d: err = %v, want ErrFormat", n, err)
+		}
+	}
+	for i := 0; i < len(blob); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), blob...)
+			mut[i] ^= 1 << bit
+			if _, err := machinefile.DecodeCursor(mut); !errors.Is(err, machinefile.ErrFormat) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrFormat", i, bit, err)
+			}
+		}
+	}
+}
+
+// FuzzDecodeCursor: DecodeCursor must never panic or over-allocate on
+// arbitrary bytes, and every accepted blob must re-encode to an
+// equivalent cursor (decode∘encode is the identity on valid blobs).
+func FuzzDecodeCursor(f *testing.F) {
+	good, err := machinefile.EncodeCursor(testCursor())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/3] ^= 0x20
+	f.Add(mut)
+	empty, err := machinefile.EncodeCursor(&machinefile.Cursor{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := machinefile.DecodeCursor(data)
+		if err != nil {
+			if !errors.Is(err, machinefile.ErrFormat) {
+				t.Fatalf("decode error %v does not wrap ErrFormat", err)
+			}
+			return
+		}
+		re, err := machinefile.EncodeCursor(c)
+		if err != nil {
+			t.Fatalf("accepted cursor %+v does not re-encode: %v", c, err)
+		}
+		c2, err := machinefile.DecodeCursor(re)
+		if err != nil {
+			t.Fatalf("re-encoded cursor rejected: %v", err)
+		}
+		if c2.GrammarHash != c.GrammarHash || c2.Boundary != c.Boundary ||
+			c2.QA != c.QA || !bytes.Equal(c2.Pending, c.Pending) {
+			t.Fatalf("decode/encode not stable: %+v vs %+v", c, c2)
+		}
+	})
+}

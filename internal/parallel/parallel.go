@@ -304,7 +304,10 @@ func tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc,
 		if s.Stopped() && pos < seg.end {
 			// Untokenizable remainder — finish like the sequential run.
 			// A dead state is absorbing, so this is final even when the
-			// input is a window of a longer stream.
+			// input is a window of a longer stream. The run degraded to
+			// sequential here: segments past i were speculated but never
+			// stitched, so report only the ones actually examined.
+			stats.Segments = i + 1
 			r := s.Rest() + reStart
 			t.ReleaseStreamer(s)
 			if r >= pos {
@@ -313,6 +316,10 @@ func tokenize(t *core.Tokenizer, input []byte, opts Options, emit core.EmitFunc,
 			return pos, stats, true
 		}
 		if feedPos >= len(input) && !s.Stopped() {
+			// Same degradation accounting: this re-scan consumed the rest
+			// of the input sequentially, discarding the speculation of
+			// every later segment.
+			stats.Segments = i + 1
 			// Ran to EOF during the re-scan. For a complete stream,
 			// close and emit the tail; for a window, withhold the
 			// pending token and report its start as the next boundary.

@@ -1,6 +1,7 @@
 package parallel_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -201,4 +202,80 @@ func TestSequentialFallback(t *testing.T) {
 	if after.ParallelSynced != base.ParallelSynced || after.ParallelReScanned != base.ParallelReScanned {
 		t.Errorf("fallback runs changed Synced/ReScanned aggregates: %+v -> %+v", base, after)
 	}
+}
+
+// TestStatsHonestOnDegradation pins the Segments accounting when a run
+// degrades to sequential: the tiny-input fallback reports one segment,
+// and a run cut mid-stitch (dead input, or a re-scan that consumes the
+// rest of the input) reports only the segments it actually examined —
+// not the full phase-1 segment count whose speculation it discarded.
+func TestStatsHonestOnDegradation(t *testing.T) {
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(`[0-9]+`, `[a-z]+`, `[ ]+`), tokdfa.Options{})
+	tok := tokenizer(t, m)
+
+	t.Run("tiny input", func(t *testing.T) {
+		input := []byte("ab 12 cd 34")
+		got, rest, stats := runParallel(t, tok, input, 4, 64)
+		want, wantRest := reference.Tokens(m, input)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("tokens/rest mismatch: %v %d", got, rest)
+		}
+		if stats.Segments != 1 || stats.Synchronized != 0 {
+			t.Errorf("sequential fallback stats = %+v, want exactly 1 segment", stats)
+		}
+	})
+
+	t.Run("dead stop mid-run", func(t *testing.T) {
+		input := bytes.Repeat([]byte("ab 12 "), 171)
+		input = input[:1024]
+		input[30] = '?' // not in the grammar: the stream dies here
+		want, wantRest := reference.Tokens(m, input)
+		got, rest, stats := runParallel(t, tok, input, 4, 64)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("tokens/rest mismatch: rest %d want %d", rest, wantRest)
+		}
+		// 4 segments of 256 bytes were speculated; segment 0's adoption
+		// stalled at the dead byte and segment 1's re-scan found the
+		// stop, so segments 2 and 3 were never examined.
+		if stats.Segments != 2 {
+			t.Errorf("dead-stop run Segments = %d, want 2 (examined segments only); stats %+v", stats.Segments, stats)
+		}
+	})
+
+	t.Run("giant token tail", func(t *testing.T) {
+		input := append(bytes.Repeat([]byte("ab 12 "), 43), bytes.Repeat([]byte("z"), 1024-258)...)
+		// One token spans segments 1-3: the stitcher re-scans it
+		// sequentially to EOF and the later segments' speculation is
+		// discarded.
+		want, wantRest := reference.Tokens(m, input)
+		got, rest, stats := runParallel(t, tok, input, 4, 64)
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("tokens/rest mismatch: rest %d want %d", rest, wantRest)
+		}
+		if stats.Segments >= 4 {
+			t.Errorf("giant-token run Segments = %d, want < 4 (re-scan consumed the tail); stats %+v", stats.Segments, stats)
+		}
+	})
+
+	t.Run("reader mid-run shrink", func(t *testing.T) {
+		input := bytes.Repeat([]byte("ab 12 "), 171)
+		input = input[:1024]
+		input[30] = '?'
+		want, wantRest := reference.Tokens(m, input)
+		var got []token.Token
+		rest, stats, err := parallel.TokenizeReader(tok, bytes.NewReader(input),
+			parallel.Options{Workers: 4, MinSegment: 64, Window: 512},
+			func(tk token.Token, _ []byte) { got = append(got, tk) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reference.Equal(got, want) || rest != wantRest {
+			t.Fatalf("tokens/rest mismatch: rest %d want %d", rest, wantRest)
+		}
+		// Only the first 512-byte window was processed (the stream died
+		// inside it), and within it only segments 0 and 1 were examined.
+		if stats.Segments != 2 {
+			t.Errorf("reader dead-stop Segments = %d, want 2; stats %+v", stats.Segments, stats)
+		}
+	})
 }

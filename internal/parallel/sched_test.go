@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamtok/internal/core"
+	"streamtok/internal/tepath"
+	"streamtok/internal/tokdfa"
+	"streamtok/internal/token"
+)
+
+func newTok(t *testing.T, rules ...string) *core.Tokenizer {
+	t.Helper()
+	m := tokdfa.MustCompile(tokdfa.MustParseGrammar(rules...), tokdfa.Options{})
+	tok, _, err := core.New(m, tepath.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+// TestSchedulerStreams drives many concurrent streams through a small
+// scheduler, each feeding its input in chunks via Do, and checks every
+// stream tokenizes exactly as the sequential engine.
+func TestSchedulerStreams(t *testing.T) {
+	tok := newTok(t, `[0-9]+`, `[a-z]+`, `[ ]+`)
+	sched := NewScheduler(4, 64)
+	defer sched.Close()
+
+	const streams = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			input := []byte(fmt.Sprintf("abc %d def %d xy", i*7, i*i))
+			want, wantRest := tok.TokenizeBytes(input)
+
+			h, ok := sched.Admit()
+			if !ok {
+				errs <- fmt.Errorf("stream %d shed below capacity", i)
+				return
+			}
+			defer h.Finish()
+			s := tok.AcquireStreamer()
+			var got []token.Token
+			collect := func(tk token.Token, _ []byte) { got = append(got, tk) }
+			for off := 0; off < len(input); off += 4 {
+				end := off + 4
+				if end > len(input) {
+					end = len(input)
+				}
+				chunk := input[off:end]
+				h.Do(func() { s.Feed(chunk, collect) })
+			}
+			var rest int
+			h.Do(func() { rest = s.Close(collect) })
+			tok.ReleaseStreamer(s)
+			if rest != wantRest || len(got) != len(want) {
+				errs <- fmt.Errorf("stream %d: rest %d tokens %d, want %d/%d", i, rest, len(got), wantRest, len(want))
+				return
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					errs <- fmt.Errorf("stream %d token %d = %+v, want %+v", i, j, got[j], want[j])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := sched.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after all streams finished", got)
+	}
+	st := sched.Stats()
+	if st.Workers != 4 || st.Capacity != 64 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Dispatched == 0 {
+		t.Error("no tasks dispatched")
+	}
+}
+
+// TestSchedulerAdmission: Admit sheds exactly past capacity and slots
+// return on Finish.
+func TestSchedulerAdmission(t *testing.T) {
+	sched := NewScheduler(1, 3)
+	defer sched.Close()
+	var hs []*StreamHandle
+	for i := 0; i < 3; i++ {
+		h, ok := sched.Admit()
+		if !ok {
+			t.Fatalf("admit %d refused below capacity", i)
+		}
+		hs = append(hs, h)
+	}
+	if _, ok := sched.Admit(); ok {
+		t.Fatal("admit above capacity succeeded")
+	}
+	hs[0].Finish()
+	h, ok := sched.Admit()
+	if !ok {
+		t.Fatal("admit refused after a slot freed")
+	}
+	h.Finish()
+	for _, h := range hs[1:] {
+		h.Finish()
+	}
+}
+
+// TestSchedulerSteals: with one worker wedged on a long task, another
+// worker steals the wedged shard's queued stream, which then migrates.
+func TestSchedulerSteals(t *testing.T) {
+	sched := NewScheduler(2, 8)
+	defer sched.Close()
+
+	a, _ := sched.Admit()
+	c, _ := sched.Admit()
+	release := make(chan struct{})
+	wedged := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.Do(func() { close(wedged); <-release })
+	}()
+	<-wedged
+	// a.shard now names the worker actually running the wedge (grab
+	// rewrites it on a steal). Pin c to that wedged shard: only the
+	// other worker can run it — by stealing.
+	wedgedShard := a.shard
+	c.shard = wedgedShard
+	base := sched.Stats().Stolen
+	c.Do(func() {})
+	if got := sched.Stats().Stolen; got <= base {
+		t.Error("expected a steal while one worker was wedged")
+	}
+	if c.shard == wedgedShard {
+		t.Errorf("stolen stream did not migrate off the wedged shard %d", wedgedShard)
+	}
+	close(release)
+	wg.Wait()
+	a.Finish()
+	c.Finish()
+}
+
+// TestSchedulerPanicPropagates: a panic inside Do re-raises on the
+// calling goroutine and does not kill the worker.
+func TestSchedulerPanicPropagates(t *testing.T) {
+	sched := NewScheduler(1, 4)
+	defer sched.Close()
+	h, _ := sched.Admit()
+	defer h.Finish()
+	func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Error("panic did not propagate to the Do caller")
+			} else if p != "boom" {
+				t.Errorf("recovered %v, want boom", p)
+			}
+		}()
+		h.Do(func() { panic("boom") })
+	}()
+	// The worker survived and keeps serving.
+	ran := false
+	h.Do(func() { ran = true })
+	if !ran {
+		t.Error("worker dead after a panicking task")
+	}
+}
+
+// TestSchedulerSteadyStateAllocs: the admit → feed… → finish cycle on a
+// warm scheduler allocates nothing (the serving zero-alloc gate).
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	sched := NewScheduler(2, 8)
+	defer sched.Close()
+	// Warm the handle pool and the run queues.
+	for i := 0; i < 16; i++ {
+		h, _ := sched.Admit()
+		h.Do(func() {})
+		h.Finish()
+	}
+	fn := func() {}
+	avg := testing.AllocsPerRun(200, func() {
+		h, ok := sched.Admit()
+		if !ok {
+			t.Fatal("shed")
+		}
+		h.Do(fn)
+		h.Do(fn)
+		h.Finish()
+	})
+	if avg > 0.1 {
+		t.Errorf("steady-state cycle allocates %.2f objects, want 0", avg)
+	}
+}

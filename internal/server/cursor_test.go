@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/base64"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postTokenize POSTs body to path and decodes the NDJSON response.
+func postTokenize(t *testing.T, ts string, path, body string) ([]tokenLine, tokenLine) {
+	t.Helper()
+	resp, err := http.Post(ts+path, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, b)
+	}
+	return readNDJSON(t, resp.Body)
+}
+
+// TestTokenizeHoldResume drives one logical stream through two requests:
+// the first uploads a prefix cut mid-token and suspends with ?hold=1,
+// the second resumes from the returned cursor with the rest of the
+// input. The union of the two token streams must be byte-identical to a
+// single-shot request over the whole input — same offsets, same rules,
+// same text — and the resumed summary must reconcile (offset = suspend
+// point, complete = true).
+func TestTokenizeHoldResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	input := `{"key": [1, 2.5, true, null], "s": "streaming", "n": 12345}`
+	cut := len(input)/2 + 3 // mid-token, so the suspension has pending bytes
+
+	// Reference: the whole input in one request.
+	wantToks, wantSum := postTokenize(t, ts.URL, "/tokenize?grammar=json&text=1", input)
+	if wantSum.Complete == nil || !*wantSum.Complete {
+		t.Fatalf("reference input should tokenize completely: %+v", wantSum)
+	}
+
+	toks1, sum1 := postTokenize(t, ts.URL, "/tokenize?grammar=json&text=1&hold=1", input[:cut])
+	if sum1.Error != "" || sum1.Done == nil {
+		t.Fatalf("hold summary is an error: %+v", sum1)
+	}
+	if sum1.Cursor == "" {
+		t.Fatal("hold=1 summary has no cursor")
+	}
+	if sum1.BytesIn != int64(cut) {
+		t.Errorf("hold bytes_in = %d, want %d", sum1.BytesIn, cut)
+	}
+	if sum1.Complete == nil || *sum1.Complete {
+		t.Errorf("mid-token suspension must not report complete: %+v", sum1)
+	}
+	// rest on a suspension is the pending token's start: everything
+	// before it was delivered, everything after rides in the cursor.
+	if last := toks1[len(toks1)-1].End; sum1.Rest != last {
+		t.Errorf("suspended rest = %d, want last delivered end %d", sum1.Rest, last)
+	}
+
+	toks2, sum2 := postTokenize(t, ts.URL, "/tokenize?grammar=json&text=1&cursor="+sum1.Cursor, input[cut:])
+	if sum2.Error != "" {
+		t.Fatalf("resume failed: %+v", sum2)
+	}
+	if sum2.Offset != int64(cut) {
+		t.Errorf("resumed offset = %d, want %d", sum2.Offset, cut)
+	}
+	if sum2.Complete == nil || !*sum2.Complete {
+		t.Errorf("resumed stream should finish complete: %+v", sum2)
+	}
+	if sum2.Rest != len(input) {
+		t.Errorf("resumed rest = %d, want %d", sum2.Rest, len(input))
+	}
+
+	got := append(append([]tokenLine(nil), toks1...), toks2...)
+	if len(got) != len(wantToks) {
+		t.Fatalf("suspend+resume emitted %d tokens, single shot %d", len(got), len(wantToks))
+	}
+	for i, tk := range got {
+		w := wantToks[i]
+		if *tk.Start != *w.Start || tk.End != w.End || tk.Rule != w.Rule || tk.Text != w.Text {
+			t.Fatalf("token %d: got %+v, want %+v", i, tk, w)
+		}
+	}
+}
+
+// TestTokenizeCutReturnsCursor: a stream cut by the byte budget reports
+// the limit error AND a cursor; since every fed byte rides in the cursor
+// (the cut happens after the over-budget chunk was fed), a resume with
+// the unfed remainder finishes the stream exactly.
+func TestTokenizeCutReturnsCursor(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	input := strings.Repeat("12 345 6789 ", 40) // 480 bytes
+	_, sum := postTokenize(t, ts.URL,
+		"/tokenize?rule=%5B0-9%5D%2B&rule=%5B%20%5D%2B&max_bytes=64", input)
+	if sum.Error == "" || !strings.Contains(sum.Error, "limit") {
+		t.Fatalf("summary %+v, want a byte-limit error", sum)
+	}
+	if sum.Cursor == "" {
+		t.Fatal("budget-cut stream returned no cursor")
+	}
+	if sum.Complete == nil || *sum.Complete {
+		t.Errorf("cut stream must not report complete: %+v", sum)
+	}
+	// The whole body arrived in one chunk, so it was all fed before the
+	// budget check cut the stream; the resume has nothing left to send.
+	unfed := input[sum.BytesIn:]
+	_, sum2 := postTokenize(t, ts.URL,
+		"/tokenize?rule=%5B0-9%5D%2B&rule=%5B%20%5D%2B&cursor="+sum.Cursor, unfed)
+	if sum2.Error != "" || sum2.Complete == nil || !*sum2.Complete {
+		t.Fatalf("resume after cut: %+v", sum2)
+	}
+	if sum2.Rest != len(input) {
+		t.Errorf("resumed rest = %d, want %d", sum2.Rest, len(input))
+	}
+}
+
+// TestTokenizeCursorRejections: transport garbage is a 400, structurally
+// valid blobs that fail validation (tampering, wrong grammar) are 422 —
+// all before any streaming output, and all counted as rejections.
+func TestTokenizeCursorRejections(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("/tokenize?grammar=json&cursor=%25%25%25", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-base64 cursor: status %d, want 400", resp.StatusCode)
+	}
+	garbage := base64.RawURLEncoding.EncodeToString([]byte("not a cursor blob"))
+	if resp := post("/tokenize?grammar=json&cursor="+garbage, "{}"); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("garbage cursor blob: status %d, want 422", resp.StatusCode)
+	}
+
+	// A genuine cursor taken under json must be refused by csv.
+	_, sum := postTokenize(t, ts.URL, "/tokenize?grammar=json&hold=1", `{"a": 1`)
+	if sum.Cursor == "" {
+		t.Fatal("no cursor to cross-check with")
+	}
+	resp := post("/tokenize?grammar=csv&cursor="+sum.Cursor, "x,y\n")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("wrong-grammar cursor: status %d, want 422", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "cursor") {
+		t.Errorf("wrong-grammar rejection body %q should mention the cursor", body)
+	}
+	if got := s.MetricsSnapshot().Rejected; got < 3 {
+		t.Errorf("rejected counter = %d, want at least the 3 cursor refusals", got)
+	}
+
+	// A tampered blob (valid base64, flipped payload byte) is refused.
+	raw, err := base64.RawURLEncoding.DecodeString(sum.Cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	flipped := base64.RawURLEncoding.EncodeToString(raw)
+	if resp := post("/tokenize?grammar=json&cursor="+flipped, "{}"); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("tampered cursor: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestTokenizeBinaryCursorTrailer: the binary framing carries the
+// suspension cursor in the X-Streamtok-Cursor trailer, and the cursor
+// round-trips into an NDJSON resume.
+func TestTokenizeBinaryCursorTrailer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	input := "12 345 6789"
+	cut := 8
+	resp, err := http.Post(ts.URL+"/tokenize?rule=%5B0-9%5D%2B&rule=%5B%20%5D%2B&format=bin&hold=1",
+		"", strings.NewReader(input[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil { // trailers land after the body
+		t.Fatal(err)
+	}
+	cur := resp.Trailer.Get("X-Streamtok-Cursor")
+	if cur == "" {
+		t.Fatal("binary hold=1 response has no X-Streamtok-Cursor trailer")
+	}
+	if e := resp.Trailer.Get("X-Streamtok-Error"); e != "" {
+		t.Fatalf("unexpected error trailer %q", e)
+	}
+	toks, sum := postTokenize(t, ts.URL, "/tokenize?rule=%5B0-9%5D%2B&rule=%5B%20%5D%2B&text=1&cursor="+cur, input[cut:])
+	if sum.Complete == nil || !*sum.Complete {
+		t.Fatalf("resume from binary cursor: %+v", sum)
+	}
+	// The suspended prefix "12 345 67" delivered "12", " ", "345", " ";
+	// the resume must finish "6789" as one token spanning the cut.
+	last := toks[len(toks)-1]
+	if last.Text != "6789" || *last.Start != 7 || last.End != 11 {
+		t.Errorf("tail token %+v, want 6789 at [7,11)", last)
+	}
+}
+
+// TestTokenizeHoldEmptyStream: holding a stream that never fed a byte
+// still yields a valid cursor that resumes into the full input.
+func TestTokenizeHoldEmptyStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, sum := postTokenize(t, ts.URL, "/tokenize?grammar=csv&hold=1", "")
+	if sum.Error != "" || sum.Cursor == "" {
+		t.Fatalf("empty hold: %+v", sum)
+	}
+	input := "a,b,c\n1,2,3\n"
+	toks, sum2 := postTokenize(t, ts.URL, "/tokenize?grammar=csv&cursor="+sum.Cursor, input)
+	if sum2.Complete == nil || !*sum2.Complete || len(toks) == 0 {
+		t.Fatalf("resume from empty-stream cursor: %+v (%d tokens)", sum2, len(toks))
+	}
+}

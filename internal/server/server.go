@@ -3,19 +3,23 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
 	"streamtok"
+	"streamtok/internal/parallel"
 	"streamtok/internal/token"
 )
 
@@ -48,7 +52,8 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	reg   *Registry
-	sem   chan struct{}
+	sched *parallel.Scheduler
+	bufs  sync.Pool
 	mux   *http.ServeMux
 	start time.Time
 
@@ -86,11 +91,20 @@ func New(cfg Config) *Server {
 		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cfg: cfg,
+		reg: cfg.Registry,
+		// Shard-per-core admission: active streams are sharded across
+		// GOMAXPROCS workers with per-worker run queues and work
+		// stealing, replacing flat semaphore admission. The scheduler's
+		// capacity is the old semaphore's depth, so shedding semantics
+		// (429 past MaxConcurrent) are unchanged.
+		sched: parallel.NewScheduler(runtime.GOMAXPROCS(0), cfg.MaxConcurrent),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, 64<<10)
+		return &b
 	}
 	s.mux.HandleFunc("/tokenize", s.handleTokenize)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -131,7 +145,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // InFlight returns the number of tokenize requests currently holding a
 // concurrency slot.
-func (s *Server) InFlight() int { return len(s.sem) }
+func (s *Server) InFlight() int { return s.sched.InFlight() }
+
+// Close stops the shard workers. Call it after the server has drained
+// and stopped accepting requests (streamtokd runs it after Shutdown);
+// it is not required for correctness, only goroutine hygiene.
+func (s *Server) Close() { s.sched.Close() }
 
 // Drain runs the graceful sequence: BeginDrain, then wait until every
 // in-flight stream finishes or ctx expires, returning the final metrics
@@ -170,6 +189,16 @@ func (e errTooLarge) Error() string {
 // per-token lines (summary only); ?format=bin (or Accept:
 // application/x-streamtok-bin) selects 24-byte binary records with
 // summary trailers instead of NDJSON.
+//
+// Resumable streams: ?cursor=BLOB (base64url, no padding) resumes a
+// stream suspended by an earlier request instead of restarting it —
+// token offsets continue where the suspended stream left off, and the
+// follow-up body continues from the suspended stream's fed offset (its
+// bytes_in total) because the cursor itself carries the fed-but-
+// undelivered tail. ?hold=1 suspends the stream at end of body instead
+// of closing it, returning the cursor on the summary line; a stream cut
+// by a deadline or byte budget returns a cursor the same way, so the
+// client can reconnect and resume instead of re-uploading.
 func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -183,15 +212,14 @@ func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining: not accepting new streams", http.StatusServiceUnavailable)
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
+	h, ok := s.sched.Admit()
+	if !ok {
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", retryAfter)
 		http.Error(w, "at capacity", http.StatusTooManyRequests)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer h.Finish()
 	s.reqs.Add(1)
 
 	ent, err := s.resolveGrammar(r)
@@ -224,6 +252,35 @@ func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 	binaryOut := q.Get("format") == "bin" || r.Header.Get("Accept") == "application/x-streamtok-bin"
 	withText := q.Get("text") == "1"
 	countOnly := q.Get("count") == "1"
+	hold := q.Get("hold") == "1"
+
+	// Acquire the stream: fresh, or resumed from a suspended-stream
+	// cursor. Cursor refusals happen here, before any streaming output,
+	// so the client gets a clean status code: 400 for transport-level
+	// garbage, 422 for a blob that decodes but fails validation (wrong
+	// grammar hash, tampered bytes, failed replay).
+	var st *streamtok.Streamer
+	if c := q.Get("cursor"); c != "" {
+		blob, derr := base64.RawURLEncoding.DecodeString(c)
+		if derr != nil {
+			s.rejected.Add(1)
+			http.Error(w, "bad cursor: not unpadded base64url", http.StatusBadRequest)
+			return
+		}
+		var rerr error
+		st, rerr = streamtok.Resume(ent.Tok, blob)
+		if rerr != nil {
+			s.rejected.Add(1)
+			http.Error(w, rerr.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	} else {
+		st = ent.Tok.AcquireStreamer()
+	}
+	// Both branches hand over an owned streamer (Resume releases
+	// internally on refusal), so the release pairs with the acquire
+	// here, after the response is fully written.
+	defer ent.Tok.ReleaseStreamer(st)
 
 	// The whole point of this endpoint is interleaving body reads with
 	// response writes; HTTP/1 forbids that by default and would close
@@ -234,10 +291,10 @@ func (s *Server) handleTokenize(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	if binaryOut {
-		s.streamBinary(ctx, w, r, ent, maxBytes)
+		s.streamBinary(ctx, w, r, ent, st, h, maxBytes, hold)
 		return
 	}
-	s.streamNDJSON(ctx, w, r, ent, maxBytes, withText, countOnly)
+	s.streamNDJSON(ctx, w, r, ent, st, h, maxBytes, hold, withText, countOnly)
 }
 
 // resolveGrammar picks the tokenization source from ?grammar=, ?rule=,
@@ -300,8 +357,11 @@ func (s *Server) requestLimits(r *http.Request) (maxBytes int64, deadline time.D
 // streamNDJSON tokenizes the body into newline-delimited JSON: one
 // object per token and exactly one summary object at the end — either
 // {"done":true,...} or {"error":...,...} — so a client can always tell
-// a complete stream from a cut one.
-func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, r *http.Request, ent *Entry, maxBytes int64, withText, countOnly bool) {
+// a complete stream from a cut one. Resumed streams add "offset" (the
+// stream position this request continued from); suspended streams —
+// ?hold=1, or a stream cut mid-flight — add "cursor", the blob a
+// follow-up request passes as ?cursor= to continue.
+func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, r *http.Request, ent *Entry, st *streamtok.Streamer, h *parallel.StreamHandle, maxBytes int64, hold, withText, countOnly bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Streamtok-Grammar", ent.Name)
 	bw := bufio.NewWriterSize(w, 32<<10)
@@ -334,7 +394,7 @@ func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, r *htt
 		bw.Write(line)
 	}
 
-	consumed, rest, err := s.drive(ctx, r, ent, maxBytes, emit, func() {
+	res := s.drive(ctx, r, st, h, maxBytes, hold, emit, func() {
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
@@ -344,9 +404,9 @@ func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, r *htt
 	// Summary line. Written even after an error: the stream stays valid
 	// NDJSON and the client learns exactly how far the server got.
 	line = line[:0]
-	if err != nil {
+	if res.err != nil {
 		line = append(line, `{"error":`...)
-		line = appendJSONString(line, err.Error())
+		line = appendJSONString(line, res.err.Error())
 	} else {
 		line = append(line, `{"done":true`...)
 	}
@@ -355,28 +415,38 @@ func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, r *htt
 	line = append(line, `,"token_bytes":`...)
 	line = strconv.AppendUint(line, tokenBytes, 10)
 	line = append(line, `,"bytes_in":`...)
-	line = strconv.AppendInt(line, consumed, 10)
+	line = strconv.AppendInt(line, res.consumed, 10)
 	line = append(line, `,"rest":`...)
-	line = strconv.AppendInt(line, int64(rest), 10)
+	line = strconv.AppendInt(line, int64(res.rest), 10)
+	if res.base > 0 {
+		line = append(line, `,"offset":`...)
+		line = strconv.AppendInt(line, res.base, 10)
+	}
+	if res.cursor != nil {
+		line = append(line, `,"cursor":"`...)
+		line = base64.RawURLEncoding.AppendEncode(line, res.cursor)
+		line = append(line, '"')
+	}
 	line = append(line, `,"complete":`...)
-	line = strconv.AppendBool(line, err == nil && int64(rest) == consumed)
+	line = strconv.AppendBool(line, res.err == nil && int64(res.rest) == res.base+res.consumed)
 	line = append(line, '}', '\n')
 	bw.Write(line)
 	bw.Flush()
 	if flusher != nil {
 		flusher.Flush()
 	}
-	s.finishStream(tokens, uint64(consumed), err)
+	s.finishStream(tokens, uint64(res.consumed), res.err)
 }
 
 // streamBinary tokenizes the body into fixed 24-byte little-endian
 // records (start int64, end int64, rule int32, reserved int32) with the
-// summary in HTTP trailers: X-Streamtok-Tokens, X-Streamtok-Rest, and
-// X-Streamtok-Error (empty on success).
-func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, r *http.Request, ent *Entry, maxBytes int64) {
+// summary in HTTP trailers: X-Streamtok-Tokens, X-Streamtok-Rest,
+// X-Streamtok-Error (empty on success), and X-Streamtok-Cursor (the
+// base64url resume blob, when the stream was suspended).
+func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, r *http.Request, ent *Entry, st *streamtok.Streamer, h *parallel.StreamHandle, maxBytes int64, hold bool) {
 	w.Header().Set("Content-Type", "application/x-streamtok-bin")
 	w.Header().Set("X-Streamtok-Grammar", ent.Name)
-	w.Header().Set("Trailer", "X-Streamtok-Tokens, X-Streamtok-Rest, X-Streamtok-Error")
+	w.Header().Set("Trailer", "X-Streamtok-Tokens, X-Streamtok-Rest, X-Streamtok-Error, X-Streamtok-Cursor")
 	bw := bufio.NewWriterSize(w, 32<<10)
 	flusher, _ := w.(http.Flusher)
 
@@ -397,7 +467,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, r *htt
 	// but drive shares the EmitFunc plumbing with NDJSON.)
 	emit := func(tk streamtok.Token, _ []byte) { sink([]token.Token{tk}) }
 
-	consumed, rest, err := s.drive(ctx, r, ent, maxBytes, emit, func() {
+	res := s.drive(ctx, r, st, h, maxBytes, hold, emit, func() {
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
@@ -405,35 +475,117 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, r *htt
 	})
 	bw.Flush()
 	w.Header().Set("X-Streamtok-Tokens", strconv.FormatUint(tokens, 10))
-	w.Header().Set("X-Streamtok-Rest", strconv.Itoa(rest))
-	if err != nil {
-		w.Header().Set("X-Streamtok-Error", err.Error())
+	w.Header().Set("X-Streamtok-Rest", strconv.Itoa(res.rest))
+	if res.err != nil {
+		w.Header().Set("X-Streamtok-Error", res.err.Error())
 	} else {
 		w.Header().Set("X-Streamtok-Error", "")
 	}
-	s.finishStream(tokens, uint64(consumed), err)
+	if res.cursor != nil {
+		w.Header().Set("X-Streamtok-Cursor", base64.RawURLEncoding.EncodeToString(res.cursor))
+	} else {
+		w.Header().Set("X-Streamtok-Cursor", "")
+	}
+	s.finishStream(tokens, uint64(res.consumed), res.err)
 }
 
-// drive runs the tokenizer over the request body with the chunk-boundary
-// hook enforcing the byte budget and flushing the response in step with
-// the input. It returns bytes consumed, the first untokenized offset,
-// and the terminal error (nil for a clean end of stream).
-func (s *Server) drive(ctx context.Context, r *http.Request, ent *Entry, maxBytes int64, emit streamtok.EmitFunc, flush func()) (consumed int64, rest int, err error) {
-	boundary := func(n int) error {
-		consumed = int64(n)
-		if consumed > maxBytes {
-			return errTooLarge{limit: maxBytes}
+// streamResult is drive's summary of one driven stream.
+type streamResult struct {
+	consumed int64  // body bytes fed during this request
+	base     int64  // stream offset this request resumed from (0 = fresh)
+	rest     int    // first stream offset not covered by a delivered token
+	cursor   []byte // resume blob when the stream was suspended, else nil
+	err      error  // terminal error (nil for a clean close or suspension)
+}
+
+// drive pumps the request body through the stream: the handler goroutine
+// keeps the I/O (body reads, response flushes) while every Feed/Close
+// runs on the stream's shard worker via h.Do, so tokenization CPU stays
+// on the shard the scheduler pinned the stream to.
+//
+// Termination is three-way. Dead input (the remaining bytes match no
+// rule) ends the request with no error and no cursor — rest points at
+// the dead byte and resuming could never progress. A clean end of body
+// closes the stream and drains the delayed tail — unless ?hold=1, which
+// suspends instead. A cut (deadline, byte budget, body read error) also
+// suspends: the error is reported, but the stream's state up to the last
+// chunk boundary is preserved in a cursor so the client can resume
+// instead of re-uploading.
+func (s *Server) drive(ctx context.Context, r *http.Request, st *streamtok.Streamer, h *parallel.StreamHandle, maxBytes int64, hold bool, emit streamtok.EmitFunc, flush func()) (res streamResult) {
+	res.base = int64(st.Offset())
+
+	bufp := s.bufs.Get().(*[]byte)
+	defer s.bufs.Put(bufp)
+	buf := *bufp
+
+	// One closure for the whole request: chunk is rebound per read, so
+	// the steady-state loop allocates nothing.
+	var chunk []byte
+	feed := func() { st.Feed(chunk, emit) }
+
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			res.err = cerr
+			return s.suspend(st, h, res)
 		}
-		flush()
-		return nil
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			chunk = buf[:n]
+			h.Do(feed)
+			res.consumed += int64(n)
+			if res.consumed > maxBytes {
+				// Budget first, stop second: an over-budget chunk is cut
+				// even when the stream also died inside it, matching the
+				// core chunk-loop's boundary-before-Stopped order.
+				res.err = errTooLarge{limit: maxBytes}
+				return s.suspend(st, h, res)
+			}
+			if st.Stopped() {
+				// Dead input is a property of the stream, not the
+				// transport: report how far tokenization got (the client
+				// sees complete=false) and do not offer a cursor.
+				res.rest = st.Rest()
+				return res
+			}
+			flush()
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			res.err = rerr
+			return s.suspend(st, h, res)
+		}
 	}
-	rest, err = ent.Tok.TokenizeContextChunks(ctx, r.Body, 0, emit, boundary)
-	if consumed < int64(rest) {
-		// The body ended inside the final chunk; boundary saw the
-		// pre-final total only when the last read returned data+EOF.
-		consumed = int64(rest)
+	if hold {
+		return s.suspend(st, h, res)
 	}
-	return consumed, rest, err
+	closeStream := func() { res.rest = st.Close(emit) }
+	h.Do(closeStream)
+	return res
+}
+
+// suspend checkpoints a held or cut stream into a resume cursor. rest
+// becomes the pending token's start — the first byte not covered by a
+// delivered token, which is exactly the offset a resumed stream
+// continues from. Checkpointing runs on the shard worker: it replays the
+// pending bytes to verify the blob, which is CPU work.
+func (s *Server) suspend(st *streamtok.Streamer, h *parallel.StreamHandle, res streamResult) streamResult {
+	if st.Stopped() {
+		// The cut chunk also killed the stream: nothing to resume.
+		res.rest = st.Rest()
+		return res
+	}
+	var blob []byte
+	var cerr error
+	h.Do(func() { blob, cerr = st.Checkpoint() })
+	res.rest = st.PendingStart()
+	if cerr == nil {
+		res.cursor = blob
+	} else if res.err == nil {
+		res.err = cerr
+	}
+	return res
 }
 
 // finishStream folds one finished request into the server counters.
@@ -466,21 +618,22 @@ type GrammarMetrics struct {
 // aggregate (the same JSON renderings tnd -json and streamtok -stats
 // use).
 type Metrics struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Draining      bool             `json:"draining"`
-	InFlight      int              `json:"inflight"`
-	Capacity      int              `json:"capacity"`
-	Requests      uint64           `json:"requests"`
-	OK            uint64           `json:"ok"`
-	Shed          uint64           `json:"shed"`
-	Unavailable   uint64           `json:"unavailable"`
-	Rejected      uint64           `json:"rejected"`
-	Errors        uint64           `json:"errors"`
-	Panics        uint64           `json:"panics"`
-	TokensOut     uint64           `json:"tokens_out"`
-	BytesIn       uint64           `json:"bytes_in"`
-	Registry      RegistryStats    `json:"registry"`
-	Grammars      []GrammarMetrics `json:"grammars"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Draining      bool                `json:"draining"`
+	InFlight      int                 `json:"inflight"`
+	Capacity      int                 `json:"capacity"`
+	Requests      uint64              `json:"requests"`
+	OK            uint64              `json:"ok"`
+	Shed          uint64              `json:"shed"`
+	Unavailable   uint64              `json:"unavailable"`
+	Rejected      uint64              `json:"rejected"`
+	Errors        uint64              `json:"errors"`
+	Panics        uint64              `json:"panics"`
+	TokensOut     uint64              `json:"tokens_out"`
+	BytesIn       uint64              `json:"bytes_in"`
+	Scheduler     parallel.SchedStats `json:"scheduler"`
+	Registry      RegistryStats       `json:"registry"`
+	Grammars      []GrammarMetrics    `json:"grammars"`
 }
 
 // MetricsSnapshot assembles the current Metrics document.
@@ -499,6 +652,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Panics:        s.panics.Load(),
 		TokensOut:     s.tokensOut.Load(),
 		BytesIn:       s.bytesIn.Load(),
+		Scheduler:     s.sched.Stats(),
 		Registry:      s.reg.Stats(),
 	}
 	for _, ent := range s.reg.Entries() {
@@ -547,6 +701,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "requests:   %d admitted, %d ok, %d cut, %d shed, %d refused draining, %d rejected, %d panics\n",
 		m.Requests, m.OK, m.Errors, m.Shed, m.Unavailable, m.Rejected, m.Panics)
 	fmt.Fprintf(w, "volume:     %d tokens out, %d bytes in\n", m.TokensOut, m.BytesIn)
+	fmt.Fprintf(w, "scheduler:  %d shards, %d dispatched, %d stolen\n",
+		m.Scheduler.Workers, m.Scheduler.Dispatched, m.Scheduler.Stolen)
 	fmt.Fprintf(w, "registry:   %d resident (%d pinned), %d hits, %d misses, %d evictions, %d rejects\n",
 		m.Registry.Resident, m.Registry.Pinned, m.Registry.Hits, m.Registry.Misses,
 		m.Registry.Evictions, m.Registry.Rejects)

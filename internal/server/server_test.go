@@ -37,6 +37,8 @@ type tokenLine struct {
 	TokenBytes uint64 `json:"token_bytes"`
 	BytesIn    int64  `json:"bytes_in"`
 	Rest       int    `json:"rest"`
+	Offset     int64  `json:"offset"`
+	Cursor     string `json:"cursor"`
 	Complete   *bool  `json:"complete"`
 }
 

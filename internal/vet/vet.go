@@ -26,6 +26,19 @@
 //     owns the dense view (DenseTrans/FromDense), may do byte-stride
 //     arithmetic.
 //
+//  4. Checkpoint purity: cursor blobs are the wire form of suspended
+//     streams, and internal/machinefile is their only sanctioned
+//     serializer — it is what enforces the versioned magic, explicit
+//     bounds, and trailing CRC. Two patterns defeat that ownership and
+//     are flagged: the cursor magic ("STOKCUR1") appearing outside
+//     internal/machinefile (a hand-rolled framing that skips the
+//     bounds/CRC discipline), and checkpoint/cursor code reaching for
+//     raw-memory or reflective serialization (unsafe, gob, reflect) —
+//     the checkpoint contract is a *value copy* of the O(K) behavioral
+//     state, and those packages are how pointerful streamer internals
+//     (ring storage, table references) would smuggle themselves into a
+//     blob that must stay portable across engine builds.
+//
 // The checks are purely syntactic (go/ast, no type information), which
 // keeps the tool dependency-free and fast; the patterns are specific
 // enough that false positives name real design questions.
@@ -64,7 +77,16 @@ func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
 	// arithmetic is legitimate there and only there.
 	fname := filepath.ToSlash(fset.Position(file.Pos()).Filename)
 	denseOwner := strings.Contains(fname, "internal/automata/")
+	// internal/machinefile owns the cursor wire format, so the magic
+	// literal is legitimate there; internal/vet is exempt too — the
+	// checker (and its tests) must be able to spell the pattern it
+	// hunts.
+	cursorOwner := strings.Contains(fname, "internal/machinefile/") ||
+		strings.Contains(fname, "internal/vet/")
 	var out []Finding
+	if !cursorOwner {
+		out = append(out, checkCursorMagic(fset, file)...)
+	}
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if ok && fn.Body != nil {
@@ -73,6 +95,7 @@ func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
 			if !denseOwner {
 				out = append(out, checkDenseIndexing(fset, fn)...)
 			}
+			out = append(out, checkCheckpointPurity(fset, fn)...)
 		}
 	}
 	return out
@@ -235,6 +258,100 @@ func hasDense256(e ast.Expr) bool {
 func isIntLit(e ast.Expr, text string) bool {
 	lit, ok := e.(*ast.BasicLit)
 	return ok && lit.Kind == token.INT && lit.Value == text
+}
+
+// cursorMagicText is the version-independent prefix of the cursor blob
+// magic ("STOKCUR1", "STOKCUR2", ...) — a future format bump must not
+// quietly escape the ownership check.
+const cursorMagicText = "STOKCUR"
+
+// checkCursorMagic flags the cursor magic appearing in any literal of a
+// file outside internal/machinefile — whether as a string ("STOKCUR1")
+// or as a run of char literals in a composite ({'S','T','O','K',...}).
+// The magic in fresh code means a hand-rolled cursor encoder or
+// decoder, which bypasses the bounds and CRC discipline the machinefile
+// serializer enforces. The scan is file-wide (not per-function) because
+// the obvious place to park a duplicated magic is a package-level var.
+func checkCursorMagic(fset *token.FileSet, file *ast.File) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos) {
+		out = append(out, Finding{
+			Pos: fset.Position(pos),
+			Message: "cursor magic " + cursorMagicText + " outside internal/machinefile; " +
+				"cursor blobs must go through the machinefile serializer (EncodeCursor/DecodeCursor) — " +
+				"a hand-rolled framing skips its bounds and CRC checks",
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING && strings.Contains(n.Value, cursorMagicText) {
+				flag(n.Pos())
+			}
+		case *ast.CompositeLit:
+			// Join consecutive char-literal elements and look for the
+			// magic spelled as bytes.
+			var sb strings.Builder
+			for _, el := range n.Elts {
+				lit, ok := el.(*ast.BasicLit)
+				if !ok || lit.Kind != token.CHAR || len(lit.Value) != 3 {
+					continue
+				}
+				sb.WriteByte(lit.Value[1])
+			}
+			if strings.Contains(sb.String(), cursorMagicText) {
+				flag(n.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// serializerHostile names the packages whose use inside checkpoint code
+// defeats the value-copy contract: unsafe reinterprets streamer memory
+// in place, and gob/reflect serialize whatever a value points at —
+// either one can carry pointerful streamer internals (ring storage,
+// shared table references) into a blob that must hold only the O(K)
+// behavioral state.
+var serializerHostile = map[string]bool{
+	"unsafe":  true,
+	"gob":     true,
+	"reflect": true,
+}
+
+// checkCheckpointPurity flags unsafe/gob/reflect usage inside functions
+// on the checkpoint path — any function whose name mentions Checkpoint,
+// Cursor, Restore, or Resume. The scope is name-based and syntactic,
+// which is exactly as blunt as intended: there is no legitimate reason
+// for checkpoint code to touch raw memory or a reflective encoder, so a
+// hit is a design conversation, not a tuning knob.
+func checkCheckpointPurity(fset *token.FileSet, fn *ast.FuncDecl) []Finding {
+	name := fn.Name.Name
+	if !strings.Contains(name, "Checkpoint") && !strings.Contains(name, "Cursor") &&
+		!strings.Contains(name, "Restore") && !strings.Contains(name, "Resume") {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !serializerHostile[pkg.Name] {
+			return true
+		}
+		out = append(out, Finding{
+			Pos: fset.Position(sel.Pos()),
+			Message: fmt.Sprintf("%s.%s in checkpoint path %s; checkpoint blobs must be a value copy of the "+
+				"O(K) live state encoded by machinefile — raw memory and reflective encoders can smuggle "+
+				"pointerful streamer internals into the blob",
+				pkg.Name, sel.Sel.Name, name),
+		})
+		return true
+	})
+	return out
 }
 
 // chunkCounterTarget reports whether expr is `<anything>.c.<counter>`

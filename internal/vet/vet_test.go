@@ -132,6 +132,79 @@ func okOther(buf []byte, q int) byte {
 }`)
 }
 
+func TestCursorMagic(t *testing.T) {
+	// The magic in a string literal outside machinefile: flagged.
+	wantFindings(t, `package p
+var magic = "STOKCUR1"`, "cursor magic STOKCUR outside internal/machinefile")
+
+	// Spelled as a run of char literals: still flagged.
+	wantFindings(t, `package p
+var magic = [8]byte{'S', 'T', 'O', 'K', 'C', 'U', 'R', '1'}`,
+		"cursor magic STOKCUR outside internal/machinefile")
+
+	// A future version bump shares the prefix and is still owned.
+	wantFindings(t, `package p
+func enc() []byte { return []byte("STOKCUR2") }`,
+		"cursor magic STOKCUR outside internal/machinefile")
+
+	// Unrelated literals: clean.
+	wantFindings(t, `package p
+var magic = "STOKMF4"
+var tags = []byte{'S', 'T', 'O', 'P'}`)
+}
+
+// TestCursorMagicMachinefileExempt: the serializer's own package may
+// spell its magic.
+func TestCursorMagicMachinefileExempt(t *testing.T) {
+	src := `package machinefile
+var cursorMagic = [8]byte{'S', 'T', 'O', 'K', 'C', 'U', 'R', '1'}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/machinefile/cursor.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckFile(fset, f); len(got) != 0 {
+		t.Fatalf("machinefile file flagged: %v", got)
+	}
+}
+
+func TestCheckpointPurity(t *testing.T) {
+	// unsafe in a Checkpoint method: flagged.
+	wantFindings(t, `package p
+func (s *Streamer) Checkpoint() []byte {
+	return (*[64]byte)(unsafe.Pointer(s))[:]
+}`, "unsafe.Pointer in checkpoint path Checkpoint")
+
+	// A reflective encoder in a cursor builder: flagged.
+	wantFindings(t, `package p
+func encodeCursor(c *Cursor) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(c)
+	return buf.Bytes(), err
+}`, "gob.NewEncoder in checkpoint path encodeCursor")
+
+	// reflect on the restore side: flagged.
+	wantFindings(t, `package p
+func Restore(blob []byte, into any) {
+	reflect.ValueOf(into).Elem().SetBytes(blob)
+}`, "reflect.ValueOf in checkpoint path Restore")
+
+	// The same packages outside the checkpoint path are not this
+	// check's business (ZeroAllocs tests legitimately use them).
+	wantFindings(t, `package p
+func measure(s *S) uintptr {
+	return unsafe.Sizeof(*s)
+}`)
+
+	// The sanctioned shape — value fields through the machinefile
+	// encoder: clean.
+	wantFindings(t, `package p
+func (s *Streamer) CheckpointState() (CheckpointState, error) {
+	pending := append([]byte(nil), s.carry...)
+	return CheckpointState{Boundary: s.startP, Pending: pending, QA: s.qa}, nil
+}`)
+}
+
 // TestDenseIndexingAutomataExempt: the automata package owns the dense
 // view, so the same pattern is clean when the file lives there.
 func TestDenseIndexingAutomataExempt(t *testing.T) {

@@ -507,3 +507,13 @@ func (s *Streamer) Stopped() bool { return s.inner.Stopped() }
 // Rest returns the offset of the first untokenized byte; it is
 // meaningful once Stopped reports true or Close has been called.
 func (s *Streamer) Rest() int { return s.inner.Rest() }
+
+// Offset returns the absolute stream offset of the next byte Feed will
+// consume — the total bytes fed into the logical stream, including any
+// suspended segments before a Resume.
+func (s *Streamer) Offset() int { return s.inner.Offset() }
+
+// PendingStart returns the stream offset where the pending (not yet
+// emitted) token begins — always a true token boundary, and the offset
+// a cursor taken now would resume from.
+func (s *Streamer) PendingStart() int { return s.inner.PendingStart() }
